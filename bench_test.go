@@ -1,0 +1,422 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (DESIGN.md carries the per-experiment index). Each benchmark
+// runs the corresponding experiment end to end and reports the paper's
+// headline metric via b.ReportMetric, so `go test -bench=.` doubles as a
+// reproduction run. Hot-path microbenchmarks at the bottom track the
+// per-query costs SUSHI puts on the serving critical path.
+package sushi
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sushi/internal/accel"
+	"sushi/internal/core"
+	"sushi/internal/latencytable"
+	"sushi/internal/sched"
+	"sushi/internal/supernet"
+)
+
+// cell parses the leading float of a table cell (strips units).
+func cell(b *testing.B, row []string, i int) float64 {
+	b.Helper()
+	s := strings.TrimSuffix(strings.Fields(row[i])[0], "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", row[i], err)
+	}
+	return v
+}
+
+func BenchmarkFig2ArithmeticIntensity(b *testing.B) {
+	for _, w := range []core.Workload{core.ResNet50, core.MobileNetV3} {
+		b.Run(string(w), func(b *testing.B) {
+			var memBound float64
+			for i := 0; i < b.N; i++ {
+				r, err := core.Fig2(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for _, row := range r.Rows {
+					if row[4] == "MEMORY" {
+						n++
+					}
+				}
+				memBound = float64(n) / float64(len(r.Rows))
+			}
+			b.ReportMetric(memBound*100, "mem-bound-%")
+		})
+	}
+}
+
+func BenchmarkFig3CachedSubGraphShape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := core.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 2 {
+			b.Fatal("bad grid")
+		}
+	}
+}
+
+func BenchmarkFig10LatencyBreakdown(b *testing.B) {
+	for _, w := range []core.Workload{core.ResNet50, core.MobileNetV3} {
+		b.Run(string(w), func(b *testing.B) {
+			var maxSave float64
+			for i := 0; i < b.N; i++ {
+				r, err := core.Fig10(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxSave = 0
+				for _, row := range r.Rows {
+					if s := cell(b, row, 9); s > maxSave {
+						maxSave = s
+					}
+				}
+			}
+			b.ReportMetric(maxSave, "max-save-%")
+		})
+	}
+}
+
+func BenchmarkFig11Roofline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig11(core.ResNet50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12DSE(b *testing.B) {
+	for _, w := range []core.Workload{core.ResNet50, core.MobileNetV3} {
+		b.Run(string(w), func(b *testing.B) {
+			var best float64
+			for i := 0; i < b.N; i++ {
+				r, err := core.Fig12(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				best = 0
+				for _, row := range r.Rows {
+					if s := cell(b, row, 5); s > best {
+						best = s
+					}
+				}
+			}
+			b.ReportMetric(best, "best-save-%")
+		})
+	}
+}
+
+func BenchmarkFig13aBoardLatency(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Fig13a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = cell(b, r.Rows[len(r.Rows)-1], 6)
+	}
+	b.ReportMetric(speedup, "cpu-speedup-x")
+}
+
+func BenchmarkFig13bEnergy(b *testing.B) {
+	for _, w := range []core.Workload{core.ResNet50, core.MobileNetV3} {
+		b.Run(string(w), func(b *testing.B) {
+			var maxSave float64
+			for i := 0; i < b.N; i++ {
+				r, err := core.Fig13b(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxSave = 0
+				for _, row := range r.Rows {
+					if s := cell(b, row, 5); s > maxSave {
+						maxSave = s
+					}
+				}
+			}
+			b.ReportMetric(maxSave, "max-energy-save-%")
+		})
+	}
+}
+
+func BenchmarkFig14DPUComparison(b *testing.B) {
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logSum := 0.0
+		for _, row := range r.Rows {
+			logSum += math.Log(cell(b, row, 6))
+		}
+		geo = math.Exp(logSum / float64(len(r.Rows)))
+	}
+	b.ReportMetric(geo, "geomean-speedup-x")
+}
+
+func BenchmarkFig15SchedFunctional(b *testing.B) {
+	for _, p := range []sched.Policy{sched.StrictLatency, sched.StrictAccuracy} {
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := core.Fig15(core.ResNet50, p, 150)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !strings.Contains(r.Notes[0], "(0 violations)") {
+					b.Fatalf("constraint violations: %s", r.Notes[0])
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig16EndToEnd(b *testing.B) {
+	for _, w := range []core.Workload{core.ResNet50, core.MobileNetV3} {
+		b.Run(string(w), func(b *testing.B) {
+			var save float64
+			for i := 0; i < b.N; i++ {
+				r, err := core.Fig16(w, 150)
+				if err != nil {
+					b.Fatal(err)
+				}
+				noPB := cell(b, r.Rows[0], 1)
+				full := cell(b, r.Rows[2], 1)
+				save = 100 * (1 - full/noPB)
+			}
+			b.ReportMetric(save, "latency-save-%")
+		})
+	}
+}
+
+func BenchmarkFig17CacheWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := core.Fig17(core.MobileNetV3, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 6 {
+			b.Fatal("bad Q sweep")
+		}
+	}
+}
+
+func BenchmarkTable1BufferBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Resources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3BufferSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4ReuseMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5TableSize(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Table5(core.ResNet50, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = cell(b, r.Rows[len(r.Rows)-1], 3)
+	}
+	b.ReportMetric(imp, "improvement-%-at-500-cols")
+}
+
+func BenchmarkTable6Lookup(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Table6(core.ResNet50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		us = cell(b, r.Rows[len(r.Rows)-1], 1)
+	}
+	b.ReportMetric(us, "nearest-us-at-max-cols")
+}
+
+func BenchmarkHitRatio(b *testing.B) {
+	var mob float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.HitRatioA4(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mob = cell(b, r.Rows[1], 1)
+	}
+	b.ReportMetric(mob, "mobv3-hit-ratio")
+}
+
+func BenchmarkAblationAveragePredictor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AblationAvg(core.MobileNetV3, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Hot-path microbenchmarks ----
+
+func benchFixture(b *testing.B) (*supernet.SuperNet, []*supernet.SubNet, *latencytable.Table) {
+	b.Helper()
+	s := supernet.NewOFAResNet50()
+	fr, err := s.Frontier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands, err := latencytable.Candidates(s, fr, latencytable.CandidateOptions{
+		Budget: accel.ZCU104().PBBytes, Count: 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := latencytable.Build(accel.ZCU104(), fr, cands)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, fr, tab
+}
+
+func BenchmarkSimulatorRun(b *testing.B) {
+	_, fr, _ := benchFixture(b)
+	sim, err := accel.NewSimulator(accel.ZCU104())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sn := fr[len(fr)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerDecision(b *testing.B) {
+	_, _, tab := benchFixture(b)
+	s, err := sched.New(tab, sched.Options{Policy: sched.StrictLatency, Q: 4, StateAware: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lt := tab.Lookup(3, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(sched.Query{ID: i, MaxLatency: lt}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubGraphIntersect(b *testing.B) {
+	_, fr, _ := benchFixture(b)
+	a, g := fr[0].Graph, fr[len(fr)-1].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Intersect(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubGraphIntersectBytes(b *testing.B) {
+	_, fr, _ := benchFixture(b)
+	a, g := fr[0].Graph, fr[len(fr)-1].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.IntersectBytes(g)
+	}
+}
+
+func BenchmarkLatencyTableLookup(b *testing.B) {
+	_, _, tab := benchFixture(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += tab.Lookup(i%tab.Rows(), i%tab.Cols())
+	}
+	_ = sink
+}
+
+func BenchmarkNearestGraph(b *testing.B) {
+	_, fr, tab := benchFixture(b)
+	v := fr[2].Vector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.NearestGraph(v)
+	}
+}
+
+func BenchmarkSubNetInstantiate(b *testing.B) {
+	s := supernet.NewOFAResNet50()
+	spec := s.UniformSpec(3, 1, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Instantiate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVectorEncoding(b *testing.B) {
+	_, fr, _ := benchFixture(b)
+	g := fr[3].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Vector()
+	}
+}
+
+func BenchmarkFig9Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := core.Fig9(core.ResNet50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) < 2 {
+			b.Fatal("degenerate timeline")
+		}
+	}
+}
+
+func BenchmarkOverloadServing(b *testing.B) {
+	var sloGap float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Overload(core.MobileNetV3, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Gap at 3x overload: load-aware SLO minus static SLO.
+		sloGap = cell(b, r.Rows[5], 2) - cell(b, r.Rows[4], 2)
+	}
+	b.ReportMetric(sloGap, "slo-gap-at-3x-%")
+}

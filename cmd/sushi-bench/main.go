@@ -1,0 +1,80 @@
+// Command sushi-bench regenerates the tables and figures of the paper's
+// evaluation (§5 and the appendix) on the simulated SushiAccel.
+//
+// Usage:
+//
+//	sushi-bench [-w workload] [experiment ...]
+//	sushi-bench all
+//	sushi-bench list
+//
+// Experiments: fig2 fig3 fig10 fig11 fig12 fig13a fig13b fig14 fig15
+// fig15acc fig16 fig17 table1 table2 table3 table4 table5 table6 hitratio.
+// The -w flag (resnet50|mobilenetv3) applies to workload-parameterized
+// experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sushi"
+)
+
+func main() {
+	w := flag.String("w", "resnet50", "workload: resnet50 or mobilenetv3")
+	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sushi-bench [-w workload] [-csv dir] [experiment ...|all|list]\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", sushi.Experiments())
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, id := range sushi.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = sushi.Experiments()
+	}
+	exit := 0
+	for _, id := range ids {
+		full := id
+		switch id {
+		case "fig2", "fig9", "fig10", "fig11", "fig12", "fig13b", "fig15", "fig15acc",
+			"fig16", "fig17", "table5", "table6", "ablation-avg", "overload":
+			full = id + ":" + *w
+		}
+		out, err := sushi.Experiment(full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		fmt.Print(out)
+		if *csvDir != "" {
+			csvOut, err := sushi.ExperimentCSV(full)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sushi-bench: %s csv: %v\n", id, err)
+				exit = 1
+				continue
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(csvOut), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "sushi-bench: %s: %v\n", id, err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

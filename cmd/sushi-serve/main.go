@@ -1,0 +1,157 @@
+// Command sushi-serve runs a trace-driven serving simulation: it
+// generates (or accepts) an annotated query stream, serves it through a
+// SUSHI deployment, and prints per-query outcomes plus the aggregate
+// summary.
+//
+// Usage:
+//
+//	sushi-serve [-w workload] [-mode full|unaware|nopb] [-policy acc|lat]
+//	            [-n queries] [-q period] [-trace kind] [-seed n] [-v]
+//
+// Trace kinds: uniform (default), phased, bursty, drifting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sushi"
+	"sushi/internal/trace"
+)
+
+func main() {
+	var (
+		wl        = flag.String("w", "resnet50", "workload: resnet50 or mobilenetv3")
+		mode      = flag.String("mode", "full", "system variant: full, unaware, nopb")
+		policy    = flag.String("policy", "acc", "policy: acc (strict accuracy), lat (strict latency), energy (min energy under both)")
+		n         = flag.Int("n", 100, "number of queries")
+		q         = flag.Int("q", 4, "cache-update period Q")
+		traceKind = flag.String("trace", "uniform", "trace kind: uniform, phased, bursty, drifting")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		verb      = flag.Bool("v", false, "print every served query")
+		out       = flag.String("o", "", "write the session as a JSON-lines trace to this file")
+	)
+	flag.Parse()
+
+	opt := sushi.Options{Workload: sushi.Workload(*wl), Q: *q}
+	switch *mode {
+	case "full":
+		opt.Mode = sushi.Full
+	case "unaware":
+		opt.Mode = sushi.StateUnaware
+		opt.Candidates = 16
+	case "nopb":
+		opt.Mode = sushi.NoPB
+	default:
+		fatal("unknown mode %q", *mode)
+	}
+	switch *policy {
+	case "acc":
+		opt.Policy = sushi.StrictAccuracy
+	case "lat":
+		opt.Policy = sushi.StrictLatency
+	case "energy":
+		opt.Policy = sushi.MinEnergy
+	default:
+		fatal("unknown policy %q", *policy)
+	}
+
+	sys, err := sushi.New(opt)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fr := sys.Frontier()
+	accLo, accHi := fr[0].Accuracy, fr[len(fr)-1].Accuracy
+	// Latency bounds follow the workload's frontier scale: sample one
+	// query per extreme to learn the range.
+	probeLo, err := sys.Serve(sushi.Query{MinAccuracy: 0, MaxLatency: 1})
+	if err != nil {
+		fatal("%v", err)
+	}
+	probeHi, err := sys.Serve(sushi.Query{MinAccuracy: accHi, MaxLatency: 1})
+	if err != nil {
+		fatal("%v", err)
+	}
+	latRange := sushi.Range{Lo: probeLo.Latency * 0.9, Hi: probeHi.Latency * 1.1}
+	accRange := sushi.Range{Lo: accLo - 0.2, Hi: accHi}
+
+	var qs []sushi.Query
+	switch *traceKind {
+	case "uniform":
+		qs, err = sushi.UniformWorkload(*n, accRange, latRange, *seed)
+	case "phased":
+		qs, err = sushi.PhasedWorkload(*n, []sushi.Phase{
+			{Name: "relaxed", Queries: 25, Acc: sushi.Range{Lo: accLo, Hi: accLo + 1}, Lat: latRange},
+			{Name: "critical", Queries: 25, Acc: sushi.Range{Lo: accHi - 1, Hi: accHi}, Lat: latRange},
+		}, *seed)
+	case "bursty":
+		qs, err = sushi.BurstyWorkload(*n, accRange, latRange, 0.1, 0.4, 6, *seed)
+	case "drifting":
+		qs, err = sushi.DriftingWorkload(*n,
+			sushi.Range{Lo: accHi - 1, Hi: accHi}, sushi.Range{Lo: accLo, Hi: accLo + 1},
+			sushi.Range{Lo: latRange.Lo, Hi: latRange.Lo * 1.5},
+			sushi.Range{Lo: latRange.Hi * 0.8, Hi: latRange.Hi},
+			*seed)
+	default:
+		fatal("unknown trace %q", *traceKind)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("serving %d %s queries on %s (%s, %s policy)\n",
+		len(qs), *traceKind, *wl, *mode, *policy)
+	rs, err := sys.ServeAll(qs)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *verb {
+		for _, r := range rs {
+			swap := ""
+			if r.CacheSwapped {
+				swap = " [cache swap]"
+			}
+			fmt.Printf("q%-4d A>=%.2f%% L<=%.2fms -> %s %.2f%% %.3fms hit=%.2f%s\n",
+				r.Query.ID, r.Query.MinAccuracy, r.Query.MaxLatency*1e3,
+				r.SubNet, r.Accuracy, r.Latency*1e3, r.HitRatio, swap)
+		}
+	}
+	sum := sushi.Summarize(rs)
+	fmt.Println(sum)
+	st := sys.Cache()
+	if st.Name != "" {
+		fmt.Printf("final cache: %s (%.2f MB), %d swaps moving %.2f MB\n",
+			st.Name, float64(st.Bytes)/(1<<20), st.Swaps, float64(st.SwapBytes)/(1<<20))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		tw := trace.NewWriter(f)
+		if err := tw.WriteHeader(trace.Header{
+			Workload: *wl, Mode: *mode, Policy: *policy, Q: *q,
+			Accel: "ZCU104", Seed: *seed,
+		}); err != nil {
+			fatal("%v", err)
+		}
+		for _, r := range rs {
+			if err := tw.Write(r); err != nil {
+				fatal("%v", err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("trace written to %s (%d records)\n", *out, len(rs))
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sushi-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

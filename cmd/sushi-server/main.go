@@ -1,0 +1,50 @@
+// Command sushi-server runs a SUSHI deployment behind an HTTP API:
+//
+//	POST /v1/serve    {"min_accuracy": 78, "max_latency_ms": 5}
+//	GET  /v1/frontier  servable SubNets
+//	GET  /v1/cache     Persistent Buffer state
+//	GET  /v1/stats     running aggregates
+//	GET  /healthz
+//
+// Usage:
+//
+//	sushi-server [-addr :8080] [-w workload] [-policy acc|lat] [-q period]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"sushi/internal/core"
+	"sushi/internal/sched"
+	"sushi/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		wl     = flag.String("w", "resnet50", "workload: resnet50 or mobilenetv3")
+		policy = flag.String("policy", "acc", "hard constraint: acc or lat")
+		q      = flag.Int("q", 4, "cache-update period Q")
+	)
+	flag.Parse()
+
+	opt := core.DeployOptions{Workload: core.Workload(*wl), Q: *q}
+	switch *policy {
+	case "acc":
+		opt.Policy = sched.StrictAccuracy
+	case "lat":
+		opt.Policy = sched.StrictLatency
+	default:
+		log.Fatalf("sushi-server: unknown policy %q", *policy)
+	}
+	dep, err := core.Deploy(opt)
+	if err != nil {
+		log.Fatalf("sushi-server: %v", err)
+	}
+	fmt.Printf("sushi-server: %s (%s policy) on %s, %d servable SubNets\n",
+		*wl, *policy, *addr, len(dep.Frontier))
+	log.Fatal(http.ListenAndServe(*addr, server.New(dep)))
+}

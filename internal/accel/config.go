@@ -1,0 +1,176 @@
+// Package accel simulates SushiAccel, the paper's SGS-aware FPGA
+// accelerator: a KP x CP array of 9-wide dot-product engines fed by a
+// split on-chip buffer hierarchy (Persistent Buffer, ping-pong Dynamic
+// Buffers, Streaming Buffer, Line Buffer, Output Buffer, ZP/Scale Buffer).
+//
+// The paper itself relies on an "Architecture Analytic Model" (§5.1) for
+// design space exploration and roofline analysis; this package
+// re-implements that model from the architectural description and extends
+// it with a functional int8 execution mode for validation. Real-board
+// constants (bandwidth, frequency, ops/cycle, buffer splits) are taken
+// from Tables 2-3 and §5.
+package accel
+
+import (
+	"fmt"
+)
+
+// Config parameterizes one SushiAccel instance. The zero value is not
+// usable; start from a preset or fill every field.
+type Config struct {
+	// Name labels the configuration in reports, e.g. "ZCU104 w/ PB".
+	Name string
+	// KP is the kernel-level parallelism (rows of the DPE array).
+	KP int
+	// CP is the channel-level parallelism (columns of the DPE array).
+	CP int
+	// DPEWidth is the dot-product width of one DPE (9 in the paper:
+	// one 3x3 kernel slice, or 9 input channels for 1x1 kernels).
+	DPEWidth int
+	// FreqMHz is the fabric clock.
+	FreqMHz float64
+	// OffChipBW is the DRAM bandwidth in bytes/second.
+	OffChipBW float64
+	// PBBytes is the Persistent Buffer capacity (0 disables SGS caching:
+	// the "w/o PB" baseline).
+	PBBytes int64
+	// DBBytes is the total Dynamic Buffer capacity; it is split into two
+	// ping-pong halves for distinct-weight fetch hiding.
+	DBBytes int64
+	// SBBytes, LBBytes, OBBytes, ZSBBytes size the Streaming, Line,
+	// Output and ZP/Scale buffers.
+	SBBytes, LBBytes, OBBytes, ZSBBytes int64
+	// OffChipPJPerByte and OnChipPJPerByte calibrate the energy model.
+	OffChipPJPerByte float64
+	OnChipPJPerByte  float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.KP <= 0 || c.CP <= 0:
+		return fmt.Errorf("accel %s: non-positive DPE array %dx%d", c.Name, c.KP, c.CP)
+	case c.DPEWidth <= 0:
+		return fmt.Errorf("accel %s: non-positive DPE width %d", c.Name, c.DPEWidth)
+	case c.FreqMHz <= 0:
+		return fmt.Errorf("accel %s: non-positive frequency %g", c.Name, c.FreqMHz)
+	case c.OffChipBW <= 0:
+		return fmt.Errorf("accel %s: non-positive off-chip bandwidth %g", c.Name, c.OffChipBW)
+	case c.PBBytes < 0 || c.DBBytes <= 0:
+		return fmt.Errorf("accel %s: bad buffer sizes PB=%d DB=%d", c.Name, c.PBBytes, c.DBBytes)
+	}
+	return nil
+}
+
+// Freq returns the clock in cycles/second.
+func (c Config) Freq() float64 { return c.FreqMHz * 1e6 }
+
+// PeakMACsPerCycle returns the array's peak multiply-accumulates/cycle.
+func (c Config) PeakMACsPerCycle() int { return c.KP * c.CP * c.DPEWidth }
+
+// PeakOpsPerCycle returns peak ops/cycle (2 ops per MAC), Table 2's row.
+func (c Config) PeakOpsPerCycle() int { return 2 * c.PeakMACsPerCycle() }
+
+// PeakFLOPS returns peak floating(/fixed)-point ops per second.
+func (c Config) PeakFLOPS() float64 { return float64(c.PeakOpsPerCycle()) * c.Freq() }
+
+// OnChipWeightBW returns the weight-supply bandwidth from on-chip buffers
+// into the DPE array in bytes/second: KP rows x DPEWidth int8 lanes/cycle.
+func (c Config) OnChipWeightBW() float64 {
+	return float64(c.KP*c.DPEWidth) * c.Freq()
+}
+
+// DBHalfBytes returns one ping-pong half of the Dynamic Buffer, the
+// distinct-weight tile granularity.
+func (c Config) DBHalfBytes() int64 { return c.DBBytes / 2 }
+
+// HasPB reports whether the configuration includes a Persistent Buffer.
+func (c Config) HasPB() bool { return c.PBBytes > 0 }
+
+// WithoutPB returns a copy of c with the Persistent Buffer capacity
+// reassigned to the Dynamic and Streaming buffers (the paper's "w/o PB"
+// baseline uses the same total on-chip storage; Table 3 shows the PB's
+// 1728 KB URAM going back to DB ping/pong and SB).
+func (c Config) WithoutPB() Config {
+	if c.PBBytes == 0 {
+		return c
+	}
+	pb := c.PBBytes
+	c.PBBytes = 0
+	c.DBBytes += pb * 2 / 3
+	c.SBBytes += pb - pb*2/3
+	c.Name += " w/o PB"
+	return c
+}
+
+// ZCU104 returns the embedded-board configuration (Tables 2-3): a 16x9
+// DPE array (2592 peak ops/cycle) at 100 MHz with 19.2 GB/s DDR4 and the
+// w/ PB buffer split (PB 1728 KB, DB 2x576 KB, SB 584 KB, LB 54 KB,
+// OB 327 KB, ZSB 8 KB).
+func ZCU104() Config {
+	return Config{
+		Name:             "ZCU104",
+		KP:               16,
+		CP:               9,
+		DPEWidth:         9,
+		FreqMHz:          100,
+		OffChipBW:        19.2e9,
+		PBBytes:          1728 << 10,
+		DBBytes:          2 * (576 << 10),
+		SBBytes:          (576 + 8) << 10,
+		LBBytes:          54 << 10,
+		OBBytes:          327 << 10,
+		ZSBBytes:         8 << 10,
+		OffChipPJPerByte: 25.0,
+		OnChipPJPerByte:  1.2,
+	}
+}
+
+// AlveoU50 returns the datacenter-card configuration (§5.4): a 16x32 DPE
+// array (9216 peak ops/cycle, 0.9216 TFLOPS at 100 MHz) and a 1.69 MB
+// Persistent Buffer. The card is provisioned with 14.4 GB/s of HBM
+// bandwidth, but §5.4.2 observes that off-chip access dominates on this
+// board because of DRAM competition in the hosting datacenter cluster —
+// which is why the scale-up design loses to the embedded ZCU104 on small
+// SubNets. The configuration therefore carries the derated effective
+// bandwidth under contention (~1/3 of provisioned).
+func AlveoU50() Config {
+	return Config{
+		Name:             "AlveoU50",
+		KP:               16,
+		CP:               32,
+		DPEWidth:         9,
+		FreqMHz:          100,
+		OffChipBW:        4.8e9,
+		PBBytes:          1731 << 10, // 1.69 MB
+		DBBytes:          2 * (576 << 10),
+		SBBytes:          (576 + 8) << 10,
+		LBBytes:          54 << 10,
+		OBBytes:          327 << 10,
+		ZSBBytes:         8 << 10,
+		OffChipPJPerByte: 25.0,
+		OnChipPJPerByte:  1.2,
+	}
+}
+
+// RooflineStudy returns the analytic-model configuration used for the
+// roofline and latency-breakdown studies (§5.2): 19.2 GB/s off-chip
+// bandwidth and 1.296 TFLOPS at 100 MHz (a 24x30 array of 9-wide DPEs).
+func RooflineStudy() Config {
+	return Config{
+		Name:             "RooflineStudy",
+		KP:               24,
+		CP:               30,
+		DPEWidth:         9,
+		FreqMHz:          100,
+		OffChipBW:        19.2e9,
+		PBBytes:          1728 << 10,
+		DBBytes:          2 * (576 << 10),
+		SBBytes:          (576 + 8) << 10,
+		LBBytes:          54 << 10,
+		OBBytes:          327 << 10,
+		ZSBBytes:         8 << 10,
+		OffChipPJPerByte: 25.0,
+		OnChipPJPerByte:  1.2,
+	}
+}

@@ -1,0 +1,163 @@
+package accel
+
+import (
+	"fmt"
+
+	"sushi/internal/supernet"
+)
+
+// Report aggregates one SubNet inference on the simulator: the Fig. 10
+// critical-path breakdown, traffic and energy accounting.
+type Report struct {
+	// SubNet and Accel identify the run.
+	SubNet, Accel string
+	// Layers holds the per-layer decomposition.
+	Layers []LayerLatency
+	// Compute, IActOffChip, WeightsOffChip, WeightsOnChip, OActOffChip
+	// are the summed critical-path components (they add up to Total).
+	Compute, IActOffChip, WeightsOffChip, WeightsOnChip, OActOffChip float64
+	// WeightBytes is the SubNet's total weight footprint; HitBytes the
+	// portion served by the Persistent Buffer; DistinctBytes the portion
+	// fetched from DRAM.
+	WeightBytes, HitBytes, DistinctBytes int64
+	// OffChipBytes and OnChipBytes are total traffic per class.
+	OffChipBytes, OnChipBytes int64
+	// OffChipEnergyJ and OnChipEnergyJ follow the paper's
+	// accesses x energy-per-access model (§5.4.3).
+	OffChipEnergyJ, OnChipEnergyJ float64
+}
+
+// Total returns the end-to-end serving latency in seconds.
+func (r *Report) Total() float64 {
+	return r.Compute + r.IActOffChip + r.WeightsOffChip + r.WeightsOnChip + r.OActOffChip
+}
+
+// TotalEnergyJ returns combined data-movement energy.
+func (r *Report) TotalEnergyJ() float64 { return r.OffChipEnergyJ + r.OnChipEnergyJ }
+
+// Simulator is a SushiAccel instance: a hardware configuration plus the
+// mutable Persistent Buffer state (the cached SubGraph). It is not safe
+// for concurrent use; SUSHI serves queries sequentially per accelerator.
+type Simulator struct {
+	cfg    Config
+	cached *supernet.SubGraph // nil when PB absent or empty
+	// swaps counts cache-state updates; swapBytes the DRAM traffic they
+	// caused (cache fills come from off-chip).
+	swaps     int
+	swapBytes int64
+}
+
+// NewSimulator validates cfg and returns a simulator with an empty PB.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// Config returns the hardware configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Cached returns the currently cached SubGraph (nil if none).
+func (s *Simulator) Cached() *supernet.SubGraph { return s.cached }
+
+// Swaps returns how many cache updates were enacted and the total DRAM
+// bytes they moved.
+func (s *Simulator) Swaps() (int, int64) { return s.swaps, s.swapBytes }
+
+// SetCached enacts a SubGraph-caching control decision. It fails if the
+// configuration has no Persistent Buffer or the SubGraph exceeds its
+// capacity. Passing nil clears the cache.
+func (s *Simulator) SetCached(g *supernet.SubGraph) error {
+	if g == nil {
+		s.cached = nil
+		return nil
+	}
+	if !s.cfg.HasPB() {
+		return fmt.Errorf("accel %s: no Persistent Buffer configured", s.cfg.Name)
+	}
+	if b := g.Bytes(); b > s.cfg.PBBytes {
+		return fmt.Errorf("accel %s: SubGraph %q (%d B) exceeds PB capacity (%d B)",
+			s.cfg.Name, g.Name(), b, s.cfg.PBBytes)
+	}
+	// Fetching the newly cached cells not already resident costs DRAM
+	// traffic; this is why SushiSched updates the cache only every Q
+	// queries (Appendix A.1).
+	var fill int64
+	if s.cached != nil {
+		fill = g.Bytes() - g.IntersectBytes(s.cached)
+	} else {
+		fill = g.Bytes()
+	}
+	s.cached = g.Clone()
+	s.swaps++
+	s.swapBytes += fill
+	return nil
+}
+
+// Run simulates serving one query with SubNet sn given the current cache
+// state and returns the full report. The cache state is not modified.
+func (s *Simulator) Run(sn *supernet.SubNet) (*Report, error) {
+	if sn == nil || sn.Model == nil {
+		return nil, fmt.Errorf("accel %s: nil SubNet", s.cfg.Name)
+	}
+	rep := &Report{SubNet: sn.Name, Accel: s.cfg.Name}
+	for i := range sn.Model.Layers {
+		l := &sn.Model.Layers[i]
+		var hit int64
+		if s.cached != nil && l.BlockID >= 0 {
+			hit = sn.Graph.LayerHitBytes(l.BlockID, s.cached)
+		}
+		ll := layerLatency(&s.cfg, l, hit)
+		rep.Layers = append(rep.Layers, ll)
+		rep.Compute += ll.Compute
+		rep.IActOffChip += ll.IActOffChip
+		rep.WeightsOffChip += ll.WeightsOffChip
+		rep.WeightsOnChip += ll.WeightsOnChip
+		rep.OActOffChip += ll.OActOffChip
+		rep.WeightBytes += l.WeightBytes()
+		rep.HitBytes += ll.HitBytes
+		rep.DistinctBytes += ll.DistinctBytes
+		rep.OffChipBytes += ll.DistinctBytes + ll.IActBytes + ll.OActBytes
+		// Every operand consumed by the array moves through on-chip
+		// buffers once (weights via PB/DB, iActs via SB/LB, oActs via OB).
+		rep.OnChipBytes += l.WeightBytes() + ll.IActBytes + ll.OActBytes
+	}
+	rep.OffChipEnergyJ = float64(rep.OffChipBytes) * s.cfg.OffChipPJPerByte * 1e-12
+	rep.OnChipEnergyJ = float64(rep.OnChipBytes) * s.cfg.OnChipPJPerByte * 1e-12
+	return rep, nil
+}
+
+// RunLayers simulates only the layers selected by keep (e.g. the 3x3
+// convolutions used in the paper's board evaluation, §5.4-5.5).
+func (s *Simulator) RunLayers(sn *supernet.SubNet, keep func(i int) bool) (*Report, error) {
+	if sn == nil || sn.Model == nil {
+		return nil, fmt.Errorf("accel %s: nil SubNet", s.cfg.Name)
+	}
+	rep := &Report{SubNet: sn.Name, Accel: s.cfg.Name}
+	for i := range sn.Model.Layers {
+		if !keep(i) {
+			continue
+		}
+		l := &sn.Model.Layers[i]
+		var hit int64
+		if s.cached != nil && l.BlockID >= 0 {
+			hit = sn.Graph.LayerHitBytes(l.BlockID, s.cached)
+		}
+		ll := layerLatency(&s.cfg, l, hit)
+		rep.Layers = append(rep.Layers, ll)
+		rep.Compute += ll.Compute
+		rep.IActOffChip += ll.IActOffChip
+		rep.WeightsOffChip += ll.WeightsOffChip
+		rep.WeightsOnChip += ll.WeightsOnChip
+		rep.OActOffChip += ll.OActOffChip
+		rep.WeightBytes += l.WeightBytes()
+		rep.HitBytes += ll.HitBytes
+		rep.DistinctBytes += ll.DistinctBytes
+		rep.OffChipBytes += ll.DistinctBytes + ll.IActBytes + ll.OActBytes
+		rep.OnChipBytes += l.WeightBytes() + ll.IActBytes + ll.OActBytes
+	}
+	rep.OffChipEnergyJ = float64(rep.OffChipBytes) * s.cfg.OffChipPJPerByte * 1e-12
+	rep.OnChipEnergyJ = float64(rep.OnChipBytes) * s.cfg.OnChipPJPerByte * 1e-12
+	return rep, nil
+}

@@ -1,0 +1,110 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"sushi/internal/nn"
+)
+
+func bigConvLayer() *nn.Layer {
+	// ~2.36 MB of weights: several DB-half tiles on the ZCU104.
+	return &nn.Layer{Kind: nn.Conv, C: 512, K: 512, R: 3, S: 3,
+		InH: 14, InW: 14, OutH: 14, OutW: 14, Stride: 1, Pad: 1}
+}
+
+func TestTimelineStructure(t *testing.T) {
+	c := ZCU104()
+	l := bigConvLayer()
+	ev := Timeline(&c, l, 0)
+	wantTiles := int((l.WeightBytes() + c.DBHalfBytes() - 1) / c.DBHalfBytes())
+	if len(ev) != wantTiles {
+		t.Fatalf("%d tiles, want %d", len(ev), wantTiles)
+	}
+	for i, e := range ev {
+		if e.FetchEnd < e.FetchStart || e.ComputeEnd <= e.ComputeStart {
+			t.Fatalf("tile %d has inverted interval: %+v", i, e)
+		}
+		if e.ComputeStart < e.FetchEnd {
+			t.Fatalf("tile %d computes before its weights arrive", i)
+		}
+		if i > 0 {
+			if e.FetchStart < ev[i-1].FetchEnd-1e-15 {
+				t.Fatalf("tile %d fetch overlaps tile %d fetch (single DRAM channel)", i, i-1)
+			}
+			if e.ComputeStart < ev[i-1].ComputeEnd-1e-15 {
+				t.Fatalf("tile %d compute overlaps tile %d compute (single array)", i, i-1)
+			}
+		}
+	}
+	// Fig. 9b's point: on a compute-bound layer every fetch after the
+	// first is hidden behind compute.
+	hidden := 0
+	for _, e := range ev[1:] {
+		if e.Hidden {
+			hidden++
+		}
+	}
+	if hidden != len(ev)-1 {
+		t.Errorf("only %d/%d later fetches hidden on a compute-bound layer", hidden, len(ev)-1)
+	}
+}
+
+func TestTimelinePBResidencyShortensMakespan(t *testing.T) {
+	c := ZCU104()
+	l := bigConvLayer()
+	cold := Makespan(Timeline(&c, l, 0))
+	warm := Makespan(Timeline(&c, l, l.WeightBytes()))
+	if warm >= cold {
+		t.Fatalf("full residency makespan %g !< cold %g", warm, cold)
+	}
+	// Fully resident: makespan is pure compute.
+	tCompute := float64(computeCycles(&c, l)) / c.Freq()
+	if math.Abs(warm-tCompute)/tCompute > 1e-9 {
+		t.Errorf("resident makespan %g != compute %g", warm, tCompute)
+	}
+	// The saving equals the unhidden fill (first tile fetch) for a
+	// compute-bound layer.
+	fill := float64(c.DBHalfBytes()) / c.OffChipBW
+	if math.Abs((cold-warm)-fill)/fill > 1e-9 {
+		t.Errorf("residency saved %g, want the fill %g", cold-warm, fill)
+	}
+}
+
+func TestTimelineAgreesWithLatencyModel(t *testing.T) {
+	// The explicit tile schedule and the aggregate layerLatency model
+	// must agree on the critical path of a weight-dominated layer:
+	// makespan == compute + visible weight time (no activations in the
+	// timeline's scope).
+	c := ZCU104()
+	fc := &nn.Layer{Kind: nn.Linear, C: 2048, K: 1000, R: 1, S: 1,
+		InH: 1, InW: 1, OutH: 1, OutW: 1, Stride: 1}
+	for _, hit := range []int64{0, fc.WeightBytes() / 2, fc.WeightBytes()} {
+		ev := Timeline(&c, fc, hit)
+		span := Makespan(ev)
+		ll := layerLatency(&c, fc, hit)
+		// layerLatency attributes activation traffic too; strip it by
+		// comparing against compute + weight components only. The
+		// aggregate model hides bulk fetch behind the layer's *total*
+		// compute, while the tile-exact schedule can only hide a fetch
+		// behind the single preceding tile's compute — so the timeline
+		// is slightly conservative when a layer has few tiles. Agreement
+		// within ~1/nTiles is the expected granularity error.
+		approx := ll.Compute + ll.WeightsOffChip
+		tol := 0.05 + 1.5/float64(len(ev))
+		if rel := math.Abs(span-approx) / approx; rel > tol {
+			t.Errorf("hit=%d: timeline %.6g vs model %.6g (rel %.2f > tol %.2f)", hit, span, approx, rel, tol)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	c := ZCU104()
+	pool := &nn.Layer{Kind: nn.Pool, C: 8, K: 8, R: 2, S: 2, InH: 4, InW: 4, OutH: 2, OutW: 2, Stride: 2}
+	if ev := Timeline(&c, pool, 0); ev != nil {
+		t.Errorf("weightless layer produced %d tiles", len(ev))
+	}
+	if Makespan(nil) != 0 {
+		t.Error("empty makespan not 0")
+	}
+}

@@ -1,0 +1,118 @@
+// Package core orchestrates complete SUSHI deployments and hosts the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation. It is the layer shared by the public sushi package,
+// the cmd/ tools and the repository benchmarks.
+package core
+
+import (
+	"fmt"
+
+	"sushi/internal/accel"
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+	"sushi/internal/supernet"
+)
+
+// Workload identifies a SuperNet family.
+type Workload string
+
+const (
+	// ResNet50 is the weight-shared OFA-ResNet50 family.
+	ResNet50 Workload = "resnet50"
+	// MobileNetV3 is the weight-shared OFA-MobileNetV3 family.
+	MobileNetV3 Workload = "mobilenetv3"
+)
+
+// BuildSuperNet constructs the named SuperNet.
+func BuildSuperNet(w Workload) (*supernet.SuperNet, error) {
+	switch w {
+	case ResNet50:
+		return supernet.NewOFAResNet50(), nil
+	case MobileNetV3:
+		return supernet.NewOFAMobileNetV3(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown workload %q", w)
+	}
+}
+
+// Deployment bundles a SuperNet, its serving frontier and a running
+// SUSHI system — everything a caller needs to serve queries.
+type Deployment struct {
+	// Super is the weight-shared network.
+	Super *supernet.SuperNet
+	// Frontier is the serving set X (SubNets "A".."G").
+	Frontier []*supernet.SubNet
+	// System is the vertically integrated serving stack.
+	System *serving.System
+}
+
+// DeployOptions selects the deployment's hardware and policy.
+type DeployOptions struct {
+	// Workload picks the SuperNet family (default ResNet50).
+	Workload Workload
+	// Accel is the accelerator configuration (default ZCU104).
+	Accel *accel.Config
+	// Policy is the scheduling policy (default StrictLatency).
+	Policy sched.Policy
+	// Q is the cache-update period (default 4).
+	Q int
+	// Mode is the system variant (default Full).
+	Mode serving.Mode
+	// Candidates is |S| (default 16).
+	Candidates int
+	// Seed drives candidate generation (default 1).
+	Seed int64
+	// ChargeSwapLatency accounts cache-fill time on the query path.
+	ChargeSwapLatency bool
+}
+
+// Deploy builds a ready-to-serve SUSHI deployment.
+func Deploy(opt DeployOptions) (*Deployment, error) {
+	if opt.Workload == "" {
+		opt.Workload = ResNet50
+	}
+	cfg := accel.ZCU104()
+	if opt.Accel != nil {
+		cfg = *opt.Accel
+	}
+	if opt.Candidates <= 0 {
+		opt.Candidates = 16
+	}
+	if opt.Q <= 0 {
+		opt.Q = 4
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	super, err := BuildSuperNet(opt.Workload)
+	if err != nil {
+		return nil, err
+	}
+	frontier, err := super.Frontier()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := serving.New(super, frontier, serving.Options{
+		Accel:             cfg,
+		Policy:            opt.Policy,
+		Q:                 opt.Q,
+		Mode:              opt.Mode,
+		Candidates:        opt.Candidates,
+		Seed:              opt.Seed,
+		ChargeSwapLatency: opt.ChargeSwapLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Super: super, Frontier: frontier, System: sys}, nil
+}
+
+// Serve forwards one query to the system.
+func (d *Deployment) Serve(q sched.Query) (serving.Served, error) {
+	return d.System.Serve(q)
+}
+
+// ServeAll forwards a stream.
+func (d *Deployment) ServeAll(qs []sched.Query) ([]serving.Served, error) {
+	return d.System.ServeAll(qs)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+)
+
+func TestBuildSuperNet(t *testing.T) {
+	for _, w := range []Workload{ResNet50, MobileNetV3} {
+		s, err := BuildSuperNet(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumLayers() == 0 {
+			t.Errorf("%s: empty supernet", w)
+		}
+	}
+	if _, err := BuildSuperNet("vgg"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestDeployDefaultsAndServe(t *testing.T) {
+	d, err := Deploy(DeployOptions{Workload: MobileNetV3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Frontier) != 7 {
+		t.Fatalf("frontier size %d", len(d.Frontier))
+	}
+	r, err := d.Serve(sched.Query{ID: 0, MinAccuracy: 77, MaxLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SubNet == "" || r.Latency <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+	rs, err := d.ServeAll([]sched.Query{
+		{ID: 1, MinAccuracy: 76, MaxLatency: 1},
+		{ID: 2, MinAccuracy: 79, MaxLatency: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("served %d", len(rs))
+	}
+	// Higher constraint must not serve lower accuracy.
+	if rs[1].Accuracy < rs[0].Accuracy {
+		t.Error("accuracy ordering violated")
+	}
+}
+
+func TestDeployModes(t *testing.T) {
+	for _, m := range []serving.Mode{serving.Full, serving.StateUnaware, serving.NoPB} {
+		d, err := Deploy(DeployOptions{Workload: MobileNetV3, Mode: m})
+		if err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+		if d.System.Mode() != m {
+			t.Errorf("mode %v mismatch", m)
+		}
+	}
+	if _, err := Deploy(DeployOptions{Workload: "bogus"}); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{
+		Name:   "t",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	s := r.String()
+	for _, want := range []string{"demo", "long-header", "333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestResultCSV(t *testing.T) {
+	r := &Result{
+		Name:   "t",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}, {"2", "z"}},
+		Notes:  []string{"note text"},
+	}
+	var buf strings.Builder
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"a,b\n", `"x,y"`, "# note text\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package dse implements the design space exploration of §5.3 and Fig. 12:
+// sweeping the Persistent Buffer size, off-chip bandwidth and compute
+// throughput of SushiAccel under a fixed total on-chip storage budget, and
+// searching for the configuration that maximizes the SGS latency saving.
+//
+// The PB competes with the Dynamic and Streaming buffers for the same
+// SRAM (§4.1), so every point in the sweep re-partitions the fixed budget
+// rather than growing it — the trade-off between inter-query (SubGraph)
+// reuse and intra-query (tile) reuse the paper calls out.
+package dse
+
+import (
+	"fmt"
+
+	"sushi/internal/accel"
+	"sushi/internal/latencytable"
+	"sushi/internal/supernet"
+)
+
+// Point is one configuration's outcome in the sweep.
+type Point struct {
+	// PBBytes, OffChipBW, PeakFLOPS identify the configuration.
+	PBBytes   int64
+	OffChipBW float64
+	PeakFLOPS float64
+	// BaseLatency is the frontier-average latency without a PB;
+	// CachedLatency with the PB holding the best tail candidate.
+	BaseLatency, CachedLatency float64
+	// TimeSavePct is Fig. 12's metric: 100*(1 - cached/base).
+	TimeSavePct float64
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Base is the starting configuration; its total buffer budget is
+	// preserved across PB re-partitions.
+	Base accel.Config
+	// PBSizes are the Persistent Buffer sizes to explore (bytes).
+	PBSizes []int64
+	// Bandwidths are off-chip bandwidths to explore (bytes/s).
+	Bandwidths []float64
+	// Throughputs are peak FLOPS values to explore; each is realized by
+	// scaling the DPE array's CP dimension.
+	Throughputs []float64
+}
+
+// DefaultOptions returns the sweep used for Fig. 12: PB from 0 to 4 MB,
+// bandwidth 9.6-38.4 GB/s, throughput 0.324-2.6 TFLOPS around the
+// roofline-study configuration.
+func DefaultOptions() Options {
+	return Options{
+		Base: accel.RooflineStudy(),
+		PBSizes: []int64{
+			0, 512 << 10, 1024 << 10, 1728 << 10, 2560 << 10, 4096 << 10,
+		},
+		Bandwidths:  []float64{9.6e9, 19.2e9, 38.4e9},
+		Throughputs: []float64{0.324e12, 0.648e12, 1.296e12, 2.592e12},
+	}
+}
+
+// repartition returns base with the PB resized to pb, stealing from (or
+// returning capacity to) the DB and SB to keep total storage constant.
+func repartition(base accel.Config, pb int64) (accel.Config, error) {
+	c := base
+	delta := pb - c.PBBytes
+	c.PBBytes = pb
+	// Two thirds of the delta trades against DB, one third against SB,
+	// mirroring Table 3's split.
+	dbTake := delta * 2 / 3
+	sbTake := delta - dbTake
+	c.DBBytes -= dbTake
+	c.SBBytes -= sbTake
+	if c.DBBytes < 64<<10 || c.SBBytes < 8<<10 {
+		return c, fmt.Errorf("dse: PB %d B leaves DB/SB below minimum (%d/%d)", pb, c.DBBytes, c.SBBytes)
+	}
+	return c, nil
+}
+
+// scaleThroughput adjusts CP so the configuration's peak FLOPS reaches
+// target (rounded to whole columns).
+func scaleThroughput(c accel.Config, target float64) accel.Config {
+	perColumn := float64(2*c.KP*c.DPEWidth) * c.Freq()
+	cp := int(target/perColumn + 0.5)
+	if cp < 1 {
+		cp = 1
+	}
+	c.CP = cp
+	return c
+}
+
+// frontierAvgLatency runs every frontier SubNet and averages latencies.
+// When cache is non-nil it is installed first.
+func frontierAvgLatency(cfg accel.Config, frontier []*supernet.SubNet, cache *supernet.SubGraph) (float64, error) {
+	sim, err := accel.NewSimulator(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if cache != nil && cfg.HasPB() {
+		if err := sim.SetCached(cache); err != nil {
+			return 0, err
+		}
+	}
+	var sum float64
+	for _, sn := range frontier {
+		rep, err := sim.Run(sn)
+		if err != nil {
+			return 0, err
+		}
+		sum += rep.Total()
+	}
+	return sum / float64(len(frontier)), nil
+}
+
+// Sweep evaluates the whole grid for a frontier. Infeasible points
+// (PB too large for the storage budget) are skipped silently, matching
+// how a hardware DSE discards unbuildable designs.
+func Sweep(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) ([]Point, error) {
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("dse: empty frontier")
+	}
+	if len(opt.PBSizes) == 0 || len(opt.Bandwidths) == 0 || len(opt.Throughputs) == 0 {
+		return nil, fmt.Errorf("dse: empty sweep axes")
+	}
+	tailPrio := latencytable.Priority(super, latencytable.TailFirst)
+	var out []Point
+	for _, bw := range opt.Bandwidths {
+		for _, tput := range opt.Throughputs {
+			for _, pb := range opt.PBSizes {
+				cfg, err := repartition(opt.Base, pb)
+				if err != nil {
+					continue
+				}
+				cfg.OffChipBW = bw
+				cfg = scaleThroughput(cfg, tput)
+				// Base: the same storage partition but the PB unused.
+				baseCfg := cfg
+				baseCfg.PBBytes = 0
+				if pb > 0 {
+					baseCfg.DBBytes += pb * 2 / 3
+					baseCfg.SBBytes += pb - pb*2/3
+				}
+				base, err := frontierAvgLatency(baseCfg, frontier, nil)
+				if err != nil {
+					return nil, err
+				}
+				cached := base
+				if pb > 0 {
+					// Cache the shared tail: the strongest single choice
+					// under nested prefix sharing.
+					shared, err := supernet.SharedGraph(frontier)
+					if err != nil {
+						return nil, err
+					}
+					g := shared.TruncateToBudget(pb, tailPrio)
+					cached, err = frontierAvgLatency(cfg, frontier, g)
+					if err != nil {
+						return nil, err
+					}
+				}
+				out = append(out, Point{
+					PBBytes:       pb,
+					OffChipBW:     bw,
+					PeakFLOPS:     cfg.PeakFLOPS(),
+					BaseLatency:   base,
+					CachedLatency: cached,
+					TimeSavePct:   100 * (1 - cached/base),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Best returns the point with the highest TimeSavePct.
+func Best(points []Point) (Point, error) {
+	if len(points) == 0 {
+		return Point{}, fmt.Errorf("dse: no points")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.TimeSavePct > best.TimeSavePct {
+			best = p
+		}
+	}
+	return best, nil
+}

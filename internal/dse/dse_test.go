@@ -1,0 +1,175 @@
+package dse
+
+import (
+	"testing"
+
+	"sushi/internal/accel"
+	"sushi/internal/supernet"
+)
+
+func sweepFixture(t *testing.T, kind supernet.Kind) (*supernet.SuperNet, []*supernet.SubNet) {
+	t.Helper()
+	var s *supernet.SuperNet
+	if kind == supernet.ResNet50 {
+		s = supernet.NewOFAResNet50()
+	} else {
+		s = supernet.NewOFAMobileNetV3()
+	}
+	fr, err := s.Frontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fr
+}
+
+func smallOptions() Options {
+	return Options{
+		Base:        accel.RooflineStudy(),
+		PBSizes:     []int64{0, 1024 << 10, 1728 << 10},
+		Bandwidths:  []float64{9.6e9, 19.2e9},
+		Throughputs: []float64{0.648e12, 1.296e12},
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	s, fr := sweepFixture(t, supernet.MobileNetV3)
+	if _, err := Sweep(s, nil, smallOptions()); err == nil {
+		t.Error("empty frontier accepted")
+	}
+	bad := smallOptions()
+	bad.PBSizes = nil
+	if _, err := Sweep(s, fr, bad); err == nil {
+		t.Error("empty axis accepted")
+	}
+}
+
+func TestSweepFig12Shape(t *testing.T) {
+	s, fr := sweepFixture(t, supernet.MobileNetV3)
+	pts, err := Sweep(s, fr, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3*2*2 {
+		t.Fatalf("%d points, want 12", len(pts))
+	}
+	// Zero PB must save nothing; any PB must not hurt.
+	for _, p := range pts {
+		if p.PBBytes == 0 && p.TimeSavePct != 0 {
+			t.Errorf("PB=0 point saves %.2f%%", p.TimeSavePct)
+		}
+		if p.TimeSavePct < -0.5 {
+			t.Errorf("PB=%d point regresses %.2f%%", p.PBBytes, p.TimeSavePct)
+		}
+		if p.BaseLatency <= 0 || p.CachedLatency <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+	// Fig. 12 monotonicity: at fixed BW and throughput, a larger PB saves
+	// at least as much as a smaller one (more residency).
+	group := map[[2]float64][]Point{}
+	for _, p := range pts {
+		k := [2]float64{p.OffChipBW, p.PeakFLOPS}
+		group[k] = append(group[k], p)
+	}
+	for k, g := range group {
+		for i := 1; i < len(g); i++ {
+			if g[i].PBBytes > g[i-1].PBBytes && g[i].TimeSavePct < g[i-1].TimeSavePct-0.5 {
+				t.Errorf("group %v: save dropped from %.2f%% to %.2f%% as PB grew %d -> %d",
+					k, g[i-1].TimeSavePct, g[i].TimeSavePct, g[i-1].PBBytes, g[i].PBBytes)
+			}
+		}
+	}
+	// Fig. 12 throughput effect: more compute -> memory matters more ->
+	// larger relative SGS savings. Compare max-PB points at fixed BW.
+	for _, bw := range []float64{9.6e9, 19.2e9} {
+		var loT, hiT Point
+		for _, p := range pts {
+			if p.OffChipBW != bw || p.PBBytes != 1728<<10 {
+				continue
+			}
+			if p.PeakFLOPS < 1e12 {
+				loT = p
+			} else {
+				hiT = p
+			}
+		}
+		if hiT.TimeSavePct < loT.TimeSavePct {
+			t.Errorf("BW %.1f GB/s: save at high throughput %.2f%% < low %.2f%% (Fig. 12 expects more compute -> more SGS benefit)",
+				bw/1e9, hiT.TimeSavePct, loT.TimeSavePct)
+		}
+	}
+}
+
+func TestSweepRN50VsMobV3(t *testing.T) {
+	// Fig. 12 cross-model claim: the improvement is smaller for MobV3
+	// than ResNet50 at the same configuration, because MobV3 is smaller
+	// and has depthwise layers with less reuse. In our byte-accounting
+	// model the PB covers a larger fraction of MobV3, so the *relative*
+	// save is larger for MobV3 — the opposite of the paper's DSE claim
+	// but consistent with its Fig. 10. We assert only that both are
+	// positive at the standard configuration and document the rest.
+	sR, frR := sweepFixture(t, supernet.ResNet50)
+	sM, frM := sweepFixture(t, supernet.MobileNetV3)
+	opt := Options{
+		Base:        accel.RooflineStudy(),
+		PBSizes:     []int64{1728 << 10},
+		Bandwidths:  []float64{19.2e9},
+		Throughputs: []float64{1.296e12},
+	}
+	ptsR, err := Sweep(sR, frR, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptsM, err := Sweep(sM, frM, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptsR[0].TimeSavePct <= 0 || ptsM[0].TimeSavePct <= 0 {
+		t.Errorf("saves must be positive: RN50 %.2f%%, MobV3 %.2f%%",
+			ptsR[0].TimeSavePct, ptsM[0].TimeSavePct)
+	}
+	t.Logf("Fig12 @1.728MB/19.2GBps/1.296T: RN50 %.2f%%, MobV3 %.2f%%",
+		ptsR[0].TimeSavePct, ptsM[0].TimeSavePct)
+}
+
+func TestBest(t *testing.T) {
+	if _, err := Best(nil); err == nil {
+		t.Error("empty points accepted")
+	}
+	pts := []Point{{TimeSavePct: 1}, {TimeSavePct: 5}, {TimeSavePct: 3}}
+	b, err := Best(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TimeSavePct != 5 {
+		t.Errorf("best = %.1f, want 5", b.TimeSavePct)
+	}
+}
+
+func TestRepartitionBudgetConserved(t *testing.T) {
+	base := accel.RooflineStudy()
+	for _, pb := range []int64{0, 512 << 10, 2048 << 10} {
+		c, err := repartition(base, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.TotalBufferBytes() != base.TotalBufferBytes() {
+			t.Errorf("PB=%d: total storage %d != base %d", pb, c.TotalBufferBytes(), base.TotalBufferBytes())
+		}
+	}
+	// A PB consuming nearly everything must be rejected.
+	if _, err := repartition(base, base.TotalBufferBytes()); err == nil {
+		t.Error("all-PB partition accepted")
+	}
+}
+
+func TestScaleThroughput(t *testing.T) {
+	c := scaleThroughput(accel.RooflineStudy(), 2.592e12)
+	if got := c.PeakFLOPS(); got < 2.4e12 || got > 2.8e12 {
+		t.Errorf("scaled FLOPS %g not near 2.592e12", got)
+	}
+	tiny := scaleThroughput(accel.RooflineStudy(), 1)
+	if tiny.CP < 1 {
+		t.Error("CP must stay positive")
+	}
+}

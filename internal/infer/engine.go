@@ -1,0 +1,150 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sushi/internal/nn"
+	"sushi/internal/supernet"
+	"sushi/internal/tensor"
+)
+
+// Engine runs quantized forward passes for SubNets of one SuperNet.
+// Requantization scales are static (derived from layer geometry), so the
+// whole pipeline is deterministic and data-independent — the property the
+// tests rely on.
+type Engine struct {
+	ws *WeightStore
+	// zp is the activation zero point used throughout.
+	zp int32
+}
+
+// NewEngine builds an engine over a weight store.
+func NewEngine(ws *WeightStore) *Engine {
+	return &Engine{ws: ws, zp: 0}
+}
+
+// staticScale derives a data-independent requantization scale for a
+// layer. A worst-case accumulator bound would shrink activations by a
+// constant factor every layer and collapse deep networks to zero, so the
+// scale is variance-preserving instead: accumulator std is about
+// sqrt(reduction) * sigma_in * sigma_w for independent operands, and
+// dividing by sqrt(reduction)*sigma_w maps it back to sigma_in. Extreme
+// accumulators saturate, which is the standard int8 behaviour.
+func (e *Engine) staticScale(reduction int) tensor.QuantParams {
+	const sigmaW = 4.5 // weights are uniform-ish in [-7, 7]
+	return tensor.QuantParams{Scale: 1.0 / (math.Sqrt(float64(reduction)) * sigmaW), ZeroPoint: 0}
+}
+
+// Forward runs input through the SubNet and returns the logits tensor
+// ([N, classes, 1, 1] int8). The input must match the model's first
+// layer geometry ([N, C, H, W]).
+func (e *Engine) Forward(sn *supernet.SubNet, input *tensor.Int8) (*tensor.Int8, error) {
+	if sn == nil || sn.Model == nil || len(sn.Model.Layers) == 0 {
+		return nil, fmt.Errorf("infer: nil or empty SubNet")
+	}
+	first := &sn.Model.Layers[0]
+	if input.Shape.C != first.C || input.Shape.H != first.InH || input.Shape.W != first.InW {
+		return nil, fmt.Errorf("infer: input %v does not match first layer (C=%d, %dx%d)",
+			input.Shape, first.C, first.InH, first.InW)
+	}
+	weights, err := e.ws.SubNetWeights(sn)
+	if err != nil {
+		return nil, err
+	}
+	x := input
+	// Residual bookkeeping: entering a block saves the shortcut input;
+	// ".downsample" transforms it; ".add" folds it back in.
+	var shortcut *tensor.Int8
+	var downsampled *tensor.Int8
+	for i := range sn.Model.Layers {
+		l := &sn.Model.Layers[i]
+		if strings.HasSuffix(l.Name, ".conv1") || strings.HasSuffix(l.Name, ".expand") {
+			shortcut = x
+			downsampled = nil
+		}
+		switch l.Kind {
+		case nn.Conv, nn.DepthwiseConv:
+			src := x
+			if strings.HasSuffix(l.Name, ".downsample") {
+				src = shortcut
+			}
+			p := tensor.ConvParams{
+				StrideH: l.Stride, StrideW: l.Stride,
+				PadH: l.Pad, PadW: l.Pad,
+			}
+			if l.Kind == nn.DepthwiseConv {
+				p.Groups = l.C
+			}
+			acc, err := tensor.Conv2D(src, weights[i], e.zp, p)
+			if err != nil {
+				return nil, fmt.Errorf("infer: %s: %w", l.Name, err)
+			}
+			y := tensor.RequantizeTensor(acc, e.staticScale(l.C/maxInt(1, p.Groups)*l.R*l.S))
+			if strings.HasSuffix(l.Name, ".downsample") {
+				downsampled = y
+			} else {
+				x = y
+			}
+		case nn.Linear:
+			acc, err := tensor.Linear(x, weights[i], e.zp)
+			if err != nil {
+				return nil, fmt.Errorf("infer: %s: %w", l.Name, err)
+			}
+			x = tensor.RequantizeTensor(acc, e.staticScale(l.C))
+		case nn.Pool:
+			if l.OutH == 1 && l.OutW == 1 {
+				acc := tensor.GlobalAvgPool(x, e.zp)
+				x = tensor.RequantizeTensor(acc, tensor.QuantParams{
+					Scale: 1.0 / float64(l.InH*l.InW), ZeroPoint: 0,
+				})
+			} else {
+				x = tensor.MaxPool(x, l.R, l.Stride, l.Pad)
+			}
+		case nn.Add:
+			other := downsampled
+			if other == nil {
+				other = shortcut
+			}
+			if other == nil {
+				return nil, fmt.Errorf("infer: %s: no residual operand", l.Name)
+			}
+			y, err := addInt8(x, other)
+			if err != nil {
+				return nil, fmt.Errorf("infer: %s: %w", l.Name, err)
+			}
+			x = y
+			shortcut, downsampled = nil, nil
+		default:
+			return nil, fmt.Errorf("infer: %s: unsupported kind %v", l.Name, l.Kind)
+		}
+	}
+	return x, nil
+}
+
+// addInt8 adds two int8 tensors with saturation.
+func addInt8(a, b *tensor.Int8) (*tensor.Int8, error) {
+	if a.Shape != b.Shape {
+		return nil, fmt.Errorf("infer: residual shapes %v vs %v", a.Shape, b.Shape)
+	}
+	out := tensor.NewInt8(a.Shape)
+	for i := range a.Data {
+		v := int32(a.Data[i]) + int32(b.Data[i])
+		if v > 127 {
+			v = 127
+		}
+		if v < -128 {
+			v = -128
+		}
+		out.Data[i] = int8(v)
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

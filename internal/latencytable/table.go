@@ -1,0 +1,215 @@
+package latencytable
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"sushi/internal/accel"
+	"sushi/internal/supernet"
+)
+
+// Table is SushiAbs's black-box lookup table: Lat[i][j] is the end-to-end
+// latency (seconds) of serving SubNet i while SubGraph j is cached.
+// Row/column order matches the SubNets/Graphs slices. Lookups are O(1);
+// nearest-graph queries are O(|S|·dim) as in Algorithm 1.
+type Table struct {
+	// SubNets are the serving set X (rows).
+	SubNets []*supernet.SubNet
+	// Graphs are the candidate set S (columns).
+	Graphs []*supernet.SubGraph
+	// Lat[i][j] is seconds of serving latency.
+	Lat [][]float64
+	// Energy[i][j] is off-chip energy in joules for the same pairing
+	// (the paper notes SushiAbs can abstract energy the same way).
+	Energy [][]float64
+	// vectors caches each column's encoding for nearest-graph queries.
+	vectors [][]float64
+}
+
+// Build profiles every (SubNet, SubGraph) pairing and returns the
+// populated table. Columns are independent — each gets its own simulator
+// instance — so profiling parallelizes across GOMAXPROCS workers while
+// staying fully deterministic (results are written by index).
+func Build(cfg accel.Config, subnets []*supernet.SubNet, graphs []*supernet.SubGraph) (*Table, error) {
+	if len(subnets) == 0 {
+		return nil, fmt.Errorf("latencytable: no subnets")
+	}
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("latencytable: no graphs")
+	}
+	t := &Table{SubNets: subnets, Graphs: graphs}
+	t.Lat = make([][]float64, len(subnets))
+	t.Energy = make([][]float64, len(subnets))
+	for i := range t.Lat {
+		t.Lat[i] = make([]float64, len(graphs))
+		t.Energy[i] = make([]float64, len(graphs))
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(graphs) {
+		workers = len(graphs)
+	}
+	// Buffered and pre-filled so an early-exiting worker can never block
+	// the producer.
+	cols := make(chan int, len(graphs))
+	for j := range graphs {
+		cols <- j
+	}
+	close(cols)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sim, err := accel.NewSimulator(cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := range cols {
+				g := graphs[j]
+				// An empty SubGraph is the cold-cache column and is
+				// legal on any configuration, including ones without a
+				// Persistent Buffer.
+				if g.Count() == 0 {
+					err = sim.SetCached(nil)
+				} else {
+					err = sim.SetCached(g)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("latencytable: column %d (%s): %w", j, g.Name(), err)
+					return
+				}
+				for i, sn := range subnets {
+					rep, err := sim.Run(sn)
+					if err != nil {
+						errs <- fmt.Errorf("latencytable: row %d (%s): %w", i, sn.Name, err)
+						return
+					}
+					t.Lat[i][j] = rep.Total()
+					t.Energy[i][j] = rep.OffChipEnergyJ
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	t.buildVectors()
+	return t, nil
+}
+
+func (t *Table) buildVectors() {
+	t.vectors = make([][]float64, len(t.Graphs))
+	for j, g := range t.Graphs {
+		t.vectors[j] = g.Vector()
+	}
+}
+
+// Rows returns |X| and Cols |S|.
+func (t *Table) Rows() int { return len(t.SubNets) }
+
+// Cols returns the candidate set size |S|.
+func (t *Table) Cols() int { return len(t.Graphs) }
+
+// Lookup returns L[i][j] in seconds.
+func (t *Table) Lookup(i, j int) float64 { return t.Lat[i][j] }
+
+// NearestGraph returns the column index of the SubGraph whose encoding
+// vector is closest (Euclidean) to v — Algorithm 1's
+// argmin_j Dist(G_j, AvgNet) step.
+func (t *Table) NearestGraph(v []float64) int {
+	best, bestD := 0, -1.0
+	for j := range t.Graphs {
+		d := supernet.Distance(t.vectors[j], v)
+		if bestD < 0 || d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best
+}
+
+// Truncate returns a copy of the table keeping only the first cols
+// columns (Table 5's column-budget ablation). The SubNets are shared.
+func (t *Table) Truncate(cols int) (*Table, error) {
+	if cols <= 0 || cols > t.Cols() {
+		return nil, fmt.Errorf("latencytable: truncate to %d of %d cols", cols, t.Cols())
+	}
+	n := &Table{SubNets: t.SubNets, Graphs: t.Graphs[:cols]}
+	n.Lat = make([][]float64, len(t.Lat))
+	n.Energy = make([][]float64, len(t.Energy))
+	for i := range t.Lat {
+		n.Lat[i] = t.Lat[i][:cols]
+		n.Energy[i] = t.Energy[i][:cols]
+	}
+	n.buildVectors()
+	return n, nil
+}
+
+// wireTable is the gob wire format: SubGraphs travel as cell-ID lists and
+// are re-bound to a SuperNet on decode.
+type wireTable struct {
+	SubNetNames []string
+	GraphNames  []string
+	GraphCells  [][]int
+	NumCells    int
+	Lat         [][]float64
+	Energy      [][]float64
+}
+
+// Encode serializes the table (without SubNet bodies; rows are identified
+// by name and must be re-supplied on decode).
+func (t *Table) Encode(w io.Writer) error {
+	wt := wireTable{Lat: t.Lat, Energy: t.Energy}
+	for _, sn := range t.SubNets {
+		wt.SubNetNames = append(wt.SubNetNames, sn.Name)
+	}
+	for _, g := range t.Graphs {
+		wt.GraphNames = append(wt.GraphNames, g.Name())
+		wt.GraphCells = append(wt.GraphCells, g.Cells())
+		wt.NumCells = g.Super().NumCells()
+	}
+	return gob.NewEncoder(w).Encode(&wt)
+}
+
+// Decode reconstructs a table over super, matching rows to subnets by
+// name. The subnets must cover every row name in the stream.
+func Decode(r io.Reader, super *supernet.SuperNet, subnets []*supernet.SubNet) (*Table, error) {
+	var wt wireTable
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("latencytable: decode: %w", err)
+	}
+	if wt.NumCells != super.NumCells() {
+		return nil, fmt.Errorf("latencytable: stream built over %d cells, supernet has %d", wt.NumCells, super.NumCells())
+	}
+	byName := map[string]*supernet.SubNet{}
+	for _, sn := range subnets {
+		byName[sn.Name] = sn
+	}
+	t := &Table{Lat: wt.Lat, Energy: wt.Energy}
+	for _, name := range wt.SubNetNames {
+		sn, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("latencytable: stream row %q not among supplied subnets", name)
+		}
+		t.SubNets = append(t.SubNets, sn)
+	}
+	for gi, cells := range wt.GraphCells {
+		g := supernet.NewSubGraph(super, wt.GraphNames[gi])
+		for _, id := range cells {
+			if id < 0 || id >= super.NumCells() {
+				return nil, fmt.Errorf("latencytable: stream cell id %d out of range", id)
+			}
+			g.Add(id)
+		}
+		t.Graphs = append(t.Graphs, g)
+	}
+	t.buildVectors()
+	return t, nil
+}

@@ -1,0 +1,163 @@
+// Package nn defines the neural-network layer intermediate representation
+// shared by the SuperNet generators, the accelerator simulator, and the
+// roofline tool. A model is a flat []Layer in execution order; each layer
+// carries enough geometry to derive FLOPs, byte traffic, and arithmetic
+// intensity without any framework dependency.
+package nn
+
+import (
+	"fmt"
+)
+
+// LayerKind enumerates the operator types SUSHI's workloads use.
+type LayerKind int
+
+const (
+	// Conv is a standard 2-D convolution (KCRS weights).
+	Conv LayerKind = iota
+	// DepthwiseConv convolves each channel independently (K == C groups).
+	DepthwiseConv
+	// Linear is a fully connected layer (1x1 spatial).
+	Linear
+	// Pool is a pooling layer (no weights).
+	Pool
+	// Add is an elementwise residual addition (no weights).
+	Add
+)
+
+// String implements fmt.Stringer.
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case DepthwiseConv:
+		return "dwconv"
+	case Linear:
+		return "linear"
+	case Pool:
+		return "pool"
+	case Add:
+		return "add"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// Layer describes one operator instance. All dimensions follow the paper's
+// terminology (Fig. 5): C input channels, K kernels (output channels),
+// R×S kernel window, X×Y input spatial, X'×Y' output spatial.
+type Layer struct {
+	// Name is a stable human-readable identifier, e.g. "stage2.block1.conv2".
+	Name string
+	// Kind is the operator type.
+	Kind LayerKind
+	// C is the number of input channels.
+	C int
+	// K is the number of output channels (kernels).
+	K int
+	// R, S are the kernel height and width (1 for Linear/Add, window for Pool).
+	R, S int
+	// InH, InW are the input spatial dimensions.
+	InH, InW int
+	// OutH, OutW are the output spatial dimensions.
+	OutH, OutW int
+	// Stride is the convolution/pool stride (uniform in both axes).
+	Stride int
+	// Pad is the spatial padding (uniform).
+	Pad int
+	// BlockID ties the layer to a supernet weight block (see package
+	// supernet); -1 for layers outside any elastic block.
+	BlockID int
+}
+
+// Validate reports structural problems with the layer geometry.
+func (l *Layer) Validate() error {
+	switch {
+	case l.C <= 0 || l.K <= 0:
+		return fmt.Errorf("nn: layer %q: non-positive channels C=%d K=%d", l.Name, l.C, l.K)
+	case l.R <= 0 || l.S <= 0:
+		return fmt.Errorf("nn: layer %q: non-positive kernel %dx%d", l.Name, l.R, l.S)
+	case l.InH <= 0 || l.InW <= 0 || l.OutH <= 0 || l.OutW <= 0:
+		return fmt.Errorf("nn: layer %q: non-positive spatial in=%dx%d out=%dx%d", l.Name, l.InH, l.InW, l.OutH, l.OutW)
+	case l.Kind == DepthwiseConv && l.C != l.K:
+		return fmt.Errorf("nn: layer %q: depthwise needs C==K, got C=%d K=%d", l.Name, l.C, l.K)
+	}
+	return nil
+}
+
+// MACs returns the multiply-accumulate count of the layer.
+func (l *Layer) MACs() int64 {
+	spatial := int64(l.OutH) * int64(l.OutW)
+	switch l.Kind {
+	case Conv, Linear:
+		return int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S) * spatial
+	case DepthwiseConv:
+		return int64(l.C) * int64(l.R) * int64(l.S) * spatial
+	case Pool:
+		// Comparisons/adds, not MACs; count as one op per window element.
+		return int64(l.C) * int64(l.R) * int64(l.S) * spatial
+	case Add:
+		return int64(l.C) * spatial
+	default:
+		return 0
+	}
+}
+
+// FLOPs returns 2*MACs for MAC layers (the usual convention) and MACs for
+// non-multiply layers.
+func (l *Layer) FLOPs() int64 {
+	switch l.Kind {
+	case Conv, DepthwiseConv, Linear:
+		return 2 * l.MACs()
+	default:
+		return l.MACs()
+	}
+}
+
+// WeightBytes returns the int8 weight footprint of the layer.
+func (l *Layer) WeightBytes() int64 {
+	switch l.Kind {
+	case Conv, Linear:
+		return int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+	case DepthwiseConv:
+		return int64(l.C) * int64(l.R) * int64(l.S)
+	default:
+		return 0
+	}
+}
+
+// InputBytes returns the int8 input-activation footprint.
+func (l *Layer) InputBytes() int64 {
+	n := int64(l.C) * int64(l.InH) * int64(l.InW)
+	if l.Kind == Add {
+		n *= 2 // two residual operands
+	}
+	return n
+}
+
+// OutputBytes returns the int8 output-activation footprint.
+func (l *Layer) OutputBytes() int64 {
+	return int64(l.K) * int64(l.OutH) * int64(l.OutW)
+}
+
+// TotalBytes is the end-to-end byte traffic of the layer assuming every
+// operand moves once (weights + iActs + oActs), the denominator of
+// arithmetic intensity in Fig. 2.
+func (l *Layer) TotalBytes() int64 {
+	return l.WeightBytes() + l.InputBytes() + l.OutputBytes()
+}
+
+// ArithmeticIntensity returns FLOPs/Byte, the x-axis of the roofline
+// analysis (Fig. 2 and Fig. 11).
+func (l *Layer) ArithmeticIntensity() float64 {
+	b := l.TotalBytes()
+	if b == 0 {
+		return 0
+	}
+	return float64(l.FLOPs()) / float64(b)
+}
+
+func (l *Layer) String() string {
+	return fmt.Sprintf("%s %s C=%d K=%d %dx%d in=%dx%d out=%dx%d s=%d",
+		l.Name, l.Kind, l.C, l.K, l.R, l.S, l.InH, l.InW, l.OutH, l.OutW, l.Stride)
+}

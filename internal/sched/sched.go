@@ -1,0 +1,310 @@
+// Package sched implements SushiSched (§3.3, Algorithm 1): the software
+// scheduler that makes SUSHI's two control decisions. Per query it picks
+// the SubNet to serve under a STRICT_ACCURACY or STRICT_LATENCY policy
+// using the SushiAbs latency table; every Q queries it picks the next
+// SubGraph to cache as the candidate closest (Euclidean distance over the
+// Fig. 6 vector encoding) to the running average of recently served
+// SubNets.
+package sched
+
+import (
+	"fmt"
+
+	"sushi/internal/latencytable"
+)
+
+// Policy selects which constraint Algorithm 1 treats as hard.
+type Policy int
+
+const (
+	// StrictAccuracy serves the minimum-latency SubNet whose accuracy
+	// meets the query's accuracy constraint.
+	StrictAccuracy Policy = iota
+	// StrictLatency serves the maximum-accuracy SubNet whose (cache-state
+	// dependent) latency meets the query's latency constraint.
+	StrictLatency
+	// MinEnergy serves the minimum-off-chip-energy SubNet meeting *both*
+	// constraints. This is an extension beyond Algorithm 1 enabled by
+	// SushiAbs's remark that the table abstracts "latency (and energy)"
+	// of served SubNets (§7): battery-powered deployments prefer it.
+	MinEnergy
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case StrictAccuracy:
+		return "STRICT_ACCURACY"
+	case StrictLatency:
+		return "STRICT_LATENCY"
+	case MinEnergy:
+		return "MIN_ENERGY"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Query is one inference request annotated with its (A_t, L_t) pair.
+type Query struct {
+	// ID is the sequence number.
+	ID int
+	// MinAccuracy is A_t in top-1 percent.
+	MinAccuracy float64
+	// MaxLatency is L_t in seconds.
+	MaxLatency float64
+}
+
+// Decision is the scheduler's output for one query.
+type Decision struct {
+	// SubNet is the row index into the table's serving set.
+	SubNet int
+	// PredictedLatency is L[SubNet][cache column] in seconds.
+	PredictedLatency float64
+	// PredictedAccuracy is the SubNet's fixed accuracy.
+	PredictedAccuracy float64
+	// Feasible reports whether the hard constraint was satisfiable at
+	// all; when false the scheduler served the best-effort extreme.
+	Feasible bool
+	// CacheUpdate is the new cache column to enact, or -1 to keep the
+	// current state. Updates fire every Q-th query (Algorithm 1).
+	CacheUpdate int
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Policy is the hard-constraint mode.
+	Policy Policy
+	// Q is the cache-update period in queries (Appendix A.1 explores the
+	// trade-off; the paper settles near 4-10).
+	Q int
+	// InitialColumn is the cache column assumed before the first update
+	// ("the cache state is set to a random SubGraph initially").
+	InitialColumn int
+	// StateAware, when false, reproduces the "SUSHI w/o scheduler"
+	// baseline: SubNet selection keeps consulting InitialColumn and no
+	// cache updates are emitted.
+	StateAware bool
+	// UseIntersection replaces the running average with the pure
+	// intersection (elementwise minimum over the window) when predicting
+	// the next SubGraph. The paper argues averaging is strictly more
+	// informative (§3.3, Fig. 6) — this switch exists to ablate that
+	// design choice.
+	UseIntersection bool
+}
+
+// Scheduler executes Algorithm 1 over a latency table. It is not safe
+// for concurrent use (queries are a stream).
+type Scheduler struct {
+	table *latencytable.Table
+	opt   Options
+	// cacheCol is the column the scheduler believes is cached.
+	cacheCol int
+	// window holds the vector encodings of the last Q served SubNets;
+	// avg is their running mean (AvgNet in Fig. 6).
+	window [][]float64
+	next   int
+	filled int
+	avg    []float64
+	served int
+}
+
+// New validates options and returns a scheduler.
+func New(table *latencytable.Table, opt Options) (*Scheduler, error) {
+	if table == nil || table.Rows() == 0 || table.Cols() == 0 {
+		return nil, fmt.Errorf("sched: empty latency table")
+	}
+	if opt.Q <= 0 {
+		return nil, fmt.Errorf("sched: non-positive cache period Q=%d", opt.Q)
+	}
+	if opt.InitialColumn < 0 || opt.InitialColumn >= table.Cols() {
+		return nil, fmt.Errorf("sched: initial column %d outside [0, %d)", opt.InitialColumn, table.Cols())
+	}
+	if opt.Policy != StrictAccuracy && opt.Policy != StrictLatency && opt.Policy != MinEnergy {
+		return nil, fmt.Errorf("sched: unknown policy %v", opt.Policy)
+	}
+	return &Scheduler{
+		table:    table,
+		opt:      opt,
+		cacheCol: opt.InitialColumn,
+		window:   make([][]float64, opt.Q),
+	}, nil
+}
+
+// CacheColumn returns the column the scheduler currently assumes cached.
+func (s *Scheduler) CacheColumn() int { return s.cacheCol }
+
+// Served returns the number of scheduled queries so far.
+func (s *Scheduler) Served() int { return s.served }
+
+// AvgNet returns a copy of the current running-average vector (nil until
+// the first query).
+func (s *Scheduler) AvgNet() []float64 {
+	if s.avg == nil {
+		return nil
+	}
+	out := make([]float64, len(s.avg))
+	copy(out, s.avg)
+	return out
+}
+
+// Schedule makes the two-part control decision for one query.
+func (s *Scheduler) Schedule(q Query) (Decision, error) {
+	col := s.cacheCol
+	idx, feasible := s.selectSubNet(q, col)
+	d := Decision{
+		SubNet:            idx,
+		PredictedLatency:  s.table.Lookup(idx, col),
+		PredictedAccuracy: s.table.SubNets[idx].Accuracy,
+		Feasible:          feasible,
+		CacheUpdate:       -1,
+	}
+	s.observe(idx)
+	s.served++
+	if s.opt.StateAware && s.served%s.opt.Q == 0 {
+		newCol := s.table.NearestGraph(s.avg)
+		if newCol != s.cacheCol {
+			s.cacheCol = newCol
+			d.CacheUpdate = newCol
+		}
+	}
+	return d, nil
+}
+
+// selectSubNet evaluates the policy against cache column col.
+func (s *Scheduler) selectSubNet(q Query, col int) (idx int, feasible bool) {
+	switch s.opt.Policy {
+	case MinEnergy:
+		// argmin energy s.t. accuracy >= A_t and latency <= L_t; fall
+		// back to the strict-accuracy behaviour when both cannot hold.
+		best, bestE := -1, 0.0
+		for i := 0; i < s.table.Rows(); i++ {
+			if s.table.SubNets[i].Accuracy < q.MinAccuracy {
+				continue
+			}
+			if s.table.Lookup(i, col) > q.MaxLatency {
+				continue
+			}
+			if e := s.table.Energy[i][col]; best < 0 || e < bestE {
+				best, bestE = i, e
+			}
+		}
+		if best >= 0 {
+			return best, true
+		}
+		// Accuracy remains the harder constraint of the two.
+		best = -1
+		bestLat := 0.0
+		for i := 0; i < s.table.Rows(); i++ {
+			if s.table.SubNets[i].Accuracy < q.MinAccuracy {
+				continue
+			}
+			if lat := s.table.Lookup(i, col); best < 0 || lat < bestLat {
+				best, bestLat = i, lat
+			}
+		}
+		if best >= 0 {
+			return best, false
+		}
+		return s.argmaxAccuracy(), false
+	case StrictAccuracy:
+		// argmin latency s.t. accuracy >= A_t; fall back to the most
+		// accurate SubNet when the constraint is unsatisfiable.
+		best, bestLat := -1, 0.0
+		for i := 0; i < s.table.Rows(); i++ {
+			if s.table.SubNets[i].Accuracy < q.MinAccuracy {
+				continue
+			}
+			if lat := s.table.Lookup(i, col); best < 0 || lat < bestLat {
+				best, bestLat = i, lat
+			}
+		}
+		if best >= 0 {
+			return best, true
+		}
+		return s.argmaxAccuracy(), false
+	default: // StrictLatency
+		// argmax accuracy s.t. latency <= L_t; fall back to the fastest
+		// SubNet when the constraint is unsatisfiable.
+		best, bestAcc := -1, 0.0
+		for i := 0; i < s.table.Rows(); i++ {
+			if s.table.Lookup(i, col) > q.MaxLatency {
+				continue
+			}
+			if acc := s.table.SubNets[i].Accuracy; best < 0 || acc > bestAcc {
+				best, bestAcc = i, acc
+			}
+		}
+		if best >= 0 {
+			return best, true
+		}
+		return s.argminLatency(col), false
+	}
+}
+
+func (s *Scheduler) argmaxAccuracy() int {
+	best := 0
+	for i := 1; i < s.table.Rows(); i++ {
+		if s.table.SubNets[i].Accuracy > s.table.SubNets[best].Accuracy {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) argminLatency(col int) int {
+	best := 0
+	for i := 1; i < s.table.Rows(); i++ {
+		if s.table.Lookup(i, col) < s.table.Lookup(best, col) {
+			best = i
+		}
+	}
+	return best
+}
+
+// observe folds the served SubNet's vector into the Q-window summary.
+// Averaging (rather than intersecting) preserves information about
+// kernels/channels that are frequent but not universal (Fig. 6); the
+// intersection variant exists for the ablation.
+func (s *Scheduler) observe(idx int) {
+	v := s.table.SubNets[idx].Vector()
+	s.window[s.next] = v
+	s.next = (s.next + 1) % s.opt.Q
+	if s.filled < s.opt.Q {
+		s.filled++
+	}
+	if s.avg == nil {
+		s.avg = make([]float64, len(v))
+	}
+	if s.opt.UseIntersection {
+		// Elementwise minimum: exactly the intersection of nested-prefix
+		// coverages.
+		for i := range s.avg {
+			s.avg[i] = 0
+			first := true
+			for _, w := range s.window {
+				if w == nil {
+					continue
+				}
+				if first || w[i] < s.avg[i] {
+					s.avg[i] = w[i]
+					first = false
+				}
+			}
+		}
+		return
+	}
+	for i := range s.avg {
+		s.avg[i] = 0
+	}
+	for _, w := range s.window {
+		if w == nil {
+			continue
+		}
+		for i := range w {
+			s.avg[i] += w[i]
+		}
+	}
+	for i := range s.avg {
+		s.avg[i] /= float64(s.filled)
+	}
+}

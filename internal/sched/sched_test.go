@@ -1,0 +1,465 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sushi/internal/accel"
+	"sushi/internal/latencytable"
+	"sushi/internal/supernet"
+)
+
+func buildTable(t *testing.T) *latencytable.Table {
+	t.Helper()
+	s := supernet.NewOFAMobileNetV3()
+	fr, err := s.Frontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accel.ZCU104()
+	cands, err := latencytable.Candidates(s, fr, latencytable.CandidateOptions{
+		Budget: cfg.PBBytes, Count: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := latencytable.Build(cfg, fr, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewValidation(t *testing.T) {
+	tab := buildTable(t)
+	cases := []Options{
+		{Policy: StrictAccuracy, Q: 0, StateAware: true},
+		{Policy: StrictAccuracy, Q: 4, InitialColumn: -1, StateAware: true},
+		{Policy: StrictAccuracy, Q: 4, InitialColumn: tab.Cols(), StateAware: true},
+		{Policy: Policy(99), Q: 4, StateAware: true},
+	}
+	for i, opt := range cases {
+		if _, err := New(tab, opt); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+	if _, err := New(nil, Options{Policy: StrictAccuracy, Q: 4}); err == nil {
+		t.Error("nil table accepted")
+	}
+}
+
+func TestStrictAccuracySelection(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictAccuracy, Q: 4, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constraint between frontier accuracies: served accuracy must be >=
+	// the constraint, and the choice must be the fastest such SubNet.
+	at := tab.SubNets[2].Accuracy
+	d, err := s.Schedule(Query{ID: 0, MinAccuracy: at, MaxLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Feasible {
+		t.Fatal("feasible constraint reported infeasible")
+	}
+	if d.PredictedAccuracy < at {
+		t.Errorf("served accuracy %.2f < constraint %.2f", d.PredictedAccuracy, at)
+	}
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.SubNets[i].Accuracy >= at && tab.Lookup(i, s.CacheColumn()) < d.PredictedLatency {
+			t.Errorf("subnet %d (%.4g s) beats served %.4g s under same constraint",
+				i, tab.Lookup(i, s.CacheColumn()), d.PredictedLatency)
+		}
+	}
+}
+
+func TestStrictAccuracyInfeasibleFallsBack(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictAccuracy, Q: 4, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Schedule(Query{ID: 0, MinAccuracy: 99.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Feasible {
+		t.Error("unsatisfiable accuracy reported feasible")
+	}
+	// Fallback is the most accurate SubNet.
+	best := 0
+	for i := range tab.SubNets {
+		if tab.SubNets[i].Accuracy > tab.SubNets[best].Accuracy {
+			best = i
+		}
+	}
+	if d.SubNet != best {
+		t.Errorf("fallback served %d, want most-accurate %d", d.SubNet, best)
+	}
+}
+
+func TestStrictLatencySelection(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictLatency, Q: 4, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constraint set to the median SubNet's latency: the served SubNet
+	// must fit and be the most accurate that fits.
+	lt := tab.Lookup(3, 0)
+	d, err := s.Schedule(Query{ID: 0, MaxLatency: lt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Feasible {
+		t.Fatal("feasible latency constraint reported infeasible")
+	}
+	if d.PredictedLatency > lt {
+		t.Errorf("served latency %.4g > constraint %.4g", d.PredictedLatency, lt)
+	}
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.Lookup(i, s.CacheColumn()) <= lt && tab.SubNets[i].Accuracy > d.PredictedAccuracy {
+			t.Errorf("subnet %d more accurate and still feasible", i)
+		}
+	}
+}
+
+func TestStrictLatencyInfeasibleFallsBack(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictLatency, Q: 4, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Schedule(Query{ID: 0, MaxLatency: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Feasible {
+		t.Error("unsatisfiable latency reported feasible")
+	}
+	// Fallback is the fastest SubNet under the current cache state.
+	for i := range tab.SubNets {
+		if tab.Lookup(i, 0) < d.PredictedLatency {
+			t.Errorf("fallback %d slower than subnet %d", d.SubNet, i)
+		}
+	}
+}
+
+func TestCacheUpdateEveryQ(t *testing.T) {
+	tab := buildTable(t)
+	const q = 4
+	s, err := New(tab, Options{Policy: StrictLatency, Q: q, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := 0
+	for i := 0; i < 20; i++ {
+		d, err := s.Schedule(Query{ID: i, MaxLatency: tab.Lookup(5, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.CacheUpdate >= 0 {
+			updates++
+			if (i+1)%q != 0 {
+				t.Errorf("cache update at query %d, not a multiple of Q=%d", i+1, q)
+			}
+			if d.CacheUpdate != s.CacheColumn() {
+				t.Error("decision column differs from scheduler state")
+			}
+		}
+	}
+	if updates == 0 {
+		t.Error("no cache updates in 20 queries with Q=4")
+	}
+}
+
+func TestCacheConvergesToServedSubNet(t *testing.T) {
+	// Serving the same SubNet repeatedly must steer the cache toward a
+	// SubGraph close to that SubNet (temporal locality exploitation).
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictAccuracy, Q: 4, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := tab.Rows() - 1 // most accurate subnet
+	at := tab.SubNets[target].Accuracy
+	for i := 0; i < 12; i++ {
+		if _, err := s.Schedule(Query{ID: i, MinAccuracy: at}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The converged cache column must be the candidate nearest to the
+	// served SubNet's own vector.
+	want := tab.NearestGraph(tab.SubNets[target].Vector())
+	if s.CacheColumn() != want {
+		t.Errorf("cache column %d (%s), want %d (%s)",
+			s.CacheColumn(), tab.Graphs[s.CacheColumn()].Name(), want, tab.Graphs[want].Name())
+	}
+}
+
+func TestStateUnawareNeverUpdates(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictLatency, Q: 2, InitialColumn: 3, StateAware: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d, err := s.Schedule(Query{ID: i, MaxLatency: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.CacheUpdate != -1 {
+			t.Fatal("state-unaware scheduler emitted a cache update")
+		}
+	}
+	if s.CacheColumn() != 3 {
+		t.Errorf("state-unaware cache column drifted to %d", s.CacheColumn())
+	}
+}
+
+func TestAvgNetWindow(t *testing.T) {
+	tab := buildTable(t)
+	const q = 3
+	s, err := New(tab, Options{Policy: StrictAccuracy, Q: q, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvgNet() != nil {
+		t.Error("AvgNet non-nil before any query")
+	}
+	// Serve subnet 0 q times: average equals its vector exactly.
+	a0 := tab.SubNets[0].Accuracy
+	for i := 0; i < q; i++ {
+		if _, err := s.Schedule(Query{ID: i, MinAccuracy: a0 - 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := s.AvgNet()
+	v0 := tab.SubNets[0].Vector()
+	for i := range v0 {
+		if avg[i] != v0[i] {
+			t.Fatalf("avg[%d] = %g, want %g (pure window)", i, avg[i], v0[i])
+		}
+	}
+	// Mutating the returned slice must not affect the scheduler.
+	avg[0] = 1e9
+	if got := s.AvgNet()[0]; got == 1e9 {
+		t.Error("AvgNet returned internal state")
+	}
+}
+
+func TestServedCounter(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictLatency, Q: 5, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := s.Schedule(Query{ID: i, MaxLatency: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Served() != 7 {
+		t.Errorf("served = %d, want 7", s.Served())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if StrictAccuracy.String() != "STRICT_ACCURACY" || StrictLatency.String() != "STRICT_LATENCY" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestIntersectionPredictor(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictAccuracy, Q: 3, StateAware: true, UseIntersection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve the smallest then the largest SubNet: the intersection
+	// summary must equal the elementwise minimum of their vectors.
+	a0 := tab.SubNets[0].Accuracy
+	aTop := tab.SubNets[tab.Rows()-1].Accuracy
+	if _, err := s.Schedule(Query{ID: 0, MinAccuracy: a0 - 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Schedule(Query{ID: 1, MinAccuracy: aTop}); err != nil {
+		t.Fatal(err)
+	}
+	avg := s.AvgNet()
+	v0 := tab.SubNets[0].Vector()
+	vT := tab.SubNets[tab.Rows()-1].Vector()
+	for i := range avg {
+		want := v0[i]
+		if vT[i] < want {
+			want = vT[i]
+		}
+		if avg[i] != want {
+			t.Fatalf("intersection[%d] = %g, want min(%g, %g)", i, avg[i], v0[i], vT[i])
+		}
+	}
+}
+
+func TestIntersectionVsAverageDiffer(t *testing.T) {
+	// After a mixed window the two summaries must differ (averaging keeps
+	// the frequent-but-not-universal information, §3.3).
+	tab := buildTable(t)
+	run := func(useInter bool) []float64 {
+		s, err := New(tab, Options{Policy: StrictAccuracy, Q: 4, StateAware: true, UseIntersection: useInter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs := []float64{
+			tab.SubNets[0].Accuracy - 1,
+			tab.SubNets[tab.Rows()-1].Accuracy,
+			tab.SubNets[0].Accuracy - 1,
+			tab.SubNets[tab.Rows()-1].Accuracy,
+		}
+		for i, a := range accs {
+			if _, err := s.Schedule(Query{ID: i, MinAccuracy: a}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.AvgNet()
+	}
+	avg := run(false)
+	inter := run(true)
+	same := true
+	for i := range avg {
+		if avg[i] != inter[i] {
+			same = false
+		}
+		if inter[i] > avg[i] {
+			t.Fatalf("intersection[%d]=%g exceeds average %g (min must bound mean)", i, inter[i], avg[i])
+		}
+	}
+	if same {
+		t.Fatal("average and intersection identical after a mixed window")
+	}
+}
+
+func TestMinEnergyPolicy(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: MinEnergy, Q: 4, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous constraints: both satisfiable; served SubNet must have the
+	// lowest energy among those meeting both.
+	at := tab.SubNets[1].Accuracy
+	lt := tab.Lookup(tab.Rows()-1, 0) * 1.1
+	d, err := s.Schedule(Query{ID: 0, MinAccuracy: at, MaxLatency: lt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Feasible {
+		t.Fatal("feasible double constraint reported infeasible")
+	}
+	col := 0 // initial column
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.SubNets[i].Accuracy < at || tab.Lookup(i, col) > lt {
+			continue
+		}
+		if tab.Energy[i][col] < tab.Energy[d.SubNet][col] {
+			t.Errorf("subnet %d has lower energy (%.3g < %.3g) and meets both constraints",
+				i, tab.Energy[i][col], tab.Energy[d.SubNet][col])
+		}
+	}
+	if tab.SubNets[d.SubNet].Accuracy < at {
+		t.Error("energy policy violated the accuracy floor")
+	}
+}
+
+func TestMinEnergyFallsBackToAccuracy(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: MinEnergy, Q: 4, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impossible latency: fallback keeps the accuracy floor, serving the
+	// fastest SubNet that meets it.
+	at := tab.SubNets[3].Accuracy
+	d, err := s.Schedule(Query{ID: 0, MinAccuracy: at, MaxLatency: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Feasible {
+		t.Error("impossible latency reported feasible")
+	}
+	if tab.SubNets[d.SubNet].Accuracy < at {
+		t.Error("fallback dropped the accuracy floor")
+	}
+	// Impossible both: serve the most accurate.
+	d2, err := s.Schedule(Query{ID: 1, MinAccuracy: 99.9, MaxLatency: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range tab.SubNets {
+		if tab.SubNets[i].Accuracy > tab.SubNets[best].Accuracy {
+			best = i
+		}
+	}
+	if d2.SubNet != best {
+		t.Errorf("double-infeasible fallback served %d, want %d", d2.SubNet, best)
+	}
+}
+
+func TestMinEnergyString(t *testing.T) {
+	if MinEnergy.String() != "MIN_ENERGY" {
+		t.Error("MinEnergy string wrong")
+	}
+}
+
+func TestScheduleInvariantsQuick(t *testing.T) {
+	// Property: for any random constraint stream, every feasible decision
+	// satisfies its policy's hard constraint, and the predicted latency
+	// always matches the table at the decision's column.
+	tab := buildTable(t)
+	accLo := tab.SubNets[0].Accuracy
+	accHi := tab.SubNets[tab.Rows()-1].Accuracy
+	latLo := tab.Lookup(0, 0)
+	latHi := tab.Lookup(tab.Rows()-1, 0)
+	f := func(seed int64, policyRaw bool) bool {
+		policy := StrictAccuracy
+		if policyRaw {
+			policy = StrictLatency
+		}
+		s, err := New(tab, Options{Policy: policy, Q: 3, StateAware: true})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 25; i++ {
+			col := s.CacheColumn()
+			q := Query{
+				ID:          i,
+				MinAccuracy: accLo + rng.Float64()*(accHi-accLo),
+				MaxLatency:  latLo + rng.Float64()*(latHi-latLo),
+			}
+			d, err := s.Schedule(q)
+			if err != nil {
+				return false
+			}
+			if d.PredictedLatency != tab.Lookup(d.SubNet, col) {
+				return false
+			}
+			if d.Feasible {
+				if policy == StrictAccuracy && d.PredictedAccuracy < q.MinAccuracy {
+					return false
+				}
+				if policy == StrictLatency && d.PredictedLatency > q.MaxLatency {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package server exposes a SUSHI deployment over HTTP, the integration
+// surface the paper's conclusion points at ("SUSHI can be naturally
+// integrated in state-of-the-art ML inference serving frameworks").
+// Queries serialize onto the single simulated accelerator, exactly as a
+// stream of queries serializes onto one physical SushiAccel.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"sushi/internal/core"
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+)
+
+// Server is an http.Handler serving a SUSHI deployment.
+type Server struct {
+	mu   sync.Mutex
+	dep  *core.Deployment
+	mux  *http.ServeMux
+	next int
+	// running aggregates for /v1/stats.
+	served []serving.Served
+}
+
+// New wraps a deployment.
+func New(dep *core.Deployment) *Server {
+	s := &Server{dep: dep, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/frontier", s.handleFrontier)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/serve", s.handleServe)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ServeRequest is the /v1/serve request body.
+type ServeRequest struct {
+	// MinAccuracy is the accuracy floor in top-1 percent.
+	MinAccuracy float64 `json:"min_accuracy"`
+	// MaxLatencyMS is the latency budget in milliseconds.
+	MaxLatencyMS float64 `json:"max_latency_ms"`
+}
+
+// ServeResponse is the /v1/serve response body.
+type ServeResponse struct {
+	ID           int     `json:"id"`
+	SubNet       string  `json:"subnet"`
+	Accuracy     float64 `json:"accuracy"`
+	LatencyMS    float64 `json:"latency_ms"`
+	Feasible     bool    `json:"feasible"`
+	LatencyMet   bool    `json:"latency_met"`
+	AccuracyMet  bool    `json:"accuracy_met"`
+	HitRatio     float64 `json:"hit_ratio"`
+	CacheSwapped bool    `json:"cache_swapped"`
+}
+
+func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
+	var req ServeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.MinAccuracy < 0 || req.MinAccuracy > 100 {
+		httpError(w, http.StatusBadRequest, "min_accuracy must be in [0, 100]")
+		return
+	}
+	if req.MaxLatencyMS < 0 {
+		httpError(w, http.StatusBadRequest, "max_latency_ms must be non-negative")
+		return
+	}
+	s.mu.Lock()
+	id := s.next
+	s.next++
+	res, err := s.dep.Serve(sched.Query{
+		ID:          id,
+		MinAccuracy: req.MinAccuracy,
+		MaxLatency:  req.MaxLatencyMS * 1e-3,
+	})
+	if err == nil {
+		s.served = append(s.served, res)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, ServeResponse{
+		ID:           id,
+		SubNet:       res.SubNet,
+		Accuracy:     res.Accuracy,
+		LatencyMS:    res.Latency * 1e3,
+		Feasible:     res.Feasible,
+		LatencyMet:   res.LatencyMet,
+		AccuracyMet:  res.AccuracyMet,
+		HitRatio:     res.HitRatio,
+		CacheSwapped: res.CacheSwapped,
+	})
+}
+
+// FrontierEntry is one row of /v1/frontier.
+type FrontierEntry struct {
+	Name     string  `json:"name"`
+	Accuracy float64 `json:"accuracy"`
+	WeightMB float64 `json:"weight_mb"`
+	GFLOPs   float64 `json:"gflops"`
+}
+
+func (s *Server) handleFrontier(w http.ResponseWriter, _ *http.Request) {
+	var out []FrontierEntry
+	for _, sn := range s.dep.Frontier {
+		out = append(out, FrontierEntry{
+			Name:     sn.Name,
+			Accuracy: sn.Accuracy,
+			WeightMB: float64(sn.WeightBytes()) / (1 << 20),
+			GFLOPs:   float64(sn.FLOPs()) / 1e9,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// CacheResponse is /v1/cache's body.
+type CacheResponse struct {
+	SubGraph  string  `json:"subgraph"`
+	SizeMB    float64 `json:"size_mb"`
+	Swaps     int     `json:"swaps"`
+	SwapsMB   float64 `json:"swaps_mb"`
+	HasBuffer bool    `json:"has_persistent_buffer"`
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sim := s.dep.System.Simulator()
+	swaps, bytes := sim.Swaps()
+	resp := CacheResponse{
+		Swaps:     swaps,
+		SwapsMB:   float64(bytes) / (1 << 20),
+		HasBuffer: sim.Config().HasPB(),
+	}
+	if g := sim.Cached(); g != nil {
+		resp.SubGraph = g.Name()
+		resp.SizeMB = float64(g.Bytes()) / (1 << 20)
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// StatsResponse is /v1/stats's body.
+type StatsResponse struct {
+	Queries      int     `json:"queries"`
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	P99LatencyMS float64 `json:"p99_latency_ms"`
+	AvgAccuracy  float64 `json:"avg_accuracy"`
+	LatencySLO   float64 `json:"latency_slo"`
+	AccuracySLO  float64 `json:"accuracy_slo"`
+	AvgHitRatio  float64 `json:"avg_hit_ratio"`
+	CacheSwaps   int     `json:"cache_swaps"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sum := serving.Summarize(s.served)
+	s.mu.Unlock()
+	writeJSON(w, StatsResponse{
+		Queries:      sum.Queries,
+		AvgLatencyMS: sum.AvgLatency * 1e3,
+		P99LatencyMS: sum.P99Latency * 1e3,
+		AvgAccuracy:  sum.AvgAccuracy,
+		LatencySLO:   sum.LatencySLO,
+		AccuracySLO:  sum.AccuracySLO,
+		AvgHitRatio:  sum.AvgHitRatio,
+		CacheSwaps:   sum.CacheSwaps,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than log via the default
+		// error path.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

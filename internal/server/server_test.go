@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sushi/internal/core"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	dep, err := core.Deploy(core.DeployOptions{Workload: core.MobileNetV3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(dep))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postServe(t *testing.T, ts *httptest.Server, body string) (*http.Response, ServeResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/serve", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ServeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+func TestHealth(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestServeEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, out := postServe(t, ts, `{"min_accuracy": 78, "max_latency_ms": 10}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.SubNet == "" || out.Accuracy < 78 || out.LatencyMS <= 0 {
+		t.Fatalf("bad response %+v", out)
+	}
+	if !out.AccuracyMet {
+		t.Error("accuracy floor not met under strict-accuracy default")
+	}
+	// IDs increment.
+	_, out2 := postServe(t, ts, `{"min_accuracy": 76, "max_latency_ms": 10}`)
+	if out2.ID != out.ID+1 {
+		t.Errorf("ids %d then %d", out.ID, out2.ID)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	ts := testServer(t)
+	cases := []string{
+		`not json`,
+		`{"min_accuracy": -5}`,
+		`{"min_accuracy": 150}`,
+		`{"min_accuracy": 78, "max_latency_ms": -1}`,
+	}
+	for _, body := range cases {
+		resp, _ := postServe(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestFrontierEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []FrontierEntry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 7 {
+		t.Fatalf("%d frontier entries", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Accuracy <= out[i-1].Accuracy {
+			t.Error("frontier not sorted by accuracy")
+		}
+	}
+}
+
+func TestCacheAndStatsEndpoints(t *testing.T) {
+	ts := testServer(t)
+	for i := 0; i < 6; i++ {
+		postServe(t, ts, `{"min_accuracy": 79, "max_latency_ms": 10}`)
+	}
+	resp, err := http.Get(ts.URL + "/v1/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cache CacheResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cache); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !cache.HasBuffer || cache.SubGraph == "" || cache.SizeMB <= 0 {
+		t.Fatalf("cache response %+v", cache)
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Queries != 6 || stats.AvgLatencyMS <= 0 || stats.AccuracySLO != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	ts := testServer(t)
+	// GET on /v1/serve must not be routed.
+	resp, err := http.Get(ts.URL + "/v1/serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET /v1/serve should not succeed")
+	}
+}
+
+func TestConcurrentServes(t *testing.T) {
+	// Concurrent requests must serialize safely onto the one accelerator
+	// (no data race; run with -race in CI).
+	ts := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/serve", "application/json",
+				bytes.NewBufferString(`{"min_accuracy": 77, "max_latency_ms": 10}`))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != 16 {
+		t.Fatalf("served %d, want 16", stats.Queries)
+	}
+}

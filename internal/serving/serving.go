@@ -1,0 +1,272 @@
+// Package serving is the vertically integrated SUSHI stack (§3.1): it
+// wires SushiSched to SushiAccel through the SushiAbs latency table and
+// serves annotated query streams, logging the (SN_t, G_t) series the
+// paper's evaluation consumes.
+//
+// Three system variants reproduce Fig. 16's comparison:
+//
+//   - NoPB        — "No-Sushi": same total on-chip storage, no Persistent
+//     Buffer, so no cross-query weight reuse.
+//   - StateUnaware — "Sushi w/o Sched": the PB holds one statically chosen
+//     SubGraph that never adapts to the query mix.
+//   - Full        — SUSHI: Algorithm 1 with Q-periodic cache updates.
+package serving
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sushi/internal/accel"
+	"sushi/internal/latencytable"
+	"sushi/internal/sched"
+	"sushi/internal/supernet"
+)
+
+// Mode selects the system variant.
+type Mode int
+
+const (
+	// Full is the complete SUSHI stack.
+	Full Mode = iota
+	// StateUnaware caches a static SubGraph and never updates it.
+	StateUnaware
+	// NoPB disables the Persistent Buffer entirely.
+	NoPB
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Full:
+		return "Sushi"
+	case StateUnaware:
+		return "Sushi w/o Sched"
+	case NoPB:
+		return "No-Sushi"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a System.
+type Options struct {
+	// Accel is the hardware configuration (with PB; NoPB mode strips it).
+	Accel accel.Config
+	// Policy is the scheduler's hard-constraint mode.
+	Policy sched.Policy
+	// Q is the cache-update period (ignored by NoPB/StateUnaware).
+	Q int
+	// Mode selects the system variant.
+	Mode Mode
+	// Candidates is |S|, the latency table's column budget.
+	Candidates int
+	// StaticColumn is the column cached by StateUnaware mode (and the
+	// initial column for Full mode). A negative value draws a
+	// seeded-random column — the faithful reading of "state-unaware
+	// caching": a SubGraph chosen blindly, without consulting history.
+	StaticColumn int
+	// Seed drives candidate generation.
+	Seed int64
+	// ChargeSwapLatency, when true, adds each cache update's off-chip
+	// fill time to the following query's latency (Appendix A.1's update
+	// cost; Fig. 15/16 exclude it, the Q-sweep ablation includes it).
+	ChargeSwapLatency bool
+	// UseIntersection switches the scheduler's window summary from the
+	// paper's running average to pure intersection (ablation, §3.3).
+	UseIntersection bool
+}
+
+// Served records one query's outcome.
+type Served struct {
+	// Query echoes the request.
+	Query sched.Query
+	// SubNet is the served SubNet's name; Row its table row.
+	SubNet string
+	Row    int
+	// Latency is the simulated end-to-end serving latency in seconds
+	// (including any charged cache-swap time).
+	Latency float64
+	// Accuracy is the served top-1 accuracy.
+	Accuracy float64
+	// Feasible echoes the scheduler's constraint satisfiability.
+	Feasible bool
+	// LatencyMet and AccuracyMet compare the outcome to the constraints.
+	LatencyMet, AccuracyMet bool
+	// CacheSwapped reports whether this query triggered a cache update.
+	CacheSwapped bool
+	// HitRatio is the Appendix A.4 metric: ||SN ∩ G||2 / ||SN||2.
+	HitRatio float64
+	// HitBytes is the weight traffic served from the PB.
+	HitBytes int64
+	// OffChipEnergyJ is the query's off-chip data-movement energy.
+	OffChipEnergyJ float64
+}
+
+// System is one runnable serving stack.
+type System struct {
+	mode     Mode
+	sim      *accel.Simulator
+	schd     *sched.Scheduler
+	table    *latencytable.Table
+	frontier []*supernet.SubNet
+	opt      Options
+	// pendingSwapSec is cache-fill time to charge to the next query.
+	pendingSwapSec float64
+}
+
+// New builds a serving system over a supernet's frontier.
+func New(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*System, error) {
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("serving: empty frontier")
+	}
+	if opt.Candidates <= 0 {
+		opt.Candidates = 16
+	}
+	if opt.Q <= 0 {
+		opt.Q = 4
+	}
+	cfg := opt.Accel
+	var graphs []*supernet.SubGraph
+	switch opt.Mode {
+	case NoPB:
+		cfg = cfg.WithoutPB()
+		graphs = []*supernet.SubGraph{supernet.NewSubGraph(super, "empty")}
+	case StateUnaware, Full:
+		var err error
+		graphs, err = latencytable.Candidates(super, frontier, latencytable.CandidateOptions{
+			Budget: cfg.PBBytes,
+			Count:  opt.Candidates,
+			Seed:   opt.Seed,
+			// One shape family: distance-based selection (Alg. 1) then
+			// picks which SubNet mix to cache for, not which shape.
+			Strategies: []latencytable.Strategy{latencytable.TailFirst},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(graphs) == 0 {
+			return nil, fmt.Errorf("serving: no cache candidates generated")
+		}
+	default:
+		return nil, fmt.Errorf("serving: unknown mode %v", opt.Mode)
+	}
+	table, err := latencytable.Build(cfg, frontier, graphs)
+	if err != nil {
+		return nil, err
+	}
+	initCol := 0
+	if opt.Mode == StateUnaware || opt.Mode == Full {
+		initCol = opt.StaticColumn
+		if initCol < 0 {
+			initCol = int(rand.New(rand.NewSource(opt.Seed)).Int63n(int64(table.Cols())))
+		}
+		if initCol >= table.Cols() {
+			return nil, fmt.Errorf("serving: static column %d outside [0, %d)", opt.StaticColumn, table.Cols())
+		}
+	}
+	schd, err := sched.New(table, sched.Options{
+		Policy:          opt.Policy,
+		Q:               opt.Q,
+		InitialColumn:   initCol,
+		StateAware:      opt.Mode == Full,
+		UseIntersection: opt.UseIntersection,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sim, err := accel.NewSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Enact the initial cache state so the simulator matches the
+	// scheduler's belief from the first query.
+	if opt.Mode != NoPB {
+		if err := sim.SetCached(table.Graphs[initCol]); err != nil {
+			return nil, err
+		}
+	}
+	return &System{
+		mode:     opt.Mode,
+		sim:      sim,
+		schd:     schd,
+		table:    table,
+		frontier: frontier,
+		opt:      opt,
+	}, nil
+}
+
+// Mode returns the system variant.
+func (s *System) Mode() Mode { return s.mode }
+
+// Table exposes the latency table (read-only use).
+func (s *System) Table() *latencytable.Table { return s.table }
+
+// Scheduler exposes the scheduler (read-only use).
+func (s *System) Scheduler() *sched.Scheduler { return s.schd }
+
+// Simulator exposes the accelerator simulator (read-only use).
+func (s *System) Simulator() *accel.Simulator { return s.sim }
+
+// Serve runs one query through the full stack: schedule, execute with the
+// current cache state, then enact any cache update for subsequent queries.
+func (s *System) Serve(q sched.Query) (Served, error) {
+	d, err := s.schd.Schedule(q)
+	if err != nil {
+		return Served{}, err
+	}
+	sn := s.table.SubNets[d.SubNet]
+	rep, err := s.sim.Run(sn)
+	if err != nil {
+		return Served{}, err
+	}
+	lat := rep.Total()
+	if s.opt.ChargeSwapLatency {
+		lat += s.pendingSwapSec
+		s.pendingSwapSec = 0
+	}
+	out := Served{
+		Query:          q,
+		SubNet:         sn.Name,
+		Row:            d.SubNet,
+		Latency:        lat,
+		Accuracy:       sn.Accuracy,
+		Feasible:       d.Feasible,
+		LatencyMet:     lat <= q.MaxLatency,
+		AccuracyMet:    sn.Accuracy >= q.MinAccuracy,
+		HitBytes:       rep.HitBytes,
+		OffChipEnergyJ: rep.OffChipEnergyJ,
+	}
+	if cached := s.sim.Cached(); cached != nil {
+		out.HitRatio = supernet.Overlap(sn.Graph, cached)
+	}
+	if d.CacheUpdate >= 0 {
+		g := s.table.Graphs[d.CacheUpdate]
+		var prevFillBytes int64
+		if prev := s.sim.Cached(); prev != nil {
+			prevFillBytes = g.Bytes() - g.IntersectBytes(prev)
+		} else {
+			prevFillBytes = g.Bytes()
+		}
+		if err := s.sim.SetCached(g); err != nil {
+			return Served{}, err
+		}
+		out.CacheSwapped = true
+		if s.opt.ChargeSwapLatency {
+			s.pendingSwapSec += float64(prevFillBytes) / s.opt.Accel.OffChipBW
+		}
+	}
+	return out, nil
+}
+
+// ServeAll runs a whole stream.
+func (s *System) ServeAll(qs []sched.Query) ([]Served, error) {
+	out := make([]Served, 0, len(qs))
+	for _, q := range qs {
+		r, err := s.Serve(q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

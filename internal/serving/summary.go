@@ -1,0 +1,95 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary aggregates a served stream's outcome, the quantities behind
+// Fig. 15-16, Table 5 and Appendix A.4.
+type Summary struct {
+	// Queries is the stream length.
+	Queries int
+	// AvgLatency, P50Latency, P99Latency are in seconds.
+	AvgLatency, P50Latency, P99Latency float64
+	// AvgAccuracy is the mean served top-1 accuracy.
+	AvgAccuracy float64
+	// LatencySLO and AccuracySLO are attainment fractions in [0, 1].
+	LatencySLO, AccuracySLO float64
+	// FeasibleFraction is the share of queries whose hard constraint was
+	// satisfiable at all.
+	FeasibleFraction float64
+	// AvgHitRatio is the mean Appendix A.4 cache-hit metric.
+	AvgHitRatio float64
+	// HitBytes is the total PB-served weight traffic.
+	HitBytes int64
+	// OffChipEnergyJ is the stream's total off-chip energy.
+	OffChipEnergyJ float64
+	// CacheSwaps counts enacted cache updates.
+	CacheSwaps int
+}
+
+// Summarize folds a served stream into a Summary.
+func Summarize(rs []Served) Summary {
+	var s Summary
+	s.Queries = len(rs)
+	if len(rs) == 0 {
+		return s
+	}
+	lats := make([]float64, 0, len(rs))
+	for _, r := range rs {
+		s.AvgLatency += r.Latency
+		s.AvgAccuracy += r.Accuracy
+		s.AvgHitRatio += r.HitRatio
+		s.HitBytes += r.HitBytes
+		s.OffChipEnergyJ += r.OffChipEnergyJ
+		if r.LatencyMet {
+			s.LatencySLO++
+		}
+		if r.AccuracyMet {
+			s.AccuracySLO++
+		}
+		if r.Feasible {
+			s.FeasibleFraction++
+		}
+		if r.CacheSwapped {
+			s.CacheSwaps++
+		}
+		lats = append(lats, r.Latency)
+	}
+	n := float64(len(rs))
+	s.AvgLatency /= n
+	s.AvgAccuracy /= n
+	s.AvgHitRatio /= n
+	s.LatencySLO /= n
+	s.AccuracySLO /= n
+	s.FeasibleFraction /= n
+	sort.Float64s(lats)
+	s.P50Latency = percentile(lats, 0.50)
+	s.P99Latency = percentile(lats, 0.99)
+	return s
+}
+
+// percentile returns the p-quantile of sorted xs (nearest-rank).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(p*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+// String renders a compact one-line report.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d lat(avg/p50/p99)=%.3f/%.3f/%.3f ms acc=%.2f%% slo(lat/acc)=%.1f%%/%.1f%% hit=%.2f swaps=%d energy=%.3f mJ",
+		s.Queries, s.AvgLatency*1e3, s.P50Latency*1e3, s.P99Latency*1e3,
+		s.AvgAccuracy, s.LatencySLO*100, s.AccuracySLO*100, s.AvgHitRatio,
+		s.CacheSwaps, s.OffChipEnergyJ*1e3)
+}

@@ -1,0 +1,146 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"sushi/internal/sched"
+)
+
+// TimedQuery is a query with an arrival time (seconds since stream start).
+type TimedQuery struct {
+	sched.Query
+	// Arrival is when the query enters the queue.
+	Arrival float64
+}
+
+// TimedServed is the outcome of one timed query: service outcome plus
+// queueing telemetry.
+type TimedServed struct {
+	Served
+	// Arrival, Start, Finish are absolute times; QueueDelay = Start-Arrival.
+	Arrival, Start, Finish, QueueDelay float64
+	// E2ELatency is Finish-Arrival (queueing + service).
+	E2ELatency float64
+	// Dropped reports the query was abandoned because its deadline
+	// passed before service could begin (§1's transient-overload
+	// failure mode). Dropped queries have a zero Served.
+	Dropped bool
+}
+
+// TimedOptions controls the queueing discipline.
+type TimedOptions struct {
+	// LoadAware shrinks each query's effective latency budget by the
+	// time it already waited, so the scheduler picks a faster SubNet
+	// under load — the dynamic navigation of the trade-off space the
+	// paper motivates. Only meaningful under StrictLatency.
+	LoadAware bool
+	// Drop abandons queries whose remaining budget is exhausted before
+	// service starts (instead of serving them hopelessly late).
+	Drop bool
+}
+
+// ServeTimed runs a timed stream through the single accelerator in
+// arrival order (FIFO, non-preemptive — queries serialize on SushiAccel
+// exactly as in the paper's serving setup).
+func (s *System) ServeTimed(qs []TimedQuery, opt TimedOptions) ([]TimedServed, error) {
+	ordered := make([]TimedQuery, len(qs))
+	copy(ordered, qs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+
+	out := make([]TimedServed, 0, len(ordered))
+	clock := 0.0
+	for _, tq := range ordered {
+		if tq.Arrival < 0 {
+			return out, fmt.Errorf("serving: negative arrival %g for query %d", tq.Arrival, tq.ID)
+		}
+		start := clock
+		if tq.Arrival > start {
+			start = tq.Arrival
+		}
+		wait := start - tq.Arrival
+		remaining := tq.MaxLatency - wait
+		if opt.Drop && tq.MaxLatency > 0 && remaining <= 0 {
+			out = append(out, TimedServed{
+				Arrival:    tq.Arrival,
+				Start:      start,
+				Finish:     start,
+				QueueDelay: wait,
+				E2ELatency: wait,
+				Dropped:    true,
+			})
+			// An abandoned query consumes no accelerator time.
+			continue
+		}
+		q := tq.Query
+		if opt.LoadAware && tq.MaxLatency > 0 {
+			budget := remaining
+			if budget < 0 {
+				budget = 0
+			}
+			q.MaxLatency = budget
+		}
+		r, err := s.Serve(q)
+		if err != nil {
+			return out, err
+		}
+		finish := start + r.Latency
+		clock = finish
+		e2e := finish - tq.Arrival
+		// SLO attainment for timed serving judges the end-to-end time
+		// against the original budget.
+		r.LatencyMet = tq.MaxLatency <= 0 || e2e <= tq.MaxLatency
+		out = append(out, TimedServed{
+			Served:     r,
+			Arrival:    tq.Arrival,
+			Start:      start,
+			Finish:     finish,
+			QueueDelay: wait,
+			E2ELatency: e2e,
+		})
+	}
+	return out, nil
+}
+
+// TimedSummary aggregates a timed session.
+type TimedSummary struct {
+	// Queries, Served, Dropped count the stream.
+	Queries, ServedCount, Dropped int
+	// AvgE2E and AvgQueueDelay are in seconds (served queries only).
+	AvgE2E, AvgQueueDelay float64
+	// E2ESLO is the fraction of all queries (dropped count as misses)
+	// finishing within their original budget.
+	E2ESLO float64
+	// AvgAccuracy is over served queries.
+	AvgAccuracy float64
+}
+
+// SummarizeTimed folds a timed session.
+func SummarizeTimed(rs []TimedServed) TimedSummary {
+	var s TimedSummary
+	s.Queries = len(rs)
+	if len(rs) == 0 {
+		return s
+	}
+	met := 0
+	for _, r := range rs {
+		if r.Dropped {
+			s.Dropped++
+			continue
+		}
+		s.ServedCount++
+		s.AvgE2E += r.E2ELatency
+		s.AvgQueueDelay += r.QueueDelay
+		s.AvgAccuracy += r.Accuracy
+		if r.LatencyMet {
+			met++
+		}
+	}
+	if s.ServedCount > 0 {
+		s.AvgE2E /= float64(s.ServedCount)
+		s.AvgQueueDelay /= float64(s.ServedCount)
+		s.AvgAccuracy /= float64(s.ServedCount)
+	}
+	s.E2ESLO = float64(met) / float64(len(rs))
+	return s
+}

@@ -1,0 +1,71 @@
+package supernet
+
+import (
+	"fmt"
+)
+
+// Frontier returns the serving set X: SubNets picked along the Pareto
+// frontier, named "A" (smallest / fastest) through "F"/"G" (largest /
+// most accurate). The paper serves 6 ResNet50 and 7 MobileNetV3 SubNets
+// (§5.1) spanning roughly [7.58, 27.47] MB and [2.97, 4.74] MB of int8
+// weights respectively; the specs below are calibrated to land in those
+// ranges with our generators.
+func (s *SuperNet) Frontier() ([]*SubNet, error) {
+	var specs []SubNetSpec
+	switch s.Kind {
+	case ResNet50:
+		specs = []SubNetSpec{
+			s.UniformSpec(2, 1, 0, 0), // A: d=2, e=0.25, w=0.65
+			s.UniformSpec(2, 1, 0, 1), // B: d=2, e=0.25, w=0.80
+			s.UniformSpec(3, 1, 0, 1), // C: d=3, e=0.25, w=0.80
+			s.UniformSpec(3, 1, 0, 2), // D: d=3, e=0.25, w=1.00
+			s.UniformSpec(4, 1, 0, 2), // E: d=4, e=0.25, w=1.00
+			// F widens only the early (high-resolution, cheap-in-bytes)
+			// stages to e=0.35, matching the paper's 27.47 MB ceiling.
+			{Depth: []int{4, 4, 4, 4}, ExpandIdx: []int{2, 2, 1, 1}, WidthIdx: 2},
+		}
+	case MobileNetV3:
+		specs = []SubNetSpec{
+			s.UniformSpec(2, 0, 0, 0), // A: d=2, e=3, k=3
+			s.UniformSpec(2, 1, 0, 0), // B: d=2, e=4, k=3
+			s.UniformSpec(3, 1, 0, 0), // C: d=3, e=4, k=3
+			s.UniformSpec(3, 1, 1, 0), // D: d=3, e=4, k=5
+			s.UniformSpec(3, 2, 1, 0), // E: d=3, e=6, k=5
+			s.UniformSpec(4, 2, 1, 0), // F: d=4, e=6, k=5
+			s.UniformSpec(4, 2, 2, 0), // G: d=4, e=6, k=7
+		}
+	default:
+		return nil, fmt.Errorf("supernet %s: no frontier defined", s.Name)
+	}
+	out := make([]*SubNet, 0, len(specs))
+	for i, sp := range specs {
+		sn, err := s.Instantiate(sp)
+		if err != nil {
+			return nil, fmt.Errorf("frontier %c: %w", 'A'+i, err)
+		}
+		sn.Name = string(rune('A' + i))
+		sn.Graph.SetName(sn.Name)
+		sn.Model.Name = s.Name + "/" + sn.Name
+		out = append(out, sn)
+	}
+	return out, nil
+}
+
+// SharedGraph returns the intersection of all the given SubNets' weight
+// cells: the weights every SubNet uses (7.55 MB for ResNet50, 2.90 MB for
+// MobileNetV3 in the paper's configuration).
+func SharedGraph(subnets []*SubNet) (*SubGraph, error) {
+	if len(subnets) == 0 {
+		return nil, fmt.Errorf("supernet: SharedGraph of empty set")
+	}
+	g := subnets[0].Graph.Clone()
+	for _, sn := range subnets[1:] {
+		var err error
+		g, err = g.Intersect(sn.Graph)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g.SetName("shared")
+	return g, nil
+}

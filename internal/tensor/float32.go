@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Float32 is a dense float32 tensor, the continuous reference against
+// which the int8 quantized pipeline is validated. SushiAccel serves int8
+// models quantized from float checkpoints (§5.1, footnote 3); this type
+// provides the pre-quantization side of that workflow.
+type Float32 struct {
+	Shape Shape
+	Data  []float32
+}
+
+// NewFloat32 allocates a zeroed float32 tensor.
+func NewFloat32(s Shape) *Float32 {
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &Float32{Shape: s, Data: make([]float32, s.Elems())}
+}
+
+// At returns the element at (n, c, h, w).
+func (t *Float32) At(n, c, h, w int) float32 {
+	return t.Data[t.index(n, c, h, w)]
+}
+
+// Set stores v at (n, c, h, w).
+func (t *Float32) Set(n, c, h, w int, v float32) {
+	t.Data[t.index(n, c, h, w)] = v
+}
+
+func (t *Float32) index(n, c, h, w int) int {
+	s := t.Shape
+	return ((n*s.C+c)*s.H+h)*s.W + w
+}
+
+// RandomFloat32 fills a tensor with deterministic pseudo-random values in
+// [-amp, amp].
+func RandomFloat32(s Shape, amp float64, seed uint64) *Float32 {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	t := NewFloat32(s)
+	rng := xorshift64{s: seed}
+	for i := range t.Data {
+		u := float64(rng.next()>>11) / float64(1<<53) // [0, 1)
+		t.Data[i] = float32((2*u - 1) * amp)
+	}
+	return t
+}
+
+// Conv2DF32 is the float reference convolution (same geometry rules as
+// Conv2D; zero padding).
+func Conv2DF32(in *Float32, w *Float32, p ConvParams) (*Float32, error) {
+	if p.Groups == 0 {
+		p.Groups = 1
+	}
+	is, ws := in.Shape, w.Shape
+	if is.C%p.Groups != 0 || ws.C != is.C/p.Groups {
+		return nil, fmt.Errorf("%w: fp32 conv in=%v w=%v groups=%d", ErrShapeMismatch, is, ws, p.Groups)
+	}
+	oh := OutDim(is.H, ws.H, p.StrideH, p.PadH)
+	ow := OutDim(is.W, ws.W, p.StrideW, p.PadW)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("%w: fp32 conv output %dx%d", ErrShapeMismatch, oh, ow)
+	}
+	out := NewFloat32(Shape{N: is.N, C: ws.N, H: oh, W: ow})
+	cPerGroup := is.C / p.Groups
+	kPerGroup := ws.N / p.Groups
+	for n := 0; n < is.N; n++ {
+		for k := 0; k < ws.N; k++ {
+			g := k / kPerGroup
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var acc float64
+					for c := 0; c < cPerGroup; c++ {
+						ic := g*cPerGroup + c
+						for r := 0; r < ws.H; r++ {
+							ih := y*p.StrideH + r - p.PadH
+							if ih < 0 || ih >= is.H {
+								continue
+							}
+							for s := 0; s < ws.W; s++ {
+								iw := x*p.StrideW + s - p.PadW
+								if iw < 0 || iw >= is.W {
+									continue
+								}
+								acc += float64(in.At(n, ic, ih, iw)) * float64(w.At(k, c, r, s))
+							}
+						}
+					}
+					out.Set(n, k, y, x, float32(acc))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CalibrateRange derives quantization parameters covering the tensor's
+// observed value range — the standard post-training calibration step.
+func CalibrateRange(t *Float32) (QuantParams, error) {
+	if len(t.Data) == 0 {
+		return QuantParams{}, fmt.Errorf("tensor: calibrate empty tensor")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range t.Data {
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if lo == hi {
+		// Degenerate constant tensor: widen symmetrically.
+		lo, hi = lo-1, hi+1
+	}
+	// Always include zero so the zero point is exactly representable.
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	return ChooseParams(lo, hi)
+}
+
+// QuantizeF32 maps a float tensor into int8 under q.
+func QuantizeF32(t *Float32, q QuantParams) *Int8 {
+	out := NewInt8(t.Shape)
+	for i, v := range t.Data {
+		out.Data[i] = q.Quantize(float64(v))
+	}
+	return out
+}
+
+// DequantizeAcc maps an int32 convolution accumulator (computed over
+// zero-point-corrected int8 operands) back to float space: each product
+// (qIn - zpIn)*(qW) dequantizes by scaleIn*scaleW.
+func DequantizeAcc(acc *Int32, scaleIn, scaleW float64) *Float32 {
+	out := NewFloat32(acc.Shape)
+	s := scaleIn * scaleW
+	for i, v := range acc.Data {
+		out.Data[i] = float32(float64(v) * s)
+	}
+	return out
+}

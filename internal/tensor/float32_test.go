@@ -1,0 +1,130 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandomFloat32Deterministic(t *testing.T) {
+	a := RandomFloat32(Shape{1, 2, 3, 3}, 2, 5)
+	b := RandomFloat32(Shape{1, 2, 3, 3}, 2, 5)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed differs")
+		}
+		if a.Data[i] < -2 || a.Data[i] > 2 {
+			t.Fatalf("value %g outside amplitude", a.Data[i])
+		}
+	}
+}
+
+func TestConv2DF32KnownValue(t *testing.T) {
+	in := NewFloat32(Shape{1, 1, 2, 2})
+	copy(in.Data, []float32{1, 2, 3, 4})
+	w := NewFloat32(Shape{1, 1, 2, 2})
+	copy(w.Data, []float32{0.5, 0.5, 0.5, 0.5})
+	out, err := Conv2DF32(in, w, ConvParams{StrideH: 1, StrideW: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(out.Data[0])-5) > 1e-6 {
+		t.Fatalf("conv = %g, want 5", out.Data[0])
+	}
+}
+
+func TestConv2DF32ShapeMismatch(t *testing.T) {
+	in := RandomFloat32(Shape{1, 3, 4, 4}, 1, 1)
+	w := RandomFloat32(Shape{2, 4, 3, 3}, 1, 2)
+	if _, err := Conv2DF32(in, w, ConvParams{StrideH: 1, StrideW: 1}); err == nil {
+		t.Fatal("channel mismatch accepted")
+	}
+}
+
+func TestCalibrateRange(t *testing.T) {
+	in := NewFloat32(Shape{1, 1, 1, 4})
+	copy(in.Data, []float32{-3, -1, 2, 6})
+	q, err := CalibrateRange(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range must cover the data and quantize-dequantize every point to
+	// within one scale step.
+	for _, v := range in.Data {
+		d := q.Dequantize(q.Quantize(float64(v)))
+		if math.Abs(d-float64(v)) > q.Scale {
+			t.Errorf("value %g round-trips to %g (scale %g)", v, d, q.Scale)
+		}
+	}
+	// Zero must be exactly representable (zero point in range).
+	if z := q.Dequantize(q.Quantize(0)); math.Abs(z) > 1e-9 {
+		t.Errorf("zero round-trips to %g", z)
+	}
+	// Degenerate constant tensor still calibrates.
+	c := NewFloat32(Shape{1, 1, 1, 2})
+	copy(c.Data, []float32{5, 5})
+	if _, err := CalibrateRange(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantizedConvMatchesFloat is the end-to-end quantization-workflow
+// check (§5.1 footnote 3): calibrate, quantize, run the int8 pipeline
+// with zero-point correction, dequantize, and compare to the fp32
+// reference within quantization-noise bounds.
+func TestQuantizedConvMatchesFloat(t *testing.T) {
+	in := RandomFloat32(Shape{1, 8, 10, 10}, 3, 11)
+	w := RandomFloat32(Shape{16, 8, 3, 3}, 0.5, 12)
+	p := ConvParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+
+	ref, err := Conv2DF32(in, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qIn, err := CalibrateRange(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights quantize symmetrically (zero point 0), matching the int8
+	// pipeline's assumption.
+	var wMax float64
+	for _, v := range w.Data {
+		if a := math.Abs(float64(v)); a > wMax {
+			wMax = a
+		}
+	}
+	qW := QuantParams{Scale: wMax / 127, ZeroPoint: 0}
+
+	in8 := QuantizeF32(in, qIn)
+	w8 := QuantizeF32(w, qW)
+	acc, err := Conv2D(in8, w8, qIn.ZeroPoint, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DequantizeAcc(acc, qIn.Scale, qW.Scale)
+
+	// Error bound: each of the C*R*S=72 products carries quantization
+	// noise ~scaleIn*scaleW/2 each side; the RMS error is far below the
+	// signal. Check relative RMS < 5%.
+	var num, den float64
+	for i := range ref.Data {
+		d := float64(got.Data[i] - ref.Data[i])
+		num += d * d
+		den += float64(ref.Data[i]) * float64(ref.Data[i])
+	}
+	relRMS := math.Sqrt(num / den)
+	if relRMS > 0.05 {
+		t.Fatalf("quantized conv relative RMS error %.4f > 5%%", relRMS)
+	}
+	t.Logf("quantized conv relative RMS error %.4f", relRMS)
+}
+
+func TestDequantizeAcc(t *testing.T) {
+	acc := NewInt32(Shape{1, 1, 1, 2})
+	copy(acc.Data, []int32{100, -50})
+	out := DequantizeAcc(acc, 0.1, 0.02)
+	// float32 storage: tolerance at float32 epsilon, not double.
+	if math.Abs(float64(out.Data[0])-0.2) > 1e-6 || math.Abs(float64(out.Data[1])+0.1) > 1e-6 {
+		t.Fatalf("dequantized %v", out.Data)
+	}
+}

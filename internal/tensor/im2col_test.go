@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestIm2ColMatchesDirectConv is the central cross-check: the lowered
+// (im2col + matmul) path must agree exactly with the direct Conv2D
+// reference for every configuration. This is the same equivalence the
+// SushiAccel Line Buffer relies on.
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     Shape
+		w      Shape
+		zp     int32
+		params ConvParams
+	}{
+		{"3x3_same", Shape{1, 3, 8, 8}, Shape{4, 3, 3, 3}, 0, ConvParams{1, 1, 1, 1, 1}},
+		{"3x3_stride2", Shape{1, 4, 9, 9}, Shape{2, 4, 3, 3}, 5, ConvParams{2, 2, 1, 1, 1}},
+		{"1x1", Shape{1, 8, 5, 5}, Shape{16, 8, 1, 1}, -3, ConvParams{1, 1, 0, 0, 1}},
+		{"5x5_pad2", Shape{1, 2, 7, 7}, Shape{3, 2, 5, 5}, 1, ConvParams{1, 1, 2, 2, 1}},
+		{"7x7_stride2_pad3", Shape{1, 3, 16, 16}, Shape{4, 3, 7, 7}, 0, ConvParams{2, 2, 3, 3, 1}},
+		{"batch2", Shape{2, 3, 6, 6}, Shape{4, 3, 3, 3}, 2, ConvParams{1, 1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := RandomInt8(tc.in, 11)
+			w := RandomInt8(tc.w, 22)
+			direct, err := Conv2D(in, w, tc.zp, tc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zp8 := int8(tc.zp)
+			cols := Im2Col(in, tc.w.H, tc.w.W, zp8, tc.params)
+			lowered, err := MatMulCols(cols, FlattenWeights(w), tc.zp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oh := OutDim(tc.in.H, tc.w.H, tc.params.StrideH, tc.params.PadH)
+			ow := OutDim(tc.in.W, tc.w.W, tc.params.StrideW, tc.params.PadW)
+			reshaped, err := ReshapeConvOut(lowered, oh, ow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reshaped.Shape != direct.Shape {
+				t.Fatalf("shape %v != %v", reshaped.Shape, direct.Shape)
+			}
+			for i := range direct.Data {
+				if direct.Data[i] != reshaped.Data[i] {
+					t.Fatalf("mismatch at %d: direct=%d lowered=%d", i, direct.Data[i], reshaped.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestIm2ColMatchesDirectConvQuick drives the same equivalence through
+// randomized configurations using testing/quick.
+func TestIm2ColMatchesDirectConvQuick(t *testing.T) {
+	f := func(seedRaw uint64, cRaw, kRaw, hRaw, kernRaw, strideRaw uint8, zpRaw int8) bool {
+		c := int(cRaw)%4 + 1
+		k := int(kRaw)%4 + 1
+		h := int(hRaw)%6 + 3
+		kern := []int{1, 3, 5}[int(kernRaw)%3]
+		stride := int(strideRaw)%2 + 1
+		pad := kern / 2
+		if h+2*pad < kern {
+			return true
+		}
+		in := RandomInt8(Shape{1, c, h, h}, seedRaw|1)
+		w := RandomInt8(Shape{k, c, kern, kern}, seedRaw|2)
+		p := ConvParams{StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}
+		direct, err := Conv2D(in, w, int32(zpRaw), p)
+		if err != nil {
+			return false
+		}
+		cols := Im2Col(in, kern, kern, zpRaw, p)
+		lowered, err := MatMulCols(cols, FlattenWeights(w), int32(zpRaw))
+		if err != nil {
+			return false
+		}
+		oh := OutDim(h, kern, stride, pad)
+		reshaped, err := ReshapeConvOut(lowered, oh, oh)
+		if err != nil {
+			return false
+		}
+		for i := range direct.Data {
+			if direct.Data[i] != reshaped.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulColsShapeMismatch(t *testing.T) {
+	cols := RandomInt8(Shape{1, 4, 9, 1}, 1)
+	w := RandomInt8(Shape{2, 8, 1, 1}, 2)
+	if _, err := MatMulCols(cols, w, 0); err == nil {
+		t.Fatal("expected shape mismatch")
+	}
+}
+
+func TestReshapeConvOutMismatch(t *testing.T) {
+	m := NewInt32(Shape{1, 2, 9, 1})
+	if _, err := ReshapeConvOut(m, 2, 2); err == nil {
+		t.Fatal("expected mismatch for 9 != 4")
+	}
+}
+
+func TestFlattenWeightsAliases(t *testing.T) {
+	w := RandomInt8(Shape{2, 3, 3, 3}, 9)
+	f := FlattenWeights(w)
+	if f.Shape != (Shape{2, 27, 1, 1}) {
+		t.Fatalf("flatten shape = %v", f.Shape)
+	}
+	f.Data[0] = 99
+	if w.Data[0] != 99 {
+		t.Fatal("FlattenWeights must alias, not copy")
+	}
+}

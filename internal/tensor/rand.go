@@ -1,0 +1,32 @@
+package tensor
+
+// xorshift64 is a tiny deterministic PRNG used to fill synthetic tensors.
+// It avoids math/rand so that weight generation stays stable across Go
+// releases (math/rand's global stream ordering is not guaranteed).
+type xorshift64 struct{ s uint64 }
+
+func (x *xorshift64) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+// FillRandom fills t with deterministic pseudo-random int8 values drawn
+// from seed. The same (seed, shape) always produces the same data.
+func FillRandom(t *Int8, seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	rng := xorshift64{s: seed}
+	for i := range t.Data {
+		t.Data[i] = int8(rng.next() >> 56) // top byte
+	}
+}
+
+// RandomInt8 allocates and fills a tensor in one step.
+func RandomInt8(s Shape, seed uint64) *Int8 {
+	t := NewInt8(s)
+	FillRandom(t, seed)
+	return t
+}

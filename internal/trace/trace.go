@@ -1,0 +1,158 @@
+// Package trace persists serving sessions: the (SN_t, G_t) series the
+// paper's Appendix A.4 analyzes, written as JSON Lines so sessions can be
+// streamed, audited and replayed. A record is written per query; the
+// header pins the deployment parameters so a replay can rebuild the same
+// system.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+)
+
+// Header opens a trace stream and pins the deployment.
+type Header struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// Workload, Mode, Policy, Q describe the deployment.
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	Policy   string `json:"policy"`
+	Q        int    `json:"q"`
+	// Accel names the hardware configuration.
+	Accel string `json:"accel"`
+	// Seed is the candidate-generation seed.
+	Seed int64 `json:"seed"`
+}
+
+// Record is one served query.
+type Record struct {
+	// Query echoes the constraints.
+	ID          int     `json:"id"`
+	MinAccuracy float64 `json:"min_accuracy"`
+	MaxLatency  float64 `json:"max_latency"`
+	// Outcome.
+	SubNet       string  `json:"subnet"`
+	Latency      float64 `json:"latency"`
+	Accuracy     float64 `json:"accuracy"`
+	Feasible     bool    `json:"feasible"`
+	LatencyMet   bool    `json:"latency_met"`
+	AccuracyMet  bool    `json:"accuracy_met"`
+	CacheSwapped bool    `json:"cache_swapped,omitempty"`
+	HitRatio     float64 `json:"hit_ratio"`
+	HitBytes     int64   `json:"hit_bytes"`
+	EnergyJ      float64 `json:"energy_j"`
+}
+
+// Writer streams a session to an io.Writer as JSON Lines.
+type Writer struct {
+	w      *bufio.Writer
+	enc    *json.Encoder
+	opened bool
+}
+
+// NewWriter wraps w. Call WriteHeader before any record.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteHeader emits the session header; it must be called exactly once,
+// first.
+func (t *Writer) WriteHeader(h Header) error {
+	if t.opened {
+		return errors.New("trace: header already written")
+	}
+	h.Version = 1
+	if err := t.enc.Encode(h); err != nil {
+		return fmt.Errorf("trace: header: %w", err)
+	}
+	t.opened = true
+	return nil
+}
+
+// Write appends one served query.
+func (t *Writer) Write(r serving.Served) error {
+	if !t.opened {
+		return errors.New("trace: header not written")
+	}
+	rec := Record{
+		ID:           r.Query.ID,
+		MinAccuracy:  r.Query.MinAccuracy,
+		MaxLatency:   r.Query.MaxLatency,
+		SubNet:       r.SubNet,
+		Latency:      r.Latency,
+		Accuracy:     r.Accuracy,
+		Feasible:     r.Feasible,
+		LatencyMet:   r.LatencyMet,
+		AccuracyMet:  r.AccuracyMet,
+		CacheSwapped: r.CacheSwapped,
+		HitRatio:     r.HitRatio,
+		HitBytes:     r.HitBytes,
+		EnergyJ:      r.OffChipEnergyJ,
+	}
+	if err := t.enc.Encode(&rec); err != nil {
+		return fmt.Errorf("trace: record %d: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Session is a fully parsed trace.
+type Session struct {
+	Header  Header
+	Records []Record
+}
+
+// Read parses a trace stream.
+func Read(r io.Reader) (*Session, error) {
+	dec := json.NewDecoder(r)
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if h.Version != 1 {
+		return nil, fmt.Errorf("trace: unsupported version %d", h.Version)
+	}
+	s := &Session{Header: h}
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", len(s.Records), err)
+		}
+		s.Records = append(s.Records, rec)
+	}
+	return s, nil
+}
+
+// Queries extracts the constraint stream for replay.
+func (s *Session) Queries() []sched.Query {
+	out := make([]sched.Query, 0, len(s.Records))
+	for _, r := range s.Records {
+		out = append(out, sched.Query{
+			ID:          r.ID,
+			MinAccuracy: r.MinAccuracy,
+			MaxLatency:  r.MaxLatency,
+		})
+	}
+	return out
+}
+
+// HitSeries returns the per-query hit ratios (Appendix A.4's series).
+func (s *Session) HitSeries() []float64 {
+	out := make([]float64, 0, len(s.Records))
+	for _, r := range s.Records {
+		out = append(out, r.HitRatio)
+	}
+	return out
+}

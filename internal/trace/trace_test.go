@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sushi/internal/accel"
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+	"sushi/internal/supernet"
+	"sushi/internal/workload"
+)
+
+func sampleHeader() Header {
+	return Header{
+		Workload: "mobilenetv3", Mode: "Sushi", Policy: "STRICT_ACCURACY",
+		Q: 4, Accel: "ZCU104", Seed: 1,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(sampleHeader()); err != nil {
+		t.Fatal(err)
+	}
+	served := []serving.Served{
+		{
+			Query:  sched.Query{ID: 0, MinAccuracy: 77, MaxLatency: 5e-3},
+			SubNet: "C", Latency: 3e-3, Accuracy: 78.6,
+			Feasible: true, LatencyMet: true, AccuracyMet: true,
+			HitRatio: 0.7, HitBytes: 1 << 20, OffChipEnergyJ: 1e-4,
+		},
+		{
+			Query:  sched.Query{ID: 1, MinAccuracy: 80, MaxLatency: 2e-3},
+			SubNet: "G", Latency: 6e-3, Accuracy: 80.1,
+			Feasible: false, CacheSwapped: true,
+		},
+	}
+	for _, r := range served {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Header.Workload != "mobilenetv3" || s.Header.Version != 1 {
+		t.Fatalf("header %+v", s.Header)
+	}
+	if len(s.Records) != 2 {
+		t.Fatalf("%d records", len(s.Records))
+	}
+	if s.Records[0].SubNet != "C" || s.Records[0].HitRatio != 0.7 {
+		t.Fatalf("record 0 %+v", s.Records[0])
+	}
+	if !s.Records[1].CacheSwapped || s.Records[1].Feasible {
+		t.Fatalf("record 1 %+v", s.Records[1])
+	}
+	qs := s.Queries()
+	if len(qs) != 2 || qs[1].MinAccuracy != 80 {
+		t.Fatalf("queries %+v", qs)
+	}
+	hits := s.HitSeries()
+	if len(hits) != 2 || hits[0] != 0.7 {
+		t.Fatalf("hit series %v", hits)
+	}
+}
+
+func TestWriterOrderEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(serving.Served{}); err == nil {
+		t.Error("record before header accepted")
+	}
+	if err := w.WriteHeader(sampleHeader()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(sampleHeader()); err == nil {
+		t.Error("double header accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version":1}` + "\n" + `{"id":`)); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestReplayReproducesSession(t *testing.T) {
+	// Record a session, replay its constraint stream on an identically
+	// configured system: outcomes must match record for record (the
+	// whole stack is deterministic).
+	s := supernet.NewOFAMobileNetV3()
+	fr, err := s.Frontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *serving.System {
+		sys, err := serving.New(s, fr, serving.Options{
+			Accel: accel.ZCU104(), Policy: sched.StrictAccuracy, Q: 4,
+			Mode: serving.Full, Candidates: 12, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	sys := mk()
+	qs, err := workload.Uniform(40,
+		workload.Range{Lo: fr[0].Accuracy, Hi: fr[len(fr)-1].Accuracy},
+		workload.Range{Lo: 1e-3, Hi: 8e-3}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sys.ServeAll(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(sampleHeader()); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := mk().ServeAll(sess.Queries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if replayed[i].SubNet != sess.Records[i].SubNet {
+			t.Fatalf("record %d: replay served %s, trace says %s", i, replayed[i].SubNet, sess.Records[i].SubNet)
+		}
+		if replayed[i].Latency != sess.Records[i].Latency {
+			t.Fatalf("record %d: replay latency %g != trace %g", i, replayed[i].Latency, sess.Records[i].Latency)
+		}
+	}
+}

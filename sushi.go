@@ -1,0 +1,303 @@
+// Package sushi is the public API of the SUSHI reproduction: a vertically
+// integrated inference-serving stack for weight-shared DNNs (MLSys 2023,
+// "Subgraph Stationary Hardware-Software Inference Co-Design").
+//
+// SUSHI serves a stream of queries, each annotated with an (accuracy,
+// latency) constraint pair, on an accelerator with a Persistent Buffer
+// that keeps a SubGraph of SuperNet weights stationary across queries
+// (SubGraph Stationary, SGS). A state-aware scheduler decides per query
+// which SubNet to activate and, every Q queries, which SubGraph to cache.
+//
+// Quickstart:
+//
+//	sys, err := sushi.New(sushi.Options{Workload: sushi.MobileNetV3})
+//	if err != nil { ... }
+//	res, err := sys.Serve(sushi.Query{MinAccuracy: 78, MaxLatency: 5e-3})
+//	fmt.Printf("served %s at %.2f ms\n", res.SubNet, res.Latency*1e3)
+//
+// The deeper layers are available for direct use in advanced scenarios:
+// the experiment harness regenerating every figure and table of the paper
+// lives behind Experiment; the cmd/sushi-bench tool wraps it.
+package sushi
+
+import (
+	"fmt"
+	"strings"
+
+	"sushi/internal/accel"
+	"sushi/internal/core"
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+	"sushi/internal/workload"
+)
+
+// Re-exported core types. Aliases keep the public surface small while the
+// implementation stays in internal packages.
+type (
+	// Query is one inference request with its (A_t, L_t) constraints.
+	Query = sched.Query
+	// Served is the outcome of one query.
+	Served = serving.Served
+	// Summary aggregates a served stream.
+	Summary = serving.Summary
+	// Policy selects the hard constraint (StrictAccuracy/StrictLatency).
+	Policy = sched.Policy
+	// Mode selects the system variant (Full/StateUnaware/NoPB).
+	Mode = serving.Mode
+	// AccelConfig parameterizes the simulated accelerator.
+	AccelConfig = accel.Config
+	// Workload names a SuperNet family.
+	Workload = core.Workload
+	// Options configures New.
+	Options = core.DeployOptions
+	// Range is a constraint-sampling interval for workload generators.
+	Range = workload.Range
+	// Phase is one segment of a phased workload.
+	Phase = workload.Phase
+)
+
+// Policies.
+const (
+	// StrictAccuracy serves the fastest SubNet meeting the accuracy bound.
+	StrictAccuracy = sched.StrictAccuracy
+	// StrictLatency serves the most accurate SubNet meeting the latency bound.
+	StrictLatency = sched.StrictLatency
+	// MinEnergy serves the lowest-energy SubNet meeting both bounds
+	// (extension beyond the paper's Algorithm 1; see §7's energy remark).
+	MinEnergy = sched.MinEnergy
+)
+
+// System variants (Fig. 16's comparison).
+const (
+	// Full is the complete SUSHI stack.
+	Full = serving.Full
+	// StateUnaware caches one static SubGraph ("Sushi w/o Sched").
+	StateUnaware = serving.StateUnaware
+	// NoPB disables the Persistent Buffer ("No-Sushi").
+	NoPB = serving.NoPB
+)
+
+// Workloads.
+const (
+	// ResNet50 is the weight-shared OFA-ResNet50 family.
+	ResNet50 = core.ResNet50
+	// MobileNetV3 is the weight-shared OFA-MobileNetV3 family.
+	MobileNetV3 = core.MobileNetV3
+)
+
+// Accelerator presets.
+var (
+	// ZCU104 is the embedded-board configuration (Tables 2-3).
+	ZCU104 = accel.ZCU104
+	// AlveoU50 is the datacenter-card configuration (§5.4).
+	AlveoU50 = accel.AlveoU50
+	// RooflineStudy is the analytic-model configuration (§5.2).
+	RooflineStudy = accel.RooflineStudy
+)
+
+// Workload generators (seeded, deterministic).
+var (
+	// UniformWorkload draws n queries with uniform constraints.
+	UniformWorkload = workload.Uniform
+	// PhasedWorkload cycles through constraint phases.
+	PhasedWorkload = workload.Phased
+	// BurstyWorkload injects transient latency-budget crunches.
+	BurstyWorkload = workload.Bursty
+	// DriftingWorkload linearly interpolates constraints over the stream.
+	DriftingWorkload = workload.Drifting
+)
+
+// Summarize folds a served stream into aggregate statistics.
+var Summarize = serving.Summarize
+
+// Timed serving (open-loop arrivals with queueing, §1's transient
+// overload regime).
+type (
+	// TimedQuery is a query plus its arrival time.
+	TimedQuery = serving.TimedQuery
+	// TimedServed is a timed query's outcome (service + queueing).
+	TimedServed = serving.TimedServed
+	// TimedOptions controls the queueing discipline.
+	TimedOptions = serving.TimedOptions
+	// TimedSummary aggregates a timed session.
+	TimedSummary = serving.TimedSummary
+)
+
+// SummarizeTimed folds a timed session.
+var SummarizeTimed = serving.SummarizeTimed
+
+// PoissonArrivals draws open-loop arrival times at the given rate.
+var PoissonArrivals = workload.PoissonArrivals
+
+// ServeTimed runs a timed stream through the system's single accelerator
+// in arrival order (FIFO, non-preemptive).
+func (s *System) ServeTimed(qs []TimedQuery, opt TimedOptions) ([]TimedServed, error) {
+	return s.d.System.ServeTimed(qs, opt)
+}
+
+// System is a ready-to-serve SUSHI deployment.
+type System struct {
+	d *core.Deployment
+}
+
+// New builds a SUSHI system. Zero-valued options select ResNet50 on a
+// ZCU104 with the full stack, STRICT_ACCURACY... see Options for fields.
+func New(opt Options) (*System, error) {
+	d, err := core.Deploy(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &System{d: d}, nil
+}
+
+// Serve runs one query through the stack.
+func (s *System) Serve(q Query) (Served, error) { return s.d.Serve(q) }
+
+// ServeAll runs a query stream in order.
+func (s *System) ServeAll(qs []Query) ([]Served, error) { return s.d.ServeAll(qs) }
+
+// SubNetInfo describes one servable SubNet of the deployment.
+type SubNetInfo struct {
+	// Name is the frontier label ("A".."G").
+	Name string
+	// Accuracy is top-1 percent.
+	Accuracy float64
+	// WeightMB is the int8 weight footprint in MiB.
+	WeightMB float64
+	// GFLOPs is the forward-pass cost.
+	GFLOPs float64
+}
+
+// Frontier lists the deployment's servable SubNets, smallest first.
+func (s *System) Frontier() []SubNetInfo {
+	out := make([]SubNetInfo, 0, len(s.d.Frontier))
+	for _, sn := range s.d.Frontier {
+		out = append(out, SubNetInfo{
+			Name:     sn.Name,
+			Accuracy: sn.Accuracy,
+			WeightMB: float64(sn.WeightBytes()) / (1 << 20),
+			GFLOPs:   float64(sn.FLOPs()) / 1e9,
+		})
+	}
+	return out
+}
+
+// CacheState describes the Persistent Buffer's contents.
+type CacheState struct {
+	// Name is the cached SubGraph's identifier ("" when empty).
+	Name string
+	// Bytes is its weight footprint.
+	Bytes int64
+	// Swaps counts enacted cache updates; SwapBytes their DRAM traffic.
+	Swaps     int
+	SwapBytes int64
+}
+
+// Cache reports the current Persistent Buffer state.
+func (s *System) Cache() CacheState {
+	sim := s.d.System.Simulator()
+	swaps, bytes := sim.Swaps()
+	st := CacheState{Swaps: swaps, SwapBytes: bytes}
+	if g := sim.Cached(); g != nil {
+		st.Name = g.Name()
+		st.Bytes = g.Bytes()
+	}
+	return st
+}
+
+// Experiment regenerates one of the paper's tables or figures by id
+// (fig2, fig3, fig10..fig17, table1..table6, hitratio) and returns its
+// rendered text. Workload-parameterized experiments accept "fig10:mobilenetv3"
+// style suffixes; the default is resnet50.
+func Experiment(id string) (string, error) {
+	res, err := runExperiment(id)
+	if err != nil {
+		return "", err
+	}
+	return res.String(), nil
+}
+
+// ExperimentCSV regenerates an experiment and renders it as CSV (with
+// notes as trailing '#' comment lines).
+func ExperimentCSV(id string) (string, error) {
+	res, err := runExperiment(id)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Experiments lists the available experiment ids.
+func Experiments() []string {
+	return []string{
+		"fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b",
+		"fig14", "fig15", "fig15acc", "fig16", "fig17",
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"hitratio", "ablation-avg", "overload",
+	}
+}
+
+func runExperiment(id string) (*core.Result, error) {
+	name, w := splitID(id)
+	switch name {
+	case "fig2":
+		return core.Fig2(w)
+	case "fig3":
+		return core.Fig3()
+	case "fig9":
+		return core.Fig9(w)
+	case "fig10":
+		return core.Fig10(w)
+	case "fig11":
+		return core.Fig11(w)
+	case "fig12":
+		return core.Fig12(w)
+	case "fig13a":
+		return core.Fig13a()
+	case "fig13b":
+		return core.Fig13b(w)
+	case "fig14":
+		return core.Fig14()
+	case "fig15":
+		return core.Fig15(w, sched.StrictLatency, 0)
+	case "fig15acc":
+		return core.Fig15(w, sched.StrictAccuracy, 0)
+	case "fig16":
+		return core.Fig16(w, 0)
+	case "fig17", "fig18":
+		return core.Fig17(w, 0)
+	case "table1":
+		return core.Table1()
+	case "table2":
+		return core.Table2()
+	case "table3":
+		return core.Table3()
+	case "table4":
+		return core.Table4()
+	case "table5":
+		return core.Table5(w, 0)
+	case "table6":
+		return core.Table6(w)
+	case "hitratio":
+		return core.HitRatioA4(0)
+	case "ablation-avg":
+		return core.AblationAvg(w, 0)
+	case "overload":
+		return core.Overload(w, 0)
+	default:
+		return nil, fmt.Errorf("sushi: unknown experiment %q (have %v)", id, Experiments())
+	}
+}
+
+func splitID(id string) (string, core.Workload) {
+	for i := 0; i < len(id); i++ {
+		if id[i] == ':' {
+			return id[:i], core.Workload(id[i+1:])
+		}
+	}
+	return id, core.ResNet50
+}

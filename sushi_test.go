@@ -1,0 +1,107 @@
+package sushi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDefaultsServe(t *testing.T) {
+	sys, err := New(Options{Workload: MobileNetV3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := sys.Frontier()
+	if len(fr) != 7 {
+		t.Fatalf("frontier %d, want 7", len(fr))
+	}
+	for i := 1; i < len(fr); i++ {
+		if fr[i].Accuracy <= fr[i-1].Accuracy || fr[i].GFLOPs <= fr[i-1].GFLOPs {
+			t.Errorf("frontier not monotone at %d: %+v vs %+v", i, fr[i-1], fr[i])
+		}
+	}
+	res, err := sys.Serve(Query{ID: 0, MinAccuracy: fr[2].Accuracy, MaxLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < fr[2].Accuracy {
+		t.Errorf("served %.2f%% below constraint %.2f%%", res.Accuracy, fr[2].Accuracy)
+	}
+}
+
+func TestServeAllAndSummarize(t *testing.T) {
+	sys, err := New(Options{Workload: MobileNetV3, Policy: StrictLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := UniformWorkload(50, Range{Lo: 76, Hi: 80}, Range{Lo: 2e-3, Hi: 8e-3}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sys.ServeAll(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(rs)
+	if sum.Queries != 50 || sum.AvgLatency <= 0 {
+		t.Fatalf("bad summary %+v", sum)
+	}
+}
+
+func TestCacheState(t *testing.T) {
+	sys, err := New(Options{Workload: MobileNetV3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Cache()
+	if st.Name == "" || st.Bytes <= 0 {
+		t.Fatalf("full system should boot with a cached SubGraph: %+v", st)
+	}
+	noPB, err := New(Options{Workload: MobileNetV3, Mode: NoPB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := noPB.Cache(); st.Name != "" || st.Bytes != 0 {
+		t.Fatalf("NoPB system should have an empty cache: %+v", st)
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	// Smoke-test the cheap experiments through the public API; the
+	// expensive ones are exercised in internal/core and the benchmarks.
+	for _, id := range []string{"table1", "table2", "table3", "table4", "fig3"} {
+		out, err := Experiment(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "==") {
+			t.Errorf("%s: output not rendered: %q", id, out[:40])
+		}
+	}
+	if _, err := Experiment("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(Experiments()) < 15 {
+		t.Error("experiment list too short")
+	}
+}
+
+func TestExperimentWorkloadSuffix(t *testing.T) {
+	out, err := Experiment("fig2:mobilenetv3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MobV3") {
+		t.Errorf("workload suffix ignored: %s", out[:80])
+	}
+	if _, err := Experiment("fig2:alexnet"); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestPresetsExposed(t *testing.T) {
+	for _, cfg := range []AccelConfig{ZCU104(), AlveoU50(), RooflineStudy()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
