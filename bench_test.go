@@ -7,16 +7,20 @@
 package sushi
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"sushi/internal/accel"
 	"sushi/internal/core"
 	"sushi/internal/latencytable"
 	"sushi/internal/sched"
 	"sushi/internal/supernet"
+	"sushi/internal/workload"
 )
 
 // cell parses the leading float of a table cell (strips units).
@@ -282,6 +286,41 @@ func BenchmarkAblationAveragePredictor(b *testing.B) {
 		if _, err := core.AblationAvg(core.MobileNetV3, 100); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Cluster serving ----
+
+// BenchmarkClusterServe measures closed-loop throughput of a replica
+// cluster as R grows; queries/sec should scale with R since replicas
+// serve in parallel. Later scaling PRs track this number.
+func BenchmarkClusterServe(b *testing.B) {
+	qs, err := workload.Uniform(256,
+		workload.Range{Lo: 76, Hi: 80},
+		workload.Range{Lo: 2e-3, Hi: 8e-3}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", r), func(b *testing.B) {
+			dep, err := core.DeployCluster(core.DeployOptions{
+				Workload: core.MobileNetV3,
+				Policy:   sched.StrictLatency,
+			}, core.ClusterOptions{Replicas: r, Router: core.RouterRoundRobin})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := dep.Cluster.ServeAll(ctx, qs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			b.ReportMetric(float64(b.N*len(qs))/elapsed, "queries/sec")
+		})
 	}
 }
 

@@ -1,0 +1,131 @@
+package sushi
+
+import (
+	"context"
+
+	"sushi/internal/core"
+	"sushi/internal/serving"
+)
+
+// RouterKind names a cluster dispatch policy.
+type RouterKind string
+
+// Dispatch policies for WithRouter.
+const (
+	// RoundRobin cycles through replicas — the stateless baseline.
+	RoundRobin = RouterKind(core.RouterRoundRobin)
+	// LeastLoaded joins the shortest queue.
+	LeastLoaded = RouterKind(core.RouterLeastLoaded)
+	// Affinity steers each query to the replica whose cached SubGraph
+	// best covers the SubNet it would serve, maximizing cross-query
+	// SubGraph-Stationary reuse (the paper's core idea) at cluster scale.
+	Affinity = RouterKind(core.RouterAffinity)
+	// RandomRouter spreads load with a seeded uniform draw (see
+	// WithRouterSeed); reproducible baseline for experiments.
+	RandomRouter = RouterKind(core.RouterRandom)
+)
+
+// ClusterOption customizes NewCluster beyond the per-replica Options.
+type ClusterOption func(*core.ClusterOptions)
+
+// WithReplicas sets the replica count R (default 1). Each replica is a
+// full SUSHI deployment: its own simulated SushiAccel, Persistent Buffer
+// and scheduler, over one shared SushiAbs latency table.
+func WithReplicas(n int) ClusterOption {
+	return func(o *core.ClusterOptions) { o.Replicas = n }
+}
+
+// WithRouter selects the dispatch policy (default RoundRobin).
+func WithRouter(kind RouterKind) ClusterOption {
+	return func(o *core.ClusterOptions) { o.Router = string(kind) }
+}
+
+// WithRouterSeed seeds the RandomRouter (default 1).
+func WithRouterSeed(seed int64) ClusterOption {
+	return func(o *core.ClusterOptions) { o.RouterSeed = seed }
+}
+
+// Result is one open-loop outcome from ServeStream: the served record,
+// the replica that produced it and any per-query error.
+type Result = serving.Result
+
+// ReplicaInfo describes one replica's identity, load, served aggregates
+// and Persistent Buffer state.
+type ReplicaInfo = core.ReplicaView
+
+// Cluster is a multi-replica SUSHI deployment: R systems behind a
+// dispatcher. All methods are safe for concurrent use; queries on one
+// replica serialize (a stream on one accelerator) while replicas serve
+// in parallel.
+type Cluster struct {
+	d *core.ClusterDeployment
+}
+
+// NewCluster builds a concurrent serving deployment. Options configures
+// each replica exactly as New configures a System; ClusterOptions add
+// the replica count and router:
+//
+//	c, err := sushi.NewCluster(sushi.Options{Workload: sushi.MobileNetV3},
+//		sushi.WithReplicas(4), sushi.WithRouter(sushi.Affinity))
+//
+// Replica i boots with cache candidate column i, so deployments start
+// with distinct cached SubGraphs and affinity routing has signal from
+// the first query.
+func NewCluster(opt Options, opts ...ClusterOption) (*Cluster, error) {
+	var copt core.ClusterOptions
+	for _, o := range opts {
+		o(&copt)
+	}
+	d, err := core.DeployCluster(opt, copt)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{d: d}, nil
+}
+
+// Serve routes one query to a replica and serves it there. A context
+// deadline tightens the query's MaxLatency to the remaining wall-clock
+// budget; cancellation fails fast.
+func (c *Cluster) Serve(ctx context.Context, q Query) (Served, error) {
+	return c.d.Cluster.Serve(ctx, q)
+}
+
+// ServeAll serves a closed-loop stream across the cluster: routing
+// happens in stream order (deterministic for deterministic routers),
+// replicas serve their shares in parallel, and results align with qs by
+// index.
+func (c *Cluster) ServeAll(ctx context.Context, qs []Query) ([]Served, error) {
+	return c.d.Cluster.ServeAll(ctx, qs)
+}
+
+// ServeStream serves an open-loop stream: queries arriving on in are
+// dispatched as they arrive and served concurrently. The result channel
+// closes once in closes (or ctx is cancelled) and every in-flight query
+// has drained. Consumers must drain the returned channel.
+func (c *Cluster) ServeStream(ctx context.Context, in <-chan Query) <-chan Result {
+	return c.d.Cluster.ServeStream(ctx, in)
+}
+
+// Size returns the replica count.
+func (c *Cluster) Size() int { return c.d.Cluster.Size() }
+
+// Router names the dispatch policy.
+func (c *Cluster) Router() string { return c.d.Cluster.RouterName() }
+
+// Frontier lists the servable SubNets (shared by every replica).
+func (c *Cluster) Frontier() []SubNetInfo {
+	return core.FrontierView(c.d.Frontier)
+}
+
+// Replicas snapshots per-replica state: queue depth, served aggregates
+// and Persistent Buffer contents.
+func (c *Cluster) Replicas() []ReplicaInfo {
+	return core.ReplicaViews(c.d.Cluster)
+}
+
+// Stats folds every replica's accumulator into one cluster summary.
+// Each replica aggregates under its own lock; the fold happens on the
+// reader, so serving never contends on a global stats mutex.
+func (c *Cluster) Stats() Summary {
+	return c.d.Cluster.Stats()
+}

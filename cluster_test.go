@@ -1,0 +1,143 @@
+package sushi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sushi/internal/core"
+)
+
+func testCluster(t *testing.T, r int, router RouterKind) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Options{Workload: MobileNetV3, Policy: StrictLatency},
+		WithReplicas(r), WithRouter(router))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterDefaults(t *testing.T) {
+	c, err := NewCluster(Options{Workload: MobileNetV3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 1 || c.Router() != "round-robin" {
+		t.Fatalf("defaults: %d replicas, router %s", c.Size(), c.Router())
+	}
+	if _, err := NewCluster(Options{}, WithRouter("telepathy")); err == nil {
+		t.Error("bogus router accepted")
+	}
+	var oe *core.OptionError
+	if _, err := NewCluster(Options{}, WithReplicas(-1)); !errors.As(err, &oe) {
+		t.Errorf("negative replicas: got %v, want *core.OptionError", err)
+	}
+}
+
+func TestClusterServeAllAcrossReplicas(t *testing.T) {
+	c := testCluster(t, 4, RoundRobin)
+	qs, err := UniformWorkload(40, Range{Lo: 76, Hi: 80}, Range{Lo: 2e-3, Hi: 8e-3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.ServeAll(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 40 {
+		t.Fatalf("served %d", len(rs))
+	}
+	reps := c.Replicas()
+	if len(reps) != 4 {
+		t.Fatalf("%d replica views", len(reps))
+	}
+	for _, r := range reps {
+		if r.Queries != 10 {
+			t.Errorf("replica %d served %d, want 10 under round-robin", r.ID, r.Queries)
+		}
+		if r.Cache.Name == "" || !r.Cache.HasBuffer {
+			t.Errorf("replica %d has no visible Persistent Buffer state: %+v", r.ID, r.Cache)
+		}
+	}
+	// Distinct initial columns: at least two distinct cached SubGraphs
+	// should remain visible across 4 replicas.
+	names := map[string]bool{}
+	for _, r := range reps {
+		names[r.Cache.Name] = true
+	}
+	if len(names) < 2 {
+		t.Errorf("replica caches collapsed to one SubGraph: %v", names)
+	}
+	if got := c.Stats().Queries; got != 40 {
+		t.Errorf("stats fold %d queries", got)
+	}
+	if len(c.Frontier()) != 7 {
+		t.Errorf("frontier %d entries", len(c.Frontier()))
+	}
+}
+
+func TestClusterServeStream(t *testing.T) {
+	c := testCluster(t, 3, LeastLoaded)
+	qs, err := UniformWorkload(30, Range{Lo: 76, Hi: 80}, Range{Lo: 2e-3, Hi: 8e-3}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan Query)
+	go func() {
+		defer close(in)
+		for _, q := range qs {
+			in <- q
+		}
+	}()
+	n := 0
+	for r := range c.ServeStream(context.Background(), in) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		n++
+	}
+	if n != 30 {
+		t.Fatalf("stream yielded %d results", n)
+	}
+}
+
+func TestClusterContextDeadline(t *testing.T) {
+	c := testCluster(t, 2, RoundRobin)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := c.Serve(ctx, Query{ID: 0, MinAccuracy: 0, MaxLatency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.MaxLatency > 0.05+1e-9 {
+		t.Errorf("deadline did not tighten the latency budget: %.3fs", res.Query.MaxLatency)
+	}
+	cancelled, stop := context.WithCancel(context.Background())
+	stop()
+	if _, err := c.Serve(cancelled, Query{ID: 1, MaxLatency: 1}); err == nil {
+		t.Error("cancelled context served")
+	}
+}
+
+func TestClusterAffinityBeatsRandomOnHitRatio(t *testing.T) {
+	// The affinity router's whole point: more cross-query SGS reuse than
+	// oblivious dispatch on the same stream.
+	qs, err := UniformWorkload(80, Range{Lo: 76, Hi: 80}, Range{Lo: 2e-3, Hi: 8e-3}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := func(router RouterKind) float64 {
+		t.Helper()
+		c := testCluster(t, 4, router)
+		if _, err := c.ServeAll(context.Background(), qs); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats().AvgHitRatio
+	}
+	aff, rnd := serve(Affinity), serve(RandomRouter)
+	if aff < rnd {
+		t.Errorf("affinity hit ratio %.4f below random %.4f", aff, rnd)
+	}
+}

@@ -1,17 +1,21 @@
 // Command sushi-serve runs a trace-driven serving simulation: it
 // generates (or accepts) an annotated query stream, serves it through a
-// SUSHI deployment, and prints per-query outcomes plus the aggregate
-// summary.
+// SUSHI cluster (replicas serve concurrently; one replica reproduces the
+// single-accelerator setup), and prints per-query outcomes plus the
+// aggregate and per-replica summaries.
 //
 // Usage:
 //
 //	sushi-serve [-w workload] [-mode full|unaware|nopb] [-policy acc|lat]
-//	            [-n queries] [-q period] [-trace kind] [-seed n] [-v]
+//	            [-n queries] [-q period] [-trace kind] [-seed n]
+//	            [-replicas n] [-router kind] [-v]
 //
 // Trace kinds: uniform (default), phased, bursty, drifting.
+// Router kinds: round-robin (default), least-loaded, affinity, random.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +33,8 @@ func main() {
 		q         = flag.Int("q", 4, "cache-update period Q")
 		traceKind = flag.String("trace", "uniform", "trace kind: uniform, phased, bursty, drifting")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		replicas  = flag.Int("replicas", 1, "replica deployments behind the dispatcher")
+		router    = flag.String("router", "round-robin", "dispatch policy: round-robin, least-loaded, affinity, random")
 		verb      = flag.Bool("v", false, "print every served query")
 		out       = flag.String("o", "", "write the session as a JSON-lines trace to this file")
 	)
@@ -57,19 +63,31 @@ func main() {
 		fatal("unknown policy %q", *policy)
 	}
 
-	sys, err := sushi.New(opt)
+	ctx := context.Background()
+	cl, err := sushi.NewCluster(opt,
+		sushi.WithReplicas(*replicas),
+		sushi.WithRouter(sushi.RouterKind(*router)),
+		sushi.WithRouterSeed(*seed))
 	if err != nil {
 		fatal("%v", err)
 	}
-	fr := sys.Frontier()
+	// Two probe queries learn the frontier's latency range so generated
+	// constraints are meaningfully satisfiable. They pin the per-query
+	// StrictAccuracy override so the range spans fastest→slowest SubNet
+	// regardless of the session policy (under plain StrictLatency both
+	// probes would serve the same most-accurate SubNet and the range
+	// would collapse). They run through the cluster itself (rebuilding a
+	// separate system would re-derive the whole latency table); their
+	// slight cache-state nudge matches the single-system behaviour of
+	// earlier versions.
+	fr := cl.Frontier()
 	accLo, accHi := fr[0].Accuracy, fr[len(fr)-1].Accuracy
-	// Latency bounds follow the workload's frontier scale: sample one
-	// query per extreme to learn the range.
-	probeLo, err := sys.Serve(sushi.Query{MinAccuracy: 0, MaxLatency: 1})
+	strictAcc := sushi.StrictAccuracy
+	probeLo, err := cl.Serve(ctx, sushi.Query{MinAccuracy: 0, MaxLatency: 1, Policy: &strictAcc})
 	if err != nil {
 		fatal("%v", err)
 	}
-	probeHi, err := sys.Serve(sushi.Query{MinAccuracy: accHi, MaxLatency: 1})
+	probeHi, err := cl.Serve(ctx, sushi.Query{MinAccuracy: accHi, MaxLatency: 1, Policy: &strictAcc})
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -100,9 +118,9 @@ func main() {
 		fatal("%v", err)
 	}
 
-	fmt.Printf("serving %d %s queries on %s (%s, %s policy)\n",
-		len(qs), *traceKind, *wl, *mode, *policy)
-	rs, err := sys.ServeAll(qs)
+	fmt.Printf("serving %d %s queries on %s (%s, %s policy, %d replicas, %s router)\n",
+		len(qs), *traceKind, *wl, *mode, *policy, cl.Size(), cl.Router())
+	rs, err := cl.ServeAll(ctx, qs)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -119,10 +137,12 @@ func main() {
 	}
 	sum := sushi.Summarize(rs)
 	fmt.Println(sum)
-	st := sys.Cache()
-	if st.Name != "" {
-		fmt.Printf("final cache: %s (%.2f MB), %d swaps moving %.2f MB\n",
-			st.Name, float64(st.Bytes)/(1<<20), st.Swaps, float64(st.SwapBytes)/(1<<20))
+	// Per-replica aggregates also include the two range probes above.
+	fmt.Println("per-replica (incl. 2 probe queries):")
+	for _, rep := range cl.Replicas() {
+		fmt.Printf("  replica %d: %d queries, avg lat %.3f ms, hit %.2f, cache %s (%.2f MB), %d swaps moving %.2f MB\n",
+			rep.ID, rep.Queries, rep.AvgLatencyMS, rep.AvgHitRatio,
+			rep.Cache.Name, rep.Cache.SizeMB, rep.Cache.Swaps, rep.Cache.SwapsMB)
 	}
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -133,6 +153,7 @@ func main() {
 		if err := tw.WriteHeader(trace.Header{
 			Workload: *wl, Mode: *mode, Policy: *policy, Q: *q,
 			Accel: "ZCU104", Seed: *seed,
+			Replicas: cl.Size(), Router: cl.Router(),
 		}); err != nil {
 			fatal("%v", err)
 		}

@@ -1,14 +1,20 @@
-// Command sushi-server runs a SUSHI deployment behind an HTTP API:
+// Command sushi-server runs a SUSHI replica cluster behind a v1 HTTP API:
 //
-//	POST /v1/serve    {"min_accuracy": 78, "max_latency_ms": 5}
-//	GET  /v1/frontier  servable SubNets
-//	GET  /v1/cache     Persistent Buffer state
-//	GET  /v1/stats     running aggregates
+//	POST /v1/serve        {"min_accuracy": 78, "max_latency_ms": 5,
+//	                       "deadline_ms": 20, "policy": "lat"}
+//	POST /v1/serve/batch  NDJSON queries in, NDJSON outcomes out
+//	GET  /v1/replicas     per-replica cache state, queue depth, hit ratio
+//	GET  /v1/frontier     servable SubNets
+//	GET  /v1/cache        replica 0's Persistent Buffer state
+//	GET  /v1/stats        cluster-wide aggregates
 //	GET  /healthz
 //
 // Usage:
 //
-//	sushi-server [-addr :8080] [-w workload] [-policy acc|lat] [-q period]
+//	sushi-server [-addr :8080] [-w workload] [-policy acc|lat|energy]
+//	             [-q period] [-replicas n] [-router kind] [-seed n]
+//
+// Router kinds: round-robin (default), least-loaded, affinity, random.
 package main
 
 import (
@@ -18,33 +24,37 @@ import (
 	"net/http"
 
 	"sushi/internal/core"
-	"sushi/internal/sched"
 	"sushi/internal/server"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		wl     = flag.String("w", "resnet50", "workload: resnet50 or mobilenetv3")
-		policy = flag.String("policy", "acc", "hard constraint: acc or lat")
-		q      = flag.Int("q", 4, "cache-update period Q")
+		addr     = flag.String("addr", ":8080", "listen address")
+		wl       = flag.String("w", "resnet50", "workload: resnet50 or mobilenetv3")
+		policy   = flag.String("policy", "acc", "default policy: acc, lat or energy")
+		q        = flag.Int("q", 4, "cache-update period Q")
+		replicas = flag.Int("replicas", 1, "replica deployments behind the dispatcher")
+		router   = flag.String("router", core.RouterRoundRobin,
+			"dispatch policy: round-robin, least-loaded, affinity or random")
+		seed = flag.Int64("seed", 1, "random-router seed")
 	)
 	flag.Parse()
 
 	opt := core.DeployOptions{Workload: core.Workload(*wl), Q: *q}
-	switch *policy {
-	case "acc":
-		opt.Policy = sched.StrictAccuracy
-	case "lat":
-		opt.Policy = sched.StrictLatency
-	default:
-		log.Fatalf("sushi-server: unknown policy %q", *policy)
-	}
-	dep, err := core.Deploy(opt)
+	pol, err := server.ParsePolicy(*policy)
 	if err != nil {
 		log.Fatalf("sushi-server: %v", err)
 	}
-	fmt.Printf("sushi-server: %s (%s policy) on %s, %d servable SubNets\n",
-		*wl, *policy, *addr, len(dep.Frontier))
+	opt.Policy = pol
+	dep, err := core.DeployCluster(opt, core.ClusterOptions{
+		Replicas:   *replicas,
+		Router:     *router,
+		RouterSeed: *seed,
+	})
+	if err != nil {
+		log.Fatalf("sushi-server: %v", err)
+	}
+	fmt.Printf("sushi-server: %s (%s policy) on %s, %d replicas (%s router), %d servable SubNets\n",
+		*wl, *policy, *addr, dep.Cluster.Size(), dep.Cluster.RouterName(), len(dep.Frontier))
 	log.Fatal(http.ListenAndServe(*addr, server.New(dep)))
 }

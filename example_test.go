@@ -1,6 +1,7 @@
 package sushi_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,4 +65,31 @@ func ExampleSystem_ServeAll() {
 		sum.Queries, sum.LatencySLO*100)
 	// Output:
 	// served 20 queries, latency SLO attainment 100%
+}
+
+// ExampleNewCluster serves a workload concurrently across four replica
+// accelerators with SubGraph-affinity routing.
+func ExampleNewCluster() {
+	c, err := sushi.NewCluster(sushi.Options{
+		Workload: sushi.MobileNetV3,
+		Policy:   sushi.StrictLatency,
+	}, sushi.WithReplicas(4), sushi.WithRouter(sushi.Affinity))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs, err := sushi.UniformWorkload(40,
+		sushi.Range{Lo: 76, Hi: 80},
+		sushi.Range{Lo: 2e-3, Hi: 8e-3},
+		42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := c.ServeAll(context.Background(), qs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d replicas served %d queries via %s routing\n",
+		c.Size(), len(rs), c.Router())
+	// Output:
+	// 4 replicas served 40 queries via affinity routing
 }

@@ -1,0 +1,3 @@
+module sushi
+
+go 1.24.0

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sushi/internal/serving"
+	"sushi/internal/supernet"
+)
+
+// Routing policy names accepted by ClusterOptions.Router and the cmd
+// tools' -router flag.
+const (
+	RouterRoundRobin  = "round-robin"
+	RouterLeastLoaded = "least-loaded"
+	RouterAffinity    = "affinity"
+	RouterRandom      = "random"
+)
+
+// ClusterOptions sizes a multi-replica deployment.
+type ClusterOptions struct {
+	// Replicas is the deployment count R (default 1).
+	Replicas int
+	// Router names the dispatch policy (default round-robin).
+	Router string
+	// RouterSeed seeds the random router (default 1; ignored by the
+	// deterministic policies).
+	RouterSeed int64
+}
+
+// NewRouter constructs the named routing policy.
+func NewRouter(name string, seed int64) (serving.Router, error) {
+	switch name {
+	case "", RouterRoundRobin:
+		return serving.NewRoundRobin(), nil
+	case RouterLeastLoaded:
+		return serving.NewLeastLoaded(), nil
+	case RouterAffinity:
+		return serving.NewAffinity(), nil
+	case RouterRandom:
+		if seed == 0 {
+			seed = 1
+		}
+		return serving.NewRandom(seed), nil
+	default:
+		return nil, &OptionError{Field: "Router", Value: name,
+			Reason: "must be round-robin, least-loaded, affinity or random"}
+	}
+}
+
+// ClusterDeployment bundles a SuperNet, its serving frontier and a
+// running replica cluster — the multi-accelerator counterpart of
+// Deployment.
+type ClusterDeployment struct {
+	// Super is the weight-shared network (one copy, shared: SubGraph
+	// weights are identical across replicas).
+	Super *supernet.SuperNet
+	// Frontier is the serving set X.
+	Frontier []*supernet.SubNet
+	// Cluster dispatches queries across the replicas.
+	Cluster *serving.Cluster
+}
+
+// DeployCluster builds R replica systems over ONE shared SushiAbs
+// latency table (it is read-only after build, so replicas share the
+// abstraction instead of re-deriving it) and wires them behind the named
+// router. Replica i boots with cache candidate column i — deployments
+// start with distinct cached SubGraphs, which gives the affinity router
+// signal from the first query.
+func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, error) {
+	if copt.Replicas < 0 {
+		return nil, &OptionError{Field: "Replicas", Value: copt.Replicas,
+			Reason: "replica count must be positive (0 selects 1)"}
+	}
+	if copt.Replicas == 0 {
+		copt.Replicas = 1
+	}
+	router, err := NewRouter(copt.Router, copt.RouterSeed)
+	if err != nil {
+		return nil, err
+	}
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	super, err := BuildSuperNet(opt.Workload)
+	if err != nil {
+		return nil, err
+	}
+	frontier, err := super.Frontier()
+	if err != nil {
+		return nil, err
+	}
+	sopt := opt.servingOptions(opt.accelConfig())
+	table, _, err := serving.BuildTable(super, frontier, sopt)
+	if err != nil {
+		return nil, err
+	}
+	systems := make([]*serving.System, copt.Replicas)
+	for i := range systems {
+		o := sopt
+		o.Table = table
+		o.StaticColumn = i % table.Cols()
+		systems[i], err = serving.New(super, frontier, o)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cluster, err := serving.NewCluster(systems, router)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterDeployment{Super: super, Frontier: frontier, Cluster: cluster}, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+	"sushi/internal/workload"
+)
+
+func TestDeployOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  DeployOptions
+	}{
+		{"negative Q", DeployOptions{Q: -1}},
+		{"negative Candidates", DeployOptions{Candidates: -3}},
+		{"negative Seed", DeployOptions{Seed: -7}},
+		{"bogus Mode", DeployOptions{Mode: serving.Mode(9)}},
+		{"bogus Policy", DeployOptions{Policy: sched.Policy(9)}},
+		{"bogus Workload", DeployOptions{Workload: "alexnet"}},
+	}
+	for _, tc := range cases {
+		_, err := Deploy(tc.opt)
+		if err == nil {
+			t.Errorf("%s accepted", tc.name)
+			continue
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: error %v is not an *OptionError", tc.name, err)
+		}
+	}
+}
+
+func TestDeployClusterValidation(t *testing.T) {
+	if _, err := DeployCluster(DeployOptions{}, ClusterOptions{Replicas: -2}); err == nil {
+		t.Error("negative replica count accepted")
+	}
+	_, err := DeployCluster(DeployOptions{}, ClusterOptions{Router: "telepathy"})
+	var oe *OptionError
+	if !errors.As(err, &oe) || oe.Field != "Router" {
+		t.Errorf("unknown router: got %v", err)
+	}
+}
+
+func TestDeployClusterServes(t *testing.T) {
+	dep, err := DeployCluster(DeployOptions{Workload: MobileNetV3, Policy: sched.StrictLatency},
+		ClusterOptions{Replicas: 3, Router: RouterAffinity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Cluster.Size() != 3 || dep.Cluster.RouterName() != "affinity" {
+		t.Fatalf("cluster %d replicas, router %s", dep.Cluster.Size(), dep.Cluster.RouterName())
+	}
+	// Replicas boot with distinct cached SubGraphs (column i).
+	names := map[string]bool{}
+	for _, rep := range dep.Cluster.Replicas() {
+		rep.Inspect(func(sys *serving.System) {
+			names[NewCacheView(sys).Name] = true
+		})
+	}
+	if len(names) < 2 {
+		t.Errorf("replicas share one initial cache: %v", names)
+	}
+	qs, err := workload.Uniform(24, workload.Range{Lo: 76, Hi: 80},
+		workload.Range{Lo: 2e-3, Hi: 8e-3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := dep.Cluster.ServeAll(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 24 {
+		t.Fatalf("served %d", len(rs))
+	}
+	views := ReplicaViews(dep.Cluster)
+	total := 0
+	for _, v := range views {
+		total += v.Queries
+		if v.QueueDepth != 0 {
+			t.Errorf("replica %d queue depth %d after drain", v.ID, v.QueueDepth)
+		}
+		if v.Cache.Name == "" || !v.Cache.HasBuffer {
+			t.Errorf("replica %d cache view %+v", v.ID, v.Cache)
+		}
+	}
+	if total != 24 {
+		t.Errorf("replica views count %d queries, want 24", total)
+	}
+}
+
+func TestViewHelpersMatchDeployment(t *testing.T) {
+	dep, err := Deploy(DeployOptions{Workload: MobileNetV3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := FrontierView(dep.Frontier)
+	if len(fv) != len(dep.Frontier) {
+		t.Fatalf("frontier view %d entries", len(fv))
+	}
+	for i, v := range fv {
+		if v.Name != dep.Frontier[i].Name || v.WeightMB <= 0 || v.GFLOPs <= 0 {
+			t.Errorf("entry %d: %+v", i, v)
+		}
+	}
+	cv := NewCacheView(dep.System)
+	if cv.Name == "" || cv.Bytes <= 0 || !cv.HasBuffer {
+		t.Errorf("cache view %+v", cv)
+	}
+	if cv.SizeMB != float64(cv.Bytes)/(1<<20) {
+		t.Errorf("SizeMB %.4f inconsistent with Bytes %d", cv.SizeMB, cv.Bytes)
+	}
+}

@@ -13,6 +13,23 @@ import (
 	"sushi/internal/supernet"
 )
 
+// OptionError is the typed rejection for invalid deployment options;
+// callers (the HTTP surface, cmd tools) can distinguish bad input from
+// internal failures with errors.As.
+type OptionError struct {
+	// Field names the offending option.
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason says what would be acceptable.
+	Reason string
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("core: invalid option %s=%v: %s", e.Field, e.Value, e.Reason)
+}
+
 // Workload identifies a SuperNet family.
 type Workload string
 
@@ -31,7 +48,8 @@ func BuildSuperNet(w Workload) (*supernet.SuperNet, error) {
 	case MobileNetV3:
 		return supernet.NewOFAMobileNetV3(), nil
 	default:
-		return nil, fmt.Errorf("core: unknown workload %q", w)
+		return nil, &OptionError{Field: "Workload", Value: w,
+			Reason: fmt.Sprintf("must be %q or %q", ResNet50, MobileNetV3)}
 	}
 }
 
@@ -66,23 +84,69 @@ type DeployOptions struct {
 	ChargeSwapLatency bool
 }
 
-// Deploy builds a ready-to-serve SUSHI deployment.
-func Deploy(opt DeployOptions) (*Deployment, error) {
+// normalize validates the options and fills defaults. Zero values select
+// defaults; negative values that older versions silently clamped are now
+// typed errors.
+func (opt *DeployOptions) normalize() error {
 	if opt.Workload == "" {
 		opt.Workload = ResNet50
 	}
-	cfg := accel.ZCU104()
-	if opt.Accel != nil {
-		cfg = *opt.Accel
+	if opt.Q < 0 {
+		return &OptionError{Field: "Q", Value: opt.Q, Reason: "cache-update period must be positive (0 selects the default 4)"}
 	}
-	if opt.Candidates <= 0 {
+	if opt.Q == 0 {
+		opt.Q = 4
+	}
+	if opt.Candidates < 0 {
+		return &OptionError{Field: "Candidates", Value: opt.Candidates, Reason: "candidate count must be positive (0 selects the default 16)"}
+	}
+	if opt.Candidates == 0 {
 		opt.Candidates = 16
 	}
-	if opt.Q <= 0 {
-		opt.Q = 4
+	if opt.Seed < 0 {
+		return &OptionError{Field: "Seed", Value: opt.Seed, Reason: "seed must be non-negative (0 selects the default 1)"}
 	}
 	if opt.Seed == 0 {
 		opt.Seed = 1
+	}
+	switch opt.Mode {
+	case serving.Full, serving.StateUnaware, serving.NoPB:
+	default:
+		return &OptionError{Field: "Mode", Value: opt.Mode, Reason: "must be Full, StateUnaware or NoPB"}
+	}
+	switch opt.Policy {
+	case sched.StrictAccuracy, sched.StrictLatency, sched.MinEnergy:
+	default:
+		return &OptionError{Field: "Policy", Value: opt.Policy, Reason: "must be StrictAccuracy, StrictLatency or MinEnergy"}
+	}
+	return nil
+}
+
+// servingOptions translates deploy options into the serving layer's.
+func (opt DeployOptions) servingOptions(cfg accel.Config) serving.Options {
+	return serving.Options{
+		Accel:             cfg,
+		Policy:            opt.Policy,
+		Q:                 opt.Q,
+		Mode:              opt.Mode,
+		Candidates:        opt.Candidates,
+		Seed:              opt.Seed,
+		ChargeSwapLatency: opt.ChargeSwapLatency,
+	}
+}
+
+// accelConfig resolves the accelerator configuration.
+func (opt DeployOptions) accelConfig() accel.Config {
+	if opt.Accel != nil {
+		return *opt.Accel
+	}
+	return accel.ZCU104()
+}
+
+// Deploy builds a ready-to-serve SUSHI deployment.
+func Deploy(opt DeployOptions) (*Deployment, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
 	}
 	super, err := BuildSuperNet(opt.Workload)
 	if err != nil {
@@ -92,15 +156,7 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, err := serving.New(super, frontier, serving.Options{
-		Accel:             cfg,
-		Policy:            opt.Policy,
-		Q:                 opt.Q,
-		Mode:              opt.Mode,
-		Candidates:        opt.Candidates,
-		Seed:              opt.Seed,
-		ChargeSwapLatency: opt.ChargeSwapLatency,
-	})
+	sys, err := serving.New(super, frontier, opt.servingOptions(opt.accelConfig()))
 	if err != nil {
 		return nil, err
 	}

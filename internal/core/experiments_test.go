@@ -376,10 +376,11 @@ func TestTable6Experiment(t *testing.T) {
 		t.Fatalf("%d rows", len(r.Rows))
 	}
 	// Column search must stay well under typical inference time (ms) and
-	// grow with table size overall.
+	// grow with table size overall. The race detector slows wall-clock
+	// timings ~10x, so the absolute bound only holds without it.
 	first := col(t, r.Rows[0], 1)
 	last := col(t, r.Rows[len(r.Rows)-1], 1)
-	if last > 1000 {
+	if !raceEnabled && last > 1000 {
 		t.Errorf("nearest-graph search %.1f us too slow", last)
 	}
 	if last < first {

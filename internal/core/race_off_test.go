@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled gates wall-clock performance assertions: the race
+// detector slows execution ~10x, so timing bounds only hold without it.
+const raceEnabled = false

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sushi/internal/serving"
+	"sushi/internal/supernet"
+)
+
+// SubNetView is the external description of one servable SubNet, shared
+// by the public sushi package and the HTTP server (previously each kept
+// its own copy of this marshaling).
+type SubNetView struct {
+	// Name is the frontier label ("A".."G").
+	Name string `json:"name"`
+	// Accuracy is top-1 percent.
+	Accuracy float64 `json:"accuracy"`
+	// WeightMB is the int8 weight footprint in MiB.
+	WeightMB float64 `json:"weight_mb"`
+	// GFLOPs is the forward-pass cost.
+	GFLOPs float64 `json:"gflops"`
+}
+
+// FrontierView renders a serving frontier, smallest SubNet first.
+func FrontierView(frontier []*supernet.SubNet) []SubNetView {
+	out := make([]SubNetView, 0, len(frontier))
+	for _, sn := range frontier {
+		out = append(out, SubNetView{
+			Name:     sn.Name,
+			Accuracy: sn.Accuracy,
+			WeightMB: float64(sn.WeightBytes()) / (1 << 20),
+			GFLOPs:   float64(sn.FLOPs()) / 1e9,
+		})
+	}
+	return out
+}
+
+// CacheView is the external description of one Persistent Buffer's
+// state.
+type CacheView struct {
+	// Name is the cached SubGraph's identifier ("" when empty).
+	Name string `json:"subgraph"`
+	// Bytes is its weight footprint; SizeMB the same in MiB.
+	Bytes  int64   `json:"bytes"`
+	SizeMB float64 `json:"size_mb"`
+	// Swaps counts enacted cache updates; SwapBytes/SwapsMB their DRAM
+	// traffic.
+	Swaps     int     `json:"swaps"`
+	SwapBytes int64   `json:"swap_bytes"`
+	SwapsMB   float64 `json:"swaps_mb"`
+	// HasBuffer reports whether the accelerator has a Persistent Buffer
+	// at all (false for NoPB deployments).
+	HasBuffer bool `json:"has_persistent_buffer"`
+}
+
+// NewCacheView reads a system's Persistent Buffer state. The caller owns
+// synchronization (use Replica.Inspect for cluster members).
+func NewCacheView(sys *serving.System) CacheView {
+	sim := sys.Simulator()
+	swaps, bytes := sim.Swaps()
+	v := CacheView{
+		Swaps:     swaps,
+		SwapBytes: bytes,
+		SwapsMB:   float64(bytes) / (1 << 20),
+		HasBuffer: sim.Config().HasPB(),
+	}
+	if g := sim.Cached(); g != nil {
+		v.Name = g.Name()
+		v.Bytes = g.Bytes()
+		v.SizeMB = float64(g.Bytes()) / (1 << 20)
+	}
+	return v
+}
+
+// ReplicaView is the external description of one cluster replica:
+// identity, load, served aggregates and Persistent Buffer state — the
+// body of GET /v1/replicas.
+type ReplicaView struct {
+	// ID is the replica index.
+	ID int `json:"id"`
+	// Queries is the number of queries this replica has served.
+	Queries int `json:"queries"`
+	// QueueDepth is the routed-but-unfinished query count.
+	QueueDepth int `json:"queue_depth"`
+	// AvgLatencyMS and AvgHitRatio summarize the replica's stream.
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	AvgHitRatio  float64 `json:"avg_hit_ratio"`
+	// Cache is the replica's Persistent Buffer state.
+	Cache CacheView `json:"cache"`
+}
+
+// ReplicaViews snapshots every replica of a cluster.
+func ReplicaViews(c *serving.Cluster) []ReplicaView {
+	out := make([]ReplicaView, 0, c.Size())
+	for _, rep := range c.Replicas() {
+		v := ReplicaView{
+			ID:         rep.ID(),
+			QueueDepth: rep.QueueDepth(),
+		}
+		sum := rep.Summary()
+		v.Queries = sum.Queries
+		v.AvgLatencyMS = sum.AvgLatency * 1e3
+		v.AvgHitRatio = sum.AvgHitRatio
+		rep.Inspect(func(sys *serving.System) {
+			v.Cache = NewCacheView(sys)
+		})
+		out = append(out, v)
+	}
+	return out
+}

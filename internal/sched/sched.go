@@ -52,6 +52,10 @@ type Query struct {
 	MinAccuracy float64
 	// MaxLatency is L_t in seconds.
 	MaxLatency float64
+	// Policy, when non-nil, overrides the scheduler's hard-constraint
+	// mode for this query only. Serving frameworks use it to honour a
+	// per-request "policy" field without deploying one system per policy.
+	Policy *Policy
 }
 
 // Decision is the scheduler's output for one query.
@@ -147,10 +151,58 @@ func (s *Scheduler) AvgNet() []float64 {
 	return out
 }
 
+// policyFor resolves the effective policy for one query.
+func (s *Scheduler) policyFor(q Query) (Policy, error) {
+	if q.Policy == nil {
+		return s.opt.Policy, nil
+	}
+	p := *q.Policy
+	if p != StrictAccuracy && p != StrictLatency && p != MinEnergy {
+		return 0, fmt.Errorf("sched: unknown query policy %v", p)
+	}
+	return p, nil
+}
+
+// Peek evaluates the per-query half of Algorithm 1 against the current
+// cache belief without consuming the query: the window, the served count
+// and the Q-periodic cache decision are untouched. Callers must
+// serialize Peek with Schedule (it reads the scheduler's cache belief);
+// use PeekAt with a previously observed column for lock-free scoring.
+func (s *Scheduler) Peek(q Query) (Decision, error) {
+	return s.PeekAt(q, s.cacheCol)
+}
+
+// PeekAt evaluates the per-query decision against an explicit cache
+// column. It reads only the scheduler's immutable configuration and
+// latency table, so — unlike every other method — it IS safe to call
+// concurrently with Schedule; cluster routers score replicas with it
+// against an atomically published cache snapshot.
+func (s *Scheduler) PeekAt(q Query, col int) (Decision, error) {
+	pol, err := s.policyFor(q)
+	if err != nil {
+		return Decision{}, err
+	}
+	if col < 0 || col >= s.table.Cols() {
+		return Decision{}, fmt.Errorf("sched: peek column %d outside [0, %d)", col, s.table.Cols())
+	}
+	idx, feasible := s.selectSubNet(q, pol, col)
+	return Decision{
+		SubNet:            idx,
+		PredictedLatency:  s.table.Lookup(idx, col),
+		PredictedAccuracy: s.table.SubNets[idx].Accuracy,
+		Feasible:          feasible,
+		CacheUpdate:       -1,
+	}, nil
+}
+
 // Schedule makes the two-part control decision for one query.
 func (s *Scheduler) Schedule(q Query) (Decision, error) {
+	pol, err := s.policyFor(q)
+	if err != nil {
+		return Decision{}, err
+	}
 	col := s.cacheCol
-	idx, feasible := s.selectSubNet(q, col)
+	idx, feasible := s.selectSubNet(q, pol, col)
 	d := Decision{
 		SubNet:            idx,
 		PredictedLatency:  s.table.Lookup(idx, col),
@@ -171,8 +223,8 @@ func (s *Scheduler) Schedule(q Query) (Decision, error) {
 }
 
 // selectSubNet evaluates the policy against cache column col.
-func (s *Scheduler) selectSubNet(q Query, col int) (idx int, feasible bool) {
-	switch s.opt.Policy {
+func (s *Scheduler) selectSubNet(q Query, pol Policy, col int) (idx int, feasible bool) {
+	switch pol {
 	case MinEnergy:
 		// argmin energy s.t. accuracy >= A_t and latency <= L_t; fall
 		// back to the strict-accuracy behaviour when both cannot hold.

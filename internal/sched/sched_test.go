@@ -463,3 +463,79 @@ func TestScheduleInvariantsQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPeekDoesNotMutate(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictAccuracy, Q: 2, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{ID: 0, MinAccuracy: tab.SubNets[3].Accuracy, MaxLatency: 1}
+	peek, err := s.Peek(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Served() != 0 || s.AvgNet() != nil {
+		t.Fatal("Peek consumed the query")
+	}
+	// Peeking many times never advances the cache belief.
+	col := s.CacheColumn()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Peek(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CacheColumn() != col {
+		t.Error("Peek moved the cache column")
+	}
+	// The real decision for the same query matches the peek.
+	d, err := s.Schedule(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SubNet != peek.SubNet || d.PredictedLatency != peek.PredictedLatency {
+		t.Errorf("Schedule %+v diverged from Peek %+v", d, peek)
+	}
+}
+
+func TestPerQueryPolicyOverride(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictAccuracy, Q: 4, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous latency budget under StrictLatency selects the most
+	// accurate SubNet, regardless of MinAccuracy — observable only if the
+	// override is honoured.
+	lat := StrictLatency
+	d, err := s.Schedule(Query{ID: 0, MinAccuracy: 0, MaxLatency: 1, Policy: &lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range tab.SubNets {
+		if tab.SubNets[i].Accuracy > tab.SubNets[best].Accuracy {
+			best = i
+		}
+	}
+	if d.SubNet != best {
+		t.Errorf("StrictLatency override served %d, want argmax-accuracy %d", d.SubNet, best)
+	}
+	// Without the override the default StrictAccuracy picks the fastest
+	// SubNet meeting the (trivial) accuracy floor.
+	d2, err := s.Schedule(Query{ID: 1, MinAccuracy: 0, MaxLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.SubNet == best {
+		t.Error("default policy ignored (served the most accurate SubNet)")
+	}
+	// An out-of-range override is rejected.
+	bad := Policy(42)
+	if _, err := s.Schedule(Query{ID: 2, Policy: &bad}); err == nil {
+		t.Error("bogus per-query policy accepted")
+	}
+	if _, err := s.Peek(Query{ID: 3, Policy: &bad}); err == nil {
+		t.Error("bogus per-query policy accepted by Peek")
+	}
+}

@@ -1,39 +1,68 @@
-// Package server exposes a SUSHI deployment over HTTP, the integration
-// surface the paper's conclusion points at ("SUSHI can be naturally
-// integrated in state-of-the-art ML inference serving frameworks").
-// Queries serialize onto the single simulated accelerator, exactly as a
-// stream of queries serializes onto one physical SushiAccel.
+// Package server exposes a SUSHI cluster over a v1 HTTP API, the
+// integration surface the paper's conclusion points at ("SUSHI can be
+// naturally integrated in state-of-the-art ML inference serving
+// frameworks"). Queries route across replica accelerators through the
+// cluster's dispatcher; queries on one replica serialize exactly as a
+// stream serializes onto one physical SushiAccel, while replicas serve
+// concurrently. Statistics aggregate per replica and fold on read; no
+// query ever executes while a global lock is held (the dispatcher's
+// routing lock only picks a replica, it never waits on a serve).
+//
+// Surface:
+//
+//	POST /v1/serve        one query; per-request policy and deadline_ms
+//	POST /v1/serve/batch  NDJSON stream of queries in, NDJSON out
+//	GET  /v1/replicas     per-replica cache state, queue depth, hit ratio
+//	GET  /v1/frontier     servable SubNets
+//	GET  /v1/cache        replica 0's Persistent Buffer state
+//	GET  /v1/stats        cluster-wide aggregates
+//	GET  /healthz
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"sync"
+	"sync/atomic"
+	"time"
 
 	"sushi/internal/core"
 	"sushi/internal/sched"
 	"sushi/internal/serving"
 )
 
-// Server is an http.Handler serving a SUSHI deployment.
+// View types shared with the public sushi package through internal/core
+// (one marshaling, two surfaces).
+type (
+	// FrontierEntry is one row of /v1/frontier.
+	FrontierEntry = core.SubNetView
+	// CacheResponse is /v1/cache's body.
+	CacheResponse = core.CacheView
+	// ReplicaEntry is one row of /v1/replicas.
+	ReplicaEntry = core.ReplicaView
+)
+
+// Server is an http.Handler serving a SUSHI cluster.
 type Server struct {
-	mu   sync.Mutex
-	dep  *core.Deployment
-	mux  *http.ServeMux
-	next int
-	// running aggregates for /v1/stats.
-	served []serving.Served
+	dep *core.ClusterDeployment
+	mux *http.ServeMux
+	// next issues query ids.
+	next atomic.Int64
 }
 
-// New wraps a deployment.
-func New(dep *core.Deployment) *Server {
+// New wraps a cluster deployment.
+func New(dep *core.ClusterDeployment) *Server {
 	s := &Server{dep: dep, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/frontier", s.handleFrontier)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/replicas", s.handleReplicas)
 	s.mux.HandleFunc("POST /v1/serve", s.handleServe)
+	s.mux.HandleFunc("POST /v1/serve/batch", s.handleServeBatch)
 	return s
 }
 
@@ -42,15 +71,71 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// ServeRequest is the /v1/serve request body.
+// ServeRequest is the /v1/serve request body (one NDJSON line of
+// /v1/serve/batch). Unknown fields are rejected.
 type ServeRequest struct {
 	// MinAccuracy is the accuracy floor in top-1 percent.
 	MinAccuracy float64 `json:"min_accuracy"`
 	// MaxLatencyMS is the latency budget in milliseconds.
 	MaxLatencyMS float64 `json:"max_latency_ms"`
+	// DeadlineMS, when positive, tightens the latency budget to
+	// min(max_latency_ms, deadline_ms). On /v1/serve it additionally
+	// arms a wall-clock timeout that cancels the dispatch once expired;
+	// batch lines share the batch request's context instead (one
+	// wall-clock deadline per query is not meaningful inside a single
+	// closed-loop batch).
+	DeadlineMS float64 `json:"deadline_ms"`
+	// Policy optionally overrides the deployment's scheduling policy for
+	// this query: "acc" (strict accuracy), "lat" (strict latency) or
+	// "energy" (min energy). Empty keeps the deployment default.
+	Policy string `json:"policy"`
 }
 
-// ServeResponse is the /v1/serve response body.
+// ParsePolicy maps the HTTP/CLI policy names to scheduler policies.
+func ParsePolicy(name string) (sched.Policy, error) {
+	switch name {
+	case "acc", "accuracy", "strict_accuracy":
+		return sched.StrictAccuracy, nil
+	case "lat", "latency", "strict_latency":
+		return sched.StrictLatency, nil
+	case "energy", "min_energy":
+		return sched.MinEnergy, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want acc, lat or energy)", name)
+	}
+}
+
+// query validates the request and shapes it into a scheduler query.
+func (req ServeRequest) query(id int) (sched.Query, error) {
+	if req.MinAccuracy < 0 || req.MinAccuracy > 100 {
+		return sched.Query{}, errors.New("min_accuracy must be in [0, 100]")
+	}
+	if req.MaxLatencyMS < 0 {
+		return sched.Query{}, errors.New("max_latency_ms must be non-negative")
+	}
+	if req.DeadlineMS < 0 {
+		return sched.Query{}, errors.New("deadline_ms must be non-negative")
+	}
+	q := sched.Query{
+		ID:          id,
+		MinAccuracy: req.MinAccuracy,
+		MaxLatency:  req.MaxLatencyMS * 1e-3,
+	}
+	if req.DeadlineMS > 0 && (q.MaxLatency <= 0 || req.DeadlineMS*1e-3 < q.MaxLatency) {
+		q.MaxLatency = req.DeadlineMS * 1e-3
+	}
+	if req.Policy != "" {
+		p, err := ParsePolicy(req.Policy)
+		if err != nil {
+			return sched.Query{}, err
+		}
+		q.Policy = &p
+	}
+	return q, nil
+}
+
+// ServeResponse is the /v1/serve response body (one NDJSON line of
+// /v1/serve/batch).
 type ServeResponse struct {
 	ID           int     `json:"id"`
 	SubNet       string  `json:"subnet"`
@@ -63,37 +148,8 @@ type ServeResponse struct {
 	CacheSwapped bool    `json:"cache_swapped"`
 }
 
-func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
-	var req ServeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return
-	}
-	if req.MinAccuracy < 0 || req.MinAccuracy > 100 {
-		httpError(w, http.StatusBadRequest, "min_accuracy must be in [0, 100]")
-		return
-	}
-	if req.MaxLatencyMS < 0 {
-		httpError(w, http.StatusBadRequest, "max_latency_ms must be non-negative")
-		return
-	}
-	s.mu.Lock()
-	id := s.next
-	s.next++
-	res, err := s.dep.Serve(sched.Query{
-		ID:          id,
-		MinAccuracy: req.MinAccuracy,
-		MaxLatency:  req.MaxLatencyMS * 1e-3,
-	})
-	if err == nil {
-		s.served = append(s.served, res)
-	}
-	s.mu.Unlock()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, ServeResponse{
+func serveResponse(id int, res serving.Served) ServeResponse {
+	return ServeResponse{
 		ID:           id,
 		SubNet:       res.SubNet,
 		Accuracy:     res.Accuracy,
@@ -103,59 +159,108 @@ func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
 		AccuracyMet:  res.AccuracyMet,
 		HitRatio:     res.HitRatio,
 		CacheSwapped: res.CacheSwapped,
-	})
+	}
 }
 
-// FrontierEntry is one row of /v1/frontier.
-type FrontierEntry struct {
-	Name     string  `json:"name"`
-	Accuracy float64 `json:"accuracy"`
-	WeightMB float64 `json:"weight_mb"`
-	GFLOPs   float64 `json:"gflops"`
+// decodeStrict decodes one JSON value rejecting unknown fields.
+func decodeStrict(dec *json.Decoder, req *ServeRequest) error {
+	dec.DisallowUnknownFields()
+	return dec.Decode(req)
+}
+
+func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
+	var req ServeRequest
+	if err := decodeStrict(json.NewDecoder(r.Body), &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	q, err := req.query(int(s.next.Add(1) - 1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS*float64(time.Millisecond)))
+		defer cancel()
+	}
+	res, err := s.dep.Cluster.Serve(ctx, q)
+	if err != nil {
+		serveError(w, err)
+		return
+	}
+	writeJSON(w, serveResponse(q.ID, res))
+}
+
+// handleServeBatch accepts an NDJSON stream of ServeRequest lines and
+// answers with one NDJSON ServeResponse line per query, in input order.
+// The whole batch is validated before any query executes, then serves
+// concurrently across the cluster's replicas.
+func (s *Server) handleServeBatch(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	var qs []sched.Query
+	for line := 1; ; line++ {
+		var req ServeRequest
+		err := decodeStrict(dec, &req)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("batch line %d: %v", line, err))
+			return
+		}
+		q, err := req.query(int(s.next.Add(1) - 1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("batch line %d: %v", line, err))
+			return
+		}
+		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	rs, err := s.dep.Cluster.ServeAll(r.Context(), qs)
+	if err != nil {
+		serveError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i, res := range rs {
+		if err := enc.Encode(serveResponse(qs[i].ID, res)); err != nil {
+			return
+		}
+	}
 }
 
 func (s *Server) handleFrontier(w http.ResponseWriter, _ *http.Request) {
-	var out []FrontierEntry
-	for _, sn := range s.dep.Frontier {
-		out = append(out, FrontierEntry{
-			Name:     sn.Name,
-			Accuracy: sn.Accuracy,
-			WeightMB: float64(sn.WeightBytes()) / (1 << 20),
-			GFLOPs:   float64(sn.FLOPs()) / 1e9,
-		})
-	}
-	writeJSON(w, out)
+	writeJSON(w, core.FrontierView(s.dep.Frontier))
 }
 
-// CacheResponse is /v1/cache's body.
-type CacheResponse struct {
-	SubGraph  string  `json:"subgraph"`
-	SizeMB    float64 `json:"size_mb"`
-	Swaps     int     `json:"swaps"`
-	SwapsMB   float64 `json:"swaps_mb"`
-	HasBuffer bool    `json:"has_persistent_buffer"`
-}
-
+// handleCache reports replica 0's Persistent Buffer (kept for
+// single-replica deployments; /v1/replicas has every replica).
 func (s *Server) handleCache(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	sim := s.dep.System.Simulator()
-	swaps, bytes := sim.Swaps()
-	resp := CacheResponse{
-		Swaps:     swaps,
-		SwapsMB:   float64(bytes) / (1 << 20),
-		HasBuffer: sim.Config().HasPB(),
-	}
-	if g := sim.Cached(); g != nil {
-		resp.SubGraph = g.Name()
-		resp.SizeMB = float64(g.Bytes()) / (1 << 20)
-	}
-	s.mu.Unlock()
-	writeJSON(w, resp)
+	var cv core.CacheView
+	s.dep.Cluster.Replicas()[0].Inspect(func(sys *serving.System) {
+		cv = core.NewCacheView(sys)
+	})
+	writeJSON(w, cv)
 }
 
-// StatsResponse is /v1/stats's body.
+// handleReplicas reports per-replica cache state, queue depth and
+// served aggregates.
+func (s *Server) handleReplicas(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, core.ReplicaViews(s.dep.Cluster))
+}
+
+// StatsResponse is /v1/stats's body: cluster-wide aggregates folded
+// from the per-replica accumulators at read time.
 type StatsResponse struct {
 	Queries      int     `json:"queries"`
+	Replicas     int     `json:"replicas"`
+	Router       string  `json:"router"`
 	AvgLatencyMS float64 `json:"avg_latency_ms"`
 	P99LatencyMS float64 `json:"p99_latency_ms"`
 	AvgAccuracy  float64 `json:"avg_accuracy"`
@@ -166,11 +271,11 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	sum := serving.Summarize(s.served)
-	s.mu.Unlock()
+	sum := s.dep.Cluster.Stats()
 	writeJSON(w, StatsResponse{
 		Queries:      sum.Queries,
+		Replicas:     s.dep.Cluster.Size(),
+		Router:       s.dep.Cluster.RouterName(),
 		AvgLatencyMS: sum.AvgLatency * 1e3,
 		P99LatencyMS: sum.P99Latency * 1e3,
 		AvgAccuracy:  sum.AvgAccuracy,
@@ -182,7 +287,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"replicas": s.dep.Cluster.Size(),
+		"router":   s.dep.Cluster.RouterName(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -191,6 +300,20 @@ func writeJSON(w http.ResponseWriter, v any) {
 		// Headers are gone; nothing more to do than log via the default
 		// error path.
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// serveError maps a serve-path failure to a status code: deadline
+// expiry is 504, a client abort is 499 (nginx convention — nobody reads
+// the body, but logs should not blame the upstream), anything else 500.
+func serveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "deadline exceeded before the query was served")
+	case errors.Is(err, context.Canceled):
+		httpError(w, 499, "client cancelled the request")
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 

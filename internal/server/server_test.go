@@ -1,19 +1,25 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
 	"sushi/internal/core"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+func testServer(t *testing.T, replicas int, router string) *httptest.Server {
 	t.Helper()
-	dep, err := core.Deploy(core.DeployOptions{Workload: core.MobileNetV3})
+	dep, err := core.DeployCluster(
+		core.DeployOptions{Workload: core.MobileNetV3},
+		core.ClusterOptions{Replicas: replicas, Router: router},
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,20 +44,32 @@ func postServe(t *testing.T, ts *httptest.Server, body string) (*http.Response, 
 	return resp, out
 }
 
-func TestHealth(t *testing.T) {
-	ts := testServer(t)
-	resp, err := http.Get(ts.URL + "/healthz")
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	ts := testServer(t, 3, core.RouterAffinity)
+	var out map[string]any
+	getJSON(t, ts, "/healthz", &out)
+	if out["status"] != "ok" || out["replicas"] != float64(3) || out["router"] != "affinity" {
+		t.Fatalf("health %v", out)
 	}
 }
 
 func TestServeEndpoint(t *testing.T) {
-	ts := testServer(t)
+	ts := testServer(t, 1, "")
 	resp, out := postServe(t, ts, `{"min_accuracy": 78, "max_latency_ms": 10}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -70,12 +88,16 @@ func TestServeEndpoint(t *testing.T) {
 }
 
 func TestServeValidation(t *testing.T) {
-	ts := testServer(t)
+	ts := testServer(t, 1, "")
 	cases := []string{
 		`not json`,
 		`{"min_accuracy": -5}`,
 		`{"min_accuracy": 150}`,
 		`{"min_accuracy": 78, "max_latency_ms": -1}`,
+		`{"deadline_ms": -10}`,
+		`{"policy": "telepathy"}`,
+		`{"min_accuracy": 78, "max_latency": 5}`, // unknown field
+		`{"bogus_field": 1}`,
 	}
 	for _, body := range cases {
 		resp, _ := postServe(t, ts, body)
@@ -85,17 +107,119 @@ func TestServeValidation(t *testing.T) {
 	}
 }
 
-func TestFrontierEndpoint(t *testing.T) {
-	ts := testServer(t)
-	resp, err := http.Get(ts.URL + "/v1/frontier")
+func TestPerRequestPolicy(t *testing.T) {
+	// Deployment default is strict accuracy; a per-request "lat" policy
+	// with a generous budget must serve the MOST accurate SubNet, which
+	// the default would never pick for a trivial accuracy floor.
+	ts := testServer(t, 1, "")
+	var frontier []FrontierEntry
+	getJSON(t, ts, "/v1/frontier", &frontier)
+	top := frontier[len(frontier)-1].Accuracy
+	_, lat := postServe(t, ts, `{"min_accuracy": 0, "max_latency_ms": 1000, "policy": "lat"}`)
+	if lat.Accuracy != top {
+		t.Errorf("policy=lat served %.2f%%, want the top SubNet %.2f%%", lat.Accuracy, top)
+	}
+	_, acc := postServe(t, ts, `{"min_accuracy": 0, "max_latency_ms": 1000}`)
+	if acc.Accuracy == top {
+		t.Error("default strict-accuracy served the most accurate SubNet for a trivial floor")
+	}
+}
+
+func TestDeadlineTightensBudget(t *testing.T) {
+	// The deterministic half: deadline_ms tightens the scheduler budget.
+	req := ServeRequest{MinAccuracy: 0, MaxLatencyMS: 10000, DeadlineMS: 3, Policy: "lat"}
+	q, err := req.query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MaxLatency != 3e-3 {
+		t.Fatalf("budget %.4fs, want 0.003s (tightened by deadline)", q.MaxLatency)
+	}
+	req = ServeRequest{MaxLatencyMS: 2, DeadlineMS: 50}
+	if q, err = req.query(1); err != nil || q.MaxLatency != 2e-3 {
+		t.Fatalf("budget %.4fs err=%v, want the tighter max_latency_ms 0.002s", q.MaxLatency, err)
+	}
+	// The live half: a 3ms deadline either serves within the tightened
+	// budget or — if wall clock ran out first (slow/raced runners) —
+	// answers 504. Both prove the deadline is enforced.
+	ts := testServer(t, 1, "")
+	resp, out := postServe(t, ts, `{"min_accuracy": 0, "max_latency_ms": 10000, "deadline_ms": 3, "policy": "lat"}`)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out.LatencyMS > 3+1e-9 {
+			t.Errorf("deadline ignored: served %.2f ms against a 3 ms budget", out.LatencyMS)
+		}
+	case http.StatusGatewayTimeout:
+		// Deadline expired before dispatch: cancellation path exercised.
+	default:
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestServeBatchNDJSON(t *testing.T) {
+	ts := testServer(t, 2, "")
+	body := strings.Join([]string{
+		`{"min_accuracy": 78, "max_latency_ms": 10}`,
+		`{"min_accuracy": 76, "max_latency_ms": 10}`,
+		`{"min_accuracy": 79, "max_latency_ms": 10, "policy": "acc"}`,
+	}, "\n")
+	resp, err := http.Post(ts.URL+"/v1/serve/batch", "application/x-ndjson",
+		bytes.NewBufferString(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out []FrontierEntry
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
 	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	var outs []ServeResponse
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r ServeResponse
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		outs = append(outs, r)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("%d response lines, want 3", len(outs))
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i].ID != outs[i-1].ID+1 {
+			t.Errorf("batch ids not sequential: %d then %d", outs[i-1].ID, outs[i].ID)
+		}
+	}
+	if outs[0].Accuracy < 78 || outs[2].Accuracy < 79 {
+		t.Errorf("batch outcomes out of order: %+v", outs)
+	}
+}
+
+func TestServeBatchValidation(t *testing.T) {
+	ts := testServer(t, 1, "")
+	for _, body := range []string{
+		"",
+		`{"min_accuracy": 78}` + "\n" + `{"min_accuracy": 150}`,
+		`{"min_accuracy": 78}` + "\nnot json",
+	} {
+		resp, err := http.Post(ts.URL+"/v1/serve/batch", "application/x-ndjson",
+			bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("batch %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestFrontierEndpoint(t *testing.T) {
+	ts := testServer(t, 1, "")
+	var out []FrontierEntry
+	getJSON(t, ts, "/v1/frontier", &out)
 	if len(out) != 7 {
 		t.Fatalf("%d frontier entries", len(out))
 	}
@@ -107,56 +231,79 @@ func TestFrontierEndpoint(t *testing.T) {
 }
 
 func TestCacheAndStatsEndpoints(t *testing.T) {
-	ts := testServer(t)
+	ts := testServer(t, 1, "")
 	for i := 0; i < 6; i++ {
 		postServe(t, ts, `{"min_accuracy": 79, "max_latency_ms": 10}`)
 	}
-	resp, err := http.Get(ts.URL + "/v1/cache")
-	if err != nil {
-		t.Fatal(err)
-	}
 	var cache CacheResponse
-	if err := json.NewDecoder(resp.Body).Decode(&cache); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if !cache.HasBuffer || cache.SubGraph == "" || cache.SizeMB <= 0 {
+	getJSON(t, ts, "/v1/cache", &cache)
+	if !cache.HasBuffer || cache.Name == "" || cache.SizeMB <= 0 {
 		t.Fatalf("cache response %+v", cache)
 	}
-	resp, err = http.Get(ts.URL + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
 	var stats StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
+	getJSON(t, ts, "/v1/stats", &stats)
 	if stats.Queries != 6 || stats.AvgLatencyMS <= 0 || stats.AccuracySLO != 1 {
 		t.Fatalf("stats %+v", stats)
+	}
+	if stats.Replicas != 1 || stats.Router != "round-robin" {
+		t.Fatalf("stats topology %+v", stats)
+	}
+}
+
+func TestReplicasEndpoint(t *testing.T) {
+	ts := testServer(t, 3, core.RouterRoundRobin)
+	for i := 0; i < 9; i++ {
+		postServe(t, ts, `{"min_accuracy": 78, "max_latency_ms": 10}`)
+	}
+	var reps []ReplicaEntry
+	getJSON(t, ts, "/v1/replicas", &reps)
+	if len(reps) != 3 {
+		t.Fatalf("%d replicas", len(reps))
+	}
+	total := 0
+	for _, r := range reps {
+		total += r.Queries
+		if r.Queries != 3 {
+			t.Errorf("replica %d served %d, want 3 under round-robin", r.ID, r.Queries)
+		}
+		if r.QueueDepth != 0 {
+			t.Errorf("replica %d queue depth %d at rest", r.ID, r.QueueDepth)
+		}
+		if r.Cache.Name == "" || !r.Cache.HasBuffer {
+			t.Errorf("replica %d cache state invisible: %+v", r.ID, r.Cache)
+		}
+		if r.AvgHitRatio < 0 || r.AvgHitRatio > 1 {
+			t.Errorf("replica %d hit ratio %.3f", r.ID, r.AvgHitRatio)
+		}
+	}
+	if total != 9 {
+		t.Errorf("replicas served %d total, want 9", total)
 	}
 }
 
 func TestMethodRouting(t *testing.T) {
-	ts := testServer(t)
-	// GET on /v1/serve must not be routed.
-	resp, err := http.Get(ts.URL + "/v1/serve")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		t.Error("GET /v1/serve should not succeed")
+	ts := testServer(t, 1, "")
+	for _, path := range []string{"/v1/serve", "/v1/serve/batch"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("GET %s should not succeed", path)
+		}
 	}
 }
 
+// TestConcurrentServes fires 100 parallel requests at a 4-replica
+// cluster (run with -race in CI): every request must succeed, and the
+// folded stats must account for all of them.
 func TestConcurrentServes(t *testing.T) {
-	// Concurrent requests must serialize safely onto the one accelerator
-	// (no data race; run with -race in CI).
-	ts := testServer(t)
+	ts := testServer(t, 4, core.RouterRoundRobin)
+	const n = 100
 	var wg sync.WaitGroup
-	errs := make(chan error, 16)
-	for i := 0; i < 16; i++ {
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -166,29 +313,32 @@ func TestConcurrentServes(t *testing.T) {
 				errs <- err
 				return
 			}
-			resp.Body.Close()
+			defer resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
-				errs <- err
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
 			}
 		}()
 	}
 	wg.Wait()
 	close(errs)
 	for err := range errs {
-		if err != nil {
-			t.Fatal(err)
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	getJSON(t, ts, "/v1/stats", &stats)
+	if stats.Queries != n {
+		t.Fatalf("served %d, want %d", stats.Queries, n)
+	}
+	var reps []ReplicaEntry
+	getJSON(t, ts, "/v1/replicas", &reps)
+	total := 0
+	for _, r := range reps {
+		total += r.Queries
+		if r.Queries != n/4 {
+			t.Errorf("replica %d served %d, want %d under round-robin", r.ID, r.Queries, n/4)
 		}
 	}
-	resp, err := http.Get(ts.URL + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var stats StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	if stats.Queries != 16 {
-		t.Fatalf("served %d, want 16", stats.Queries)
+	if total != n {
+		t.Fatalf("replica counts sum to %d, want %d", total, n)
 	}
 }

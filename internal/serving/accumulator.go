@@ -1,0 +1,147 @@
+package serving
+
+import "sort"
+
+// maxLatencySamples caps the per-accumulator latency reservoir. Streams
+// up to the cap yield exact percentiles; beyond it, reservoir sampling
+// keeps memory and read cost bounded for long-running servers at the
+// price of approximate P50/P99 (every other aggregate stays exact).
+const maxLatencySamples = 4096
+
+// Accumulator folds served outcomes into running aggregates without
+// retaining the full []Served. Each cluster replica owns one, updated
+// under the replica's lock; readers fold per-replica snapshots instead
+// of funneling every query through a global mutex. The zero value is
+// ready to use. Not safe for concurrent use.
+type Accumulator struct {
+	queries                         int
+	sumLat, sumAcc, sumHit          float64
+	latMet, accMet, feasible, swaps int
+	hitBytes                        int64
+	energyJ                         float64
+	// lats is a bounded reservoir of individual latencies for
+	// percentile folding; latSeen counts every latency offered to it.
+	lats    []float64
+	latSeen int
+	// rng drives reservoir replacement (xorshift64; deterministic for a
+	// deterministic add order, so seeded runs stay reproducible).
+	rng uint64
+}
+
+// Add folds one outcome.
+func (a *Accumulator) Add(r Served) {
+	a.queries++
+	a.sumLat += r.Latency
+	a.sumAcc += r.Accuracy
+	a.sumHit += r.HitRatio
+	a.hitBytes += r.HitBytes
+	a.energyJ += r.OffChipEnergyJ
+	if r.LatencyMet {
+		a.latMet++
+	}
+	if r.AccuracyMet {
+		a.accMet++
+	}
+	if r.Feasible {
+		a.feasible++
+	}
+	if r.CacheSwapped {
+		a.swaps++
+	}
+	a.observeLatency(r.Latency)
+}
+
+// observeLatency records one latency in the bounded reservoir
+// (Algorithm R once the cap is reached).
+func (a *Accumulator) observeLatency(lat float64) {
+	a.latSeen++
+	if len(a.lats) < maxLatencySamples {
+		a.lats = append(a.lats, lat)
+		return
+	}
+	if a.rng == 0 {
+		a.rng = 0x9E3779B97F4A7C15
+	}
+	a.rng ^= a.rng << 13
+	a.rng ^= a.rng >> 7
+	a.rng ^= a.rng << 17
+	if j := int(a.rng % uint64(a.latSeen)); j < maxLatencySamples {
+		a.lats[j] = lat
+	}
+}
+
+// Merge folds another accumulator's content into a. While both
+// reservoirs are exact (under the cap), so is the merge; once either
+// side sampled, the merged reservoir draws from each side proportionally
+// to its traffic (latSeen), so percentiles stay traffic-weighted — a
+// near-idle replica cannot dominate the cluster's folded P99.
+func (a *Accumulator) Merge(b *Accumulator) {
+	a.queries += b.queries
+	a.sumLat += b.sumLat
+	a.sumAcc += b.sumAcc
+	a.sumHit += b.sumHit
+	a.hitBytes += b.hitBytes
+	a.energyJ += b.energyJ
+	a.latMet += b.latMet
+	a.accMet += b.accMet
+	a.feasible += b.feasible
+	a.swaps += b.swaps
+	exact := a.latSeen == len(a.lats) && b.latSeen == len(b.lats)
+	total := a.latSeen + b.latSeen
+	if exact || total == 0 {
+		a.lats = append(a.lats, b.lats...)
+		a.latSeen = total
+		return
+	}
+	target := maxLatencySamples
+	if total < target {
+		target = total
+	}
+	// Proportional draw; reservoir samples are exchangeable, so a prefix
+	// is itself a uniform sample (and keeps the merge deterministic).
+	na := int(float64(target) * float64(a.latSeen) / float64(total))
+	if na > len(a.lats) {
+		na = len(a.lats)
+	}
+	nb := target - na
+	if nb > len(b.lats) {
+		nb = len(b.lats)
+	}
+	a.lats = append(a.lats[:na:na], b.lats[:nb]...)
+	a.latSeen = total
+}
+
+// Snapshot returns a deep copy safe to merge after the lock is released.
+func (a *Accumulator) Snapshot() *Accumulator {
+	cp := *a
+	cp.lats = append([]float64(nil), a.lats...)
+	return &cp
+}
+
+// Queries returns the number of folded outcomes.
+func (a *Accumulator) Queries() int { return a.queries }
+
+// Summary renders the accumulated aggregates, matching Summarize over
+// the same outcomes (percentiles are sample-exact up to
+// maxLatencySamples latencies, reservoir-approximate beyond).
+func (a *Accumulator) Summary() Summary {
+	s := Summary{Queries: a.queries}
+	if a.queries == 0 {
+		return s
+	}
+	n := float64(a.queries)
+	s.AvgLatency = a.sumLat / n
+	s.AvgAccuracy = a.sumAcc / n
+	s.AvgHitRatio = a.sumHit / n
+	s.HitBytes = a.hitBytes
+	s.OffChipEnergyJ = a.energyJ
+	s.LatencySLO = float64(a.latMet) / n
+	s.AccuracySLO = float64(a.accMet) / n
+	s.FeasibleFraction = float64(a.feasible) / n
+	s.CacheSwaps = a.swaps
+	lats := append([]float64(nil), a.lats...)
+	sort.Float64s(lats)
+	s.P50Latency = percentile(lats, 0.50)
+	s.P99Latency = percentile(lats, 0.99)
+	return s
+}

@@ -1,0 +1,211 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sushi/internal/sched"
+)
+
+// Cluster dispatches queries across N replica systems — each with its
+// own simulated SushiAccel and Persistent Buffer — behind a pluggable
+// Router. This is the "naturally integrated in state-of-the-art ML
+// inference serving frameworks" direction of the paper's conclusion:
+// queries route across replicas (round-robin, least-loaded, SubGraph
+// affinity), replicas serve in parallel, and per-replica accumulators
+// aggregate without a global lock.
+type Cluster struct {
+	reps   []*Replica
+	router Router
+	// mu serializes routing decisions (router state + reservation).
+	mu sync.Mutex
+}
+
+// NewCluster builds a cluster over the given systems. A nil router
+// defaults to round-robin.
+func NewCluster(systems []*System, router Router) (*Cluster, error) {
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("serving: cluster needs at least one replica")
+	}
+	if router == nil {
+		router = NewRoundRobin()
+	}
+	reps := make([]*Replica, len(systems))
+	for i, sys := range systems {
+		if sys == nil {
+			return nil, fmt.Errorf("serving: nil system for replica %d", i)
+		}
+		reps[i] = NewReplica(i, sys)
+	}
+	return &Cluster{reps: reps, router: router}, nil
+}
+
+// Replicas exposes the cluster members (for views and direct serving).
+func (c *Cluster) Replicas() []*Replica { return c.reps }
+
+// Size returns the replica count.
+func (c *Cluster) Size() int { return len(c.reps) }
+
+// RouterName identifies the dispatch policy.
+func (c *Cluster) RouterName() string { return c.router.Name() }
+
+// route picks and reserves a replica for q.
+func (c *Cluster) route(q sched.Query) *Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.router.Pick(q, c.reps)
+	if i < 0 || i >= len(c.reps) {
+		i = 0
+	}
+	rep := c.reps[i]
+	rep.reserve()
+	return rep
+}
+
+// Serve routes one query to a replica and serves it there.
+func (c *Cluster) Serve(ctx context.Context, q sched.Query) (Served, error) {
+	return c.route(q).serve(ctx, q)
+}
+
+// ServeAll serves a closed-loop stream across the cluster: every query
+// is routed up front (in stream order, so routing is deterministic for
+// a deterministic router), then each replica serves its share in
+// submission order while replicas run in parallel. Results align with
+// qs by index. The first error (or cancellation) aborts the batch:
+// remaining queries are not served — no accelerator state mutates for
+// work the caller will discard — and their result slots stay zero.
+func (c *Cluster) ServeAll(ctx context.Context, qs []sched.Query) ([]Served, error) {
+	type item struct {
+		idx int
+		q   sched.Query
+	}
+	groups := make([][]item, len(c.reps))
+	c.mu.Lock()
+	for i, q := range qs {
+		ri := c.router.Pick(q, c.reps)
+		if ri < 0 || ri >= len(c.reps) {
+			ri = 0
+		}
+		c.reps[ri].reserve()
+		groups[ri] = append(groups[ri], item{i, q})
+	}
+	c.mu.Unlock()
+
+	out := make([]Served, len(qs))
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+		failed  atomic.Bool
+	)
+	record := func(err error) {
+		errOnce.Do(func() { firstEr = err })
+		failed.Store(true)
+	}
+	for ri, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(rep *Replica, g []item) {
+			defer wg.Done()
+			for _, it := range g {
+				if failed.Load() {
+					rep.done()
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					rep.done()
+					record(err)
+					continue
+				}
+				res, err := rep.serve(ctx, it.q)
+				if err != nil {
+					record(err)
+					continue
+				}
+				out[it.idx] = res
+			}
+		}(c.reps[ri], g)
+	}
+	wg.Wait()
+	return out, firstEr
+}
+
+// Result is one open-loop outcome: the served record, the replica that
+// produced it and any per-query error (a cancelled dispatch surfaces as
+// the context's error).
+type Result struct {
+	Served  Served
+	Replica int
+	Err     error
+}
+
+// ServeStream serves an open-loop stream: queries arriving on in are
+// routed as they arrive and served concurrently across replicas (FIFO
+// within a replica). The result channel closes once in closes (or ctx
+// is cancelled) and every in-flight query has drained — workers never
+// leak. Consumers must drain the returned channel.
+func (c *Cluster) ServeStream(ctx context.Context, in <-chan sched.Query) <-chan Result {
+	out := make(chan Result)
+	queues := make([]chan sched.Query, len(c.reps))
+	var wg sync.WaitGroup
+	for i := range c.reps {
+		queues[i] = make(chan sched.Query, 16)
+		wg.Add(1)
+		go func(rep *Replica, queue <-chan sched.Query) {
+			defer wg.Done()
+			for q := range queue {
+				res, err := rep.serve(ctx, q)
+				select {
+				case out <- Result{Served: res, Replica: rep.ID(), Err: err}:
+				case <-ctx.Done():
+					// Consumer is gone with the context; drop the result
+					// and keep draining reservations.
+				}
+			}
+		}(c.reps[i], queues[i])
+	}
+	go func() {
+		defer func() {
+			for _, q := range queues {
+				close(q)
+			}
+		}()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case q, ok := <-in:
+				if !ok {
+					return
+				}
+				rep := c.route(q)
+				select {
+				case queues[rep.ID()] <- q:
+				case <-ctx.Done():
+					rep.done()
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Stats folds every replica's accumulator into one cluster summary.
+// There is no global serving lock to contend on: each replica snapshot
+// takes only that replica's lock, and the fold happens on the reader.
+func (c *Cluster) Stats() Summary {
+	var m Accumulator
+	for _, rep := range c.reps {
+		m.Merge(rep.snapshot())
+	}
+	return m.Summary()
+}

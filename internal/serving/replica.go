@@ -1,0 +1,137 @@
+package serving
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"sushi/internal/sched"
+	"sushi/internal/supernet"
+)
+
+// Replica is one cluster member: a System (its own simulated SushiAccel
+// and Persistent Buffer) made safe for concurrent callers. Queries on
+// one replica serialize through its mutex — exactly as a query stream
+// serializes onto one physical accelerator — while different replicas
+// serve in parallel.
+type Replica struct {
+	id  int
+	sys *System
+	// mu owns sys (scheduler, simulator) and acc.
+	mu  sync.Mutex
+	acc Accumulator
+	// depth counts routed-but-unfinished queries (queued + in flight).
+	depth atomic.Int64
+	// cache is the replica's last published cache state, read lock-free
+	// by affinity routing so dispatch never blocks on in-flight serves.
+	cache atomic.Pointer[cacheSnapshot]
+}
+
+// cacheSnapshot is an immutable view of a replica's cache state: the
+// scheduler's believed column and the SubGraph the PB holds.
+type cacheSnapshot struct {
+	col   int
+	graph *supernet.SubGraph
+}
+
+// NewReplica wraps a system as cluster member id.
+func NewReplica(id int, sys *System) *Replica {
+	r := &Replica{id: id, sys: sys}
+	r.publishCache()
+	return r
+}
+
+// publishCache snapshots the current cache state for lock-free readers.
+// Callers own the replica lock (or exclusive access at construction).
+func (r *Replica) publishCache() {
+	r.cache.Store(&cacheSnapshot{
+		col:   r.sys.Scheduler().CacheColumn(),
+		graph: r.sys.Simulator().Cached(),
+	})
+}
+
+// AffinityScore is the overlap (||SN ∩ G||² / ||SN||²) between the
+// SubNet this replica would serve for q — evaluated against its last
+// published cache state — and the SubGraph its Persistent Buffer holds.
+// Lock-free: it reads the atomic snapshot and the scheduler's immutable
+// table only, so routers may call it while the replica is serving.
+func (r *Replica) AffinityScore(q sched.Query) float64 {
+	snap := r.cache.Load()
+	if snap == nil || snap.graph == nil {
+		return 0
+	}
+	d, err := r.sys.Scheduler().PeekAt(q, snap.col)
+	if err != nil {
+		return -1
+	}
+	return supernet.Overlap(r.sys.Table().SubNets[d.SubNet].Graph, snap.graph)
+}
+
+// ID returns the replica's index within its cluster.
+func (r *Replica) ID() int { return r.id }
+
+// QueueDepth reports the number of queries routed to this replica that
+// have not finished (queued plus in flight).
+func (r *Replica) QueueDepth() int { return int(r.depth.Load()) }
+
+// Queries reports how many queries this replica has served.
+func (r *Replica) Queries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acc.Queries()
+}
+
+// Summary folds this replica's served stream.
+func (r *Replica) Summary() Summary {
+	return r.snapshot().Summary()
+}
+
+// snapshot copies the accumulator under the replica lock.
+func (r *Replica) snapshot() *Accumulator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acc.Snapshot()
+}
+
+// Inspect runs f with exclusive access to the replica's system, for
+// read-only views of scheduler/simulator state (cache contents, swap
+// counters). f must not retain the system past the call.
+func (r *Replica) Inspect(f func(*System)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(r.sys)
+}
+
+// reserve marks one routed query; serve's completion releases it.
+// Routers read QueueDepth, so reservation happens at routing time.
+func (r *Replica) reserve() { r.depth.Add(1) }
+
+// done releases a reservation without serving (cancelled dispatch).
+func (r *Replica) done() { r.depth.Add(-1) }
+
+// serve runs one reserved query: it serializes on the replica lock,
+// serves through the context-aware path and folds the outcome into the
+// replica accumulator. The reservation is released on every path.
+func (r *Replica) serve(ctx context.Context, q sched.Query) (Served, error) {
+	defer r.depth.Add(-1)
+	if err := ctx.Err(); err != nil {
+		return Served{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, err := r.sys.ServeContext(ctx, q)
+	if err != nil {
+		return Served{}, err
+	}
+	r.acc.Add(res)
+	if res.CacheSwapped {
+		r.publishCache()
+	}
+	return res, nil
+}
+
+// Serve runs one query directly on this replica (bypassing any router).
+func (r *Replica) Serve(ctx context.Context, q sched.Query) (Served, error) {
+	r.reserve()
+	return r.serve(ctx, q)
+}

@@ -13,8 +13,10 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"sushi/internal/accel"
 	"sushi/internal/latencytable"
@@ -74,6 +76,12 @@ type Options struct {
 	// UseIntersection switches the scheduler's window summary from the
 	// paper's running average to pure intersection (ablation, §3.3).
 	UseIntersection bool
+	// Table, when non-nil, is a prebuilt latency table shared with other
+	// systems (cluster replicas reuse one SushiAbs abstraction instead of
+	// re-deriving it per replica). The table is read-only after build, so
+	// sharing is safe; it must have been built for the same frontier and
+	// an accelerator config compatible with Accel/Mode.
+	Table *latencytable.Table
 }
 
 // Served records one query's outcome.
@@ -114,16 +122,13 @@ type System struct {
 	pendingSwapSec float64
 }
 
-// New builds a serving system over a supernet's frontier.
-func New(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*System, error) {
-	if len(frontier) == 0 {
-		return nil, fmt.Errorf("serving: empty frontier")
-	}
+// BuildTable derives the SushiAbs latency table for a mode/config pair.
+// The returned config is the effective accelerator configuration (NoPB
+// strips the Persistent Buffer). The table is read-only after build and
+// may be shared across systems via Options.Table.
+func BuildTable(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*latencytable.Table, accel.Config, error) {
 	if opt.Candidates <= 0 {
 		opt.Candidates = 16
-	}
-	if opt.Q <= 0 {
-		opt.Q = 4
 	}
 	cfg := opt.Accel
 	var graphs []*supernet.SubGraph
@@ -142,17 +147,45 @@ func New(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*S
 			Strategies: []latencytable.Strategy{latencytable.TailFirst},
 		})
 		if err != nil {
-			return nil, err
+			return nil, cfg, err
 		}
 		if len(graphs) == 0 {
-			return nil, fmt.Errorf("serving: no cache candidates generated")
+			return nil, cfg, fmt.Errorf("serving: no cache candidates generated")
 		}
 	default:
-		return nil, fmt.Errorf("serving: unknown mode %v", opt.Mode)
+		return nil, cfg, fmt.Errorf("serving: unknown mode %v", opt.Mode)
 	}
 	table, err := latencytable.Build(cfg, frontier, graphs)
 	if err != nil {
-		return nil, err
+		return nil, cfg, err
+	}
+	return table, cfg, nil
+}
+
+// New builds a serving system over a supernet's frontier.
+func New(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*System, error) {
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("serving: empty frontier")
+	}
+	if opt.Q <= 0 {
+		opt.Q = 4
+	}
+	table := opt.Table
+	cfg := opt.Accel
+	if table == nil {
+		var err error
+		table, cfg, err = BuildTable(super, frontier, opt)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		switch opt.Mode {
+		case NoPB:
+			cfg = cfg.WithoutPB()
+		case StateUnaware, Full:
+		default:
+			return nil, fmt.Errorf("serving: unknown mode %v", opt.Mode)
+		}
 	}
 	initCol := 0
 	if opt.Mode == StateUnaware || opt.Mode == Full {
@@ -263,6 +296,46 @@ func (s *System) ServeAll(qs []sched.Query) ([]Served, error) {
 	out := make([]Served, 0, len(qs))
 	for _, q := range qs {
 		r, err := s.Serve(q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ServeContext is the context-aware serve path. A context deadline
+// tightens the query's latency budget: with D seconds of wall clock
+// remaining, a SubNet slower than D cannot produce a useful answer, so
+// MaxLatency becomes min(MaxLatency, D) (and D outright when the query
+// carried no latency budget). An already-expired or cancelled context
+// fails fast without touching accelerator state.
+func (s *System) ServeContext(ctx context.Context, q sched.Query) (Served, error) {
+	if err := ctx.Err(); err != nil {
+		return Served{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl).Seconds()
+		if remain <= 0 {
+			return Served{}, context.DeadlineExceeded
+		}
+		if q.MaxLatency <= 0 || remain < q.MaxLatency {
+			q.MaxLatency = remain
+		}
+	}
+	return s.Serve(q)
+}
+
+// ServeAllContext runs a stream in order, checking for cancellation
+// between queries. On cancellation it returns the outcomes served so far
+// together with the context's error.
+func (s *System) ServeAllContext(ctx context.Context, qs []sched.Query) ([]Served, error) {
+	out := make([]Served, 0, len(qs))
+	for _, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		r, err := s.ServeContext(ctx, q)
 		if err != nil {
 			return out, err
 		}

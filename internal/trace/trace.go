@@ -29,6 +29,11 @@ type Header struct {
 	Accel string `json:"accel"`
 	// Seed is the candidate-generation seed.
 	Seed int64 `json:"seed"`
+	// Replicas and Router describe the cluster topology that produced
+	// the session (zero/empty means a single-accelerator deployment,
+	// the format's original shape).
+	Replicas int    `json:"replicas,omitempty"`
+	Router   string `json:"router,omitempty"`
 }
 
 // Record is one served query.

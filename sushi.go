@@ -8,12 +8,26 @@
 // (SubGraph Stationary, SGS). A state-aware scheduler decides per query
 // which SubNet to activate and, every Q queries, which SubGraph to cache.
 //
-// Quickstart:
+// Quickstart (single accelerator):
 //
 //	sys, err := sushi.New(sushi.Options{Workload: sushi.MobileNetV3})
 //	if err != nil { ... }
 //	res, err := sys.Serve(sushi.Query{MinAccuracy: 78, MaxLatency: 5e-3})
 //	fmt.Printf("served %s at %.2f ms\n", res.SubNet, res.Latency*1e3)
+//
+// Concurrent serving scales the same stack to N replica accelerators —
+// each with its own Persistent Buffer — behind a pluggable router. The
+// Affinity router steers each query to the replica whose cached SubGraph
+// already covers the SubNet it would serve, maximizing cross-query SGS
+// reuse at cluster scale:
+//
+//	c, err := sushi.NewCluster(sushi.Options{Workload: sushi.MobileNetV3},
+//		sushi.WithReplicas(4), sushi.WithRouter(sushi.Affinity))
+//	if err != nil { ... }
+//	rs, err := c.ServeAll(ctx, queries) // or c.ServeStream(ctx, ch)
+//
+// Every cluster serve path is context-aware: a context deadline tightens
+// the query's latency budget and cancellation drains cleanly.
 //
 // The deeper layers are available for direct use in advanced scenarios:
 // the experiment harness regenerating every figure and table of the paper
@@ -21,6 +35,7 @@
 package sushi
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -150,65 +165,49 @@ func New(opt Options) (*System, error) {
 	return &System{d: d}, nil
 }
 
-// Serve runs one query through the stack.
+// Serve runs one query through the stack. It is the back-compat wrapper
+// over ServeContext with a background context.
 func (s *System) Serve(q Query) (Served, error) { return s.d.Serve(q) }
 
-// ServeAll runs a query stream in order.
+// ServeAll runs a query stream in order (back-compat wrapper over
+// ServeAllContext with a background context).
 func (s *System) ServeAll(qs []Query) ([]Served, error) { return s.d.ServeAll(qs) }
 
-// SubNetInfo describes one servable SubNet of the deployment.
-type SubNetInfo struct {
-	// Name is the frontier label ("A".."G").
-	Name string
-	// Accuracy is top-1 percent.
-	Accuracy float64
-	// WeightMB is the int8 weight footprint in MiB.
-	WeightMB float64
-	// GFLOPs is the forward-pass cost.
-	GFLOPs float64
+// ServeContext runs one query with deadline and cancellation awareness:
+// a context deadline tightens the query's MaxLatency to the remaining
+// wall-clock budget, and an expired or cancelled context fails fast
+// without touching accelerator state.
+func (s *System) ServeContext(ctx context.Context, q Query) (Served, error) {
+	return s.d.System.ServeContext(ctx, q)
 }
+
+// ServeAllContext runs a stream in order, checking for cancellation
+// between queries.
+func (s *System) ServeAllContext(ctx context.Context, qs []Query) ([]Served, error) {
+	return s.d.System.ServeAllContext(ctx, qs)
+}
+
+// SubNetInfo describes one servable SubNet of the deployment.
+type SubNetInfo = core.SubNetView
 
 // Frontier lists the deployment's servable SubNets, smallest first.
 func (s *System) Frontier() []SubNetInfo {
-	out := make([]SubNetInfo, 0, len(s.d.Frontier))
-	for _, sn := range s.d.Frontier {
-		out = append(out, SubNetInfo{
-			Name:     sn.Name,
-			Accuracy: sn.Accuracy,
-			WeightMB: float64(sn.WeightBytes()) / (1 << 20),
-			GFLOPs:   float64(sn.FLOPs()) / 1e9,
-		})
-	}
-	return out
+	return core.FrontierView(s.d.Frontier)
 }
 
-// CacheState describes the Persistent Buffer's contents.
-type CacheState struct {
-	// Name is the cached SubGraph's identifier ("" when empty).
-	Name string
-	// Bytes is its weight footprint.
-	Bytes int64
-	// Swaps counts enacted cache updates; SwapBytes their DRAM traffic.
-	Swaps     int
-	SwapBytes int64
-}
+// CacheState describes a Persistent Buffer's contents.
+type CacheState = core.CacheView
 
 // Cache reports the current Persistent Buffer state.
 func (s *System) Cache() CacheState {
-	sim := s.d.System.Simulator()
-	swaps, bytes := sim.Swaps()
-	st := CacheState{Swaps: swaps, SwapBytes: bytes}
-	if g := sim.Cached(); g != nil {
-		st.Name = g.Name()
-		st.Bytes = g.Bytes()
-	}
-	return st
+	return core.NewCacheView(s.d.System)
 }
 
 // Experiment regenerates one of the paper's tables or figures by id
-// (fig2, fig3, fig10..fig17, table1..table6, hitratio) and returns its
-// rendered text. Workload-parameterized experiments accept "fig10:mobilenetv3"
-// style suffixes; the default is resnet50.
+// (fig2, fig3, fig9..fig18, table1..table6, hitratio, ...; see
+// Experiments for the full list) and returns its rendered text.
+// Workload-parameterized experiments accept "fig10:mobilenetv3" style
+// suffixes; the default is resnet50 unless the entry says otherwise.
 func Experiment(id string) (string, error) {
 	res, err := runExperiment(id)
 	if err != nil {
@@ -231,73 +230,90 @@ func ExperimentCSV(id string) (string, error) {
 	return b.String(), nil
 }
 
-// Experiments lists the available experiment ids.
+// experimentEntry couples an experiment id with its runner and default
+// workload. Experiments and runExperiment both read experimentRegistry,
+// so the advertised list and the dispatch can never diverge (the old
+// hand-written switch once dispatched "fig18" without listing it).
+type experimentEntry struct {
+	id string
+	// workload is the default when the id carries no ":workload" suffix
+	// ("" means ResNet50). Workload-insensitive runners ignore it.
+	workload core.Workload
+	run      func(core.Workload) (*core.Result, error)
+}
+
+// fixed adapts a workload-insensitive experiment to the registry shape.
+func fixed(run func() (*core.Result, error)) func(core.Workload) (*core.Result, error) {
+	return func(core.Workload) (*core.Result, error) { return run() }
+}
+
+var experimentRegistry = []experimentEntry{
+	{id: "fig2", run: core.Fig2},
+	{id: "fig3", run: fixed(core.Fig3)},
+	{id: "fig9", run: core.Fig9},
+	{id: "fig10", run: core.Fig10},
+	{id: "fig11", run: core.Fig11},
+	{id: "fig12", run: core.Fig12},
+	{id: "fig13a", run: fixed(core.Fig13a)},
+	{id: "fig13b", run: core.Fig13b},
+	{id: "fig14", run: fixed(core.Fig14)},
+	{id: "fig15", run: func(w core.Workload) (*core.Result, error) {
+		return core.Fig15(w, sched.StrictLatency, 0)
+	}},
+	{id: "fig15acc", run: func(w core.Workload) (*core.Result, error) {
+		return core.Fig15(w, sched.StrictAccuracy, 0)
+	}},
+	{id: "fig16", run: func(w core.Workload) (*core.Result, error) { return core.Fig16(w, 0) }},
+	{id: "fig17", run: func(w core.Workload) (*core.Result, error) { return core.Fig17(w, 0) }},
+	// fig18 is fig17's companion Q-sweep on the MobileNetV3 family.
+	{id: "fig18", workload: core.MobileNetV3,
+		run: func(w core.Workload) (*core.Result, error) { return core.Fig17(w, 0) }},
+	{id: "table1", run: fixed(core.Table1)},
+	{id: "table2", run: fixed(core.Table2)},
+	{id: "table3", run: fixed(core.Table3)},
+	{id: "table4", run: fixed(core.Table4)},
+	{id: "table5", run: func(w core.Workload) (*core.Result, error) { return core.Table5(w, 0) }},
+	{id: "table6", run: core.Table6},
+	{id: "hitratio", run: fixed(func() (*core.Result, error) { return core.HitRatioA4(0) })},
+	{id: "ablation-avg", run: func(w core.Workload) (*core.Result, error) {
+		return core.AblationAvg(w, 0)
+	}},
+	{id: "overload", run: func(w core.Workload) (*core.Result, error) { return core.Overload(w, 0) }},
+}
+
+// Experiments lists the available experiment ids, in registry order.
 func Experiments() []string {
-	return []string{
-		"fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b",
-		"fig14", "fig15", "fig15acc", "fig16", "fig17",
-		"table1", "table2", "table3", "table4", "table5", "table6",
-		"hitratio", "ablation-avg", "overload",
+	out := make([]string, len(experimentRegistry))
+	for i, e := range experimentRegistry {
+		out[i] = e.id
 	}
+	return out
 }
 
 func runExperiment(id string) (*core.Result, error) {
 	name, w := splitID(id)
-	switch name {
-	case "fig2":
-		return core.Fig2(w)
-	case "fig3":
-		return core.Fig3()
-	case "fig9":
-		return core.Fig9(w)
-	case "fig10":
-		return core.Fig10(w)
-	case "fig11":
-		return core.Fig11(w)
-	case "fig12":
-		return core.Fig12(w)
-	case "fig13a":
-		return core.Fig13a()
-	case "fig13b":
-		return core.Fig13b(w)
-	case "fig14":
-		return core.Fig14()
-	case "fig15":
-		return core.Fig15(w, sched.StrictLatency, 0)
-	case "fig15acc":
-		return core.Fig15(w, sched.StrictAccuracy, 0)
-	case "fig16":
-		return core.Fig16(w, 0)
-	case "fig17", "fig18":
-		return core.Fig17(w, 0)
-	case "table1":
-		return core.Table1()
-	case "table2":
-		return core.Table2()
-	case "table3":
-		return core.Table3()
-	case "table4":
-		return core.Table4()
-	case "table5":
-		return core.Table5(w, 0)
-	case "table6":
-		return core.Table6(w)
-	case "hitratio":
-		return core.HitRatioA4(0)
-	case "ablation-avg":
-		return core.AblationAvg(w, 0)
-	case "overload":
-		return core.Overload(w, 0)
-	default:
-		return nil, fmt.Errorf("sushi: unknown experiment %q (have %v)", id, Experiments())
+	for _, e := range experimentRegistry {
+		if e.id != name {
+			continue
+		}
+		if w == "" {
+			w = e.workload
+			if w == "" {
+				w = core.ResNet50
+			}
+		}
+		return e.run(w)
 	}
+	return nil, fmt.Errorf("sushi: unknown experiment %q (have %v)", id, Experiments())
 }
 
+// splitID separates an "id:workload" suffix; the workload is empty when
+// absent (the registry entry's default applies).
 func splitID(id string) (string, core.Workload) {
 	for i := 0; i < len(id); i++ {
 		if id[i] == ':' {
 			return id[:i], core.Workload(id[i+1:])
 		}
 	}
-	return id, core.ResNet50
+	return id, ""
 }

@@ -85,6 +85,25 @@ func TestExperimentDispatch(t *testing.T) {
 	}
 }
 
+// TestEveryListedExperimentRuns pins the registry invariant: every id
+// Experiments() advertises must dispatch AND run (the old switch once
+// dispatched "fig18" without listing it — the reverse drift, a listed id
+// that fails to dispatch, would surface here too).
+func TestEveryListedExperimentRuns(t *testing.T) {
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			out, err := Experiment(id)
+			if err != nil {
+				t.Fatalf("listed experiment does not run: %v", err)
+			}
+			if !strings.Contains(out, "==") {
+				t.Errorf("output not rendered: %.40q", out)
+			}
+		})
+	}
+}
+
 func TestExperimentWorkloadSuffix(t *testing.T) {
 	out, err := Experiment("fig2:mobilenetv3")
 	if err != nil {
