@@ -5,6 +5,7 @@ import (
 
 	"sushi/internal/core"
 	"sushi/internal/serving"
+	"sushi/internal/simq"
 )
 
 // RouterKind names a cluster dispatch policy.
@@ -128,4 +129,57 @@ func (c *Cluster) Replicas() []ReplicaInfo {
 // reader, so serving never contends on a global stats mutex.
 func (c *Cluster) Stats() Summary {
 	return c.d.Cluster.Stats()
+}
+
+// SimOptions configures Cluster.Simulate.
+type SimOptions struct {
+	// QueueCap bounds each replica's wait queue (0 = unbounded);
+	// Admission picks the overflow policy (default AdmitReject).
+	QueueCap  int
+	Admission AdmissionPolicy
+	// LoadAware debits each query's latency budget by its queueing
+	// delay before scheduling; Drop abandons queries whose budget is
+	// exhausted before service starts.
+	LoadAware, Drop bool
+	// Router is the dispatch policy for the simulated run; empty
+	// defaults to the cluster's own configured policy. A fresh router
+	// instance is built per call, so repeated simulations over fresh
+	// deployments reproduce exactly.
+	Router RouterKind
+	// RouterSeed seeds the RandomRouter.
+	RouterSeed int64
+}
+
+// Simulate plays a timed query stream through the cluster in virtual
+// time: the simq discrete-event engine routes each query at its arrival
+// instant against virtual queue depth, applies bounded queues with
+// admission control, and folds p50/p95/p99 E2E latency, SLO attainment,
+// goodput and drop counts. Virtual time means a day of diurnal traffic
+// evaluates in milliseconds, deterministically per seed.
+//
+// The run shares the cluster's replicas with the live serve paths: each
+// simulated query serializes on its replica's lock, and replica cache
+// state adapts to the simulated traffic (that is the point — SubGraph
+// Stationary behaviour under load). Run it against an otherwise idle
+// cluster for reproducible results.
+func (c *Cluster) Simulate(qs []TimedQuery, opt SimOptions) (*SimResult, error) {
+	kind := string(opt.Router)
+	if kind == "" {
+		kind = c.d.Cluster.RouterName()
+	}
+	router, err := core.NewRouter(kind, opt.RouterSeed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := simq.FromCluster(c.d.Cluster, simq.Options{
+		QueueCap:  opt.QueueCap,
+		Admission: opt.Admission,
+		LoadAware: opt.LoadAware,
+		Drop:      opt.Drop,
+		Router:    router,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(qs)
 }

@@ -141,3 +141,47 @@ func TestClusterAffinityBeatsRandomOnHitRatio(t *testing.T) {
 		t.Errorf("affinity hit ratio %.4f below random %.4f", aff, rnd)
 	}
 }
+
+func TestClusterSimulatePublicAPI(t *testing.T) {
+	c := testCluster(t, 2, LeastLoaded)
+	// Budget wide enough for the slowest SubNet; rate ~3x the 2-replica
+	// aggregate capacity so queueing and admission control both engage.
+	budget := 8e-3
+	arr, err := (Poisson{Rate: 2 / budget * 3}).Times(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]Query, len(arr))
+	for i := range qs {
+		qs[i] = Query{ID: i, MaxLatency: budget}
+	}
+	ts, err := TimedStream(qs, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Simulate(ts, SimOptions{
+		QueueCap:  4,
+		Admission: AdmitDegrade,
+		LoadAware: true,
+		Drop:      true,
+		Router:    LeastLoaded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 100 || res.Served+res.Dropped != 100 {
+		t.Fatalf("accounting off: %+v", res)
+	}
+	if res.Summary.P99E2E < res.Summary.P50E2E {
+		t.Errorf("tail below median: %+v", res.Summary)
+	}
+	if res.Summary.Goodput <= 0 {
+		t.Errorf("goodput missing: %+v", res.Summary)
+	}
+	if res.Degraded == 0 {
+		t.Error("3x overload with cap 4 never degraded")
+	}
+	if _, err := c.Simulate(ts, SimOptions{Router: "carousel"}); err == nil {
+		t.Error("bogus router accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sushi/internal/latencytable"
 	"sushi/internal/serving"
 	"sushi/internal/supernet"
 )
@@ -92,19 +93,33 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 	if err != nil {
 		return nil, err
 	}
-	systems := make([]*serving.System, copt.Replicas)
-	for i := range systems {
-		o := sopt
-		o.Table = table
-		o.StaticColumn = i % table.Cols()
-		systems[i], err = serving.New(super, frontier, o)
-		if err != nil {
-			return nil, err
-		}
+	systems, err := BootReplicaSystems(super, frontier, sopt, table, copt.Replicas)
+	if err != nil {
+		return nil, err
 	}
 	cluster, err := serving.NewCluster(systems, router)
 	if err != nil {
 		return nil, err
 	}
 	return &ClusterDeployment{Super: super, Frontier: frontier, Cluster: cluster}, nil
+}
+
+// BootReplicaSystems builds n serving systems over ONE shared latency
+// table, replica i booting on cache candidate column i — deployments
+// start with distinct cached SubGraphs, which gives affinity routing
+// signal from the first query. This is the single home of that
+// invariant, shared by DeployCluster and the open-loop experiments.
+func BootReplicaSystems(super *supernet.SuperNet, frontier []*supernet.SubNet, sopt serving.Options, table *latencytable.Table, n int) ([]*serving.System, error) {
+	systems := make([]*serving.System, n)
+	for i := range systems {
+		o := sopt
+		o.Table = table
+		o.StaticColumn = i % table.Cols()
+		var err error
+		systems[i], err = serving.New(super, frontier, o)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return systems, nil
 }

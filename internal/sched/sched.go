@@ -58,6 +58,24 @@ type Query struct {
 	Policy *Policy
 }
 
+// Debit returns a copy of q with its latency budget reduced by waited
+// seconds, clamped at zero — the load-aware budget debit the serving
+// engine applies before handing a queued query to the scheduler: time
+// already spent waiting is no longer available for inference, so under
+// load the scheduler is steered toward faster SubNets. Queries without
+// a latency budget (MaxLatency <= 0) are unconstrained and unchanged.
+func (q Query) Debit(waited float64) Query {
+	if q.MaxLatency <= 0 || waited <= 0 {
+		return q
+	}
+	b := q.MaxLatency - waited
+	if b < 0 {
+		b = 0
+	}
+	q.MaxLatency = b
+	return q
+}
+
 // Decision is the scheduler's output for one query.
 type Decision struct {
 	// SubNet is the row index into the table's serving set.

@@ -539,3 +539,30 @@ func TestPerQueryPolicyOverride(t *testing.T) {
 		t.Error("bogus per-query policy accepted by Peek")
 	}
 }
+
+func TestQueryDebit(t *testing.T) {
+	q := Query{ID: 1, MinAccuracy: 75, MaxLatency: 10e-3}
+	d := q.Debit(4e-3)
+	if d.MaxLatency != 6e-3 {
+		t.Errorf("debited budget %g, want 6e-3", d.MaxLatency)
+	}
+	if d.ID != q.ID || d.MinAccuracy != q.MinAccuracy {
+		t.Errorf("debit mutated identity/accuracy: %+v", d)
+	}
+	if q.MaxLatency != 10e-3 {
+		t.Error("Debit mutated the receiver")
+	}
+	// Overdrawn budgets clamp to zero, never negative.
+	if d := q.Debit(20e-3); d.MaxLatency != 0 {
+		t.Errorf("overdrawn budget %g, want 0", d.MaxLatency)
+	}
+	// Unconstrained queries cannot run out of budget.
+	free := Query{ID: 2}
+	if d := free.Debit(5); d.MaxLatency != 0 {
+		t.Errorf("unconstrained query debited to %g", d.MaxLatency)
+	}
+	// Negative waits (clock skew) are ignored.
+	if d := q.Debit(-1); d.MaxLatency != q.MaxLatency {
+		t.Errorf("negative wait changed budget to %g", d.MaxLatency)
+	}
+}

@@ -12,6 +12,7 @@
 //
 //	POST /v1/serve        one query; per-request policy and deadline_ms
 //	POST /v1/serve/batch  NDJSON stream of queries in, NDJSON out
+//	POST /v1/simulate     open-loop virtual-time simulation (simq engine)
 //	GET  /v1/replicas     per-replica cache state, queue depth, hit ratio
 //	GET  /v1/frontier     servable SubNets
 //	GET  /v1/cache        replica 0's Persistent Buffer state
@@ -32,6 +33,8 @@ import (
 	"sushi/internal/core"
 	"sushi/internal/sched"
 	"sushi/internal/serving"
+	"sushi/internal/simq"
+	"sushi/internal/workload"
 )
 
 // View types shared with the public sushi package through internal/core
@@ -63,6 +66,7 @@ func New(dep *core.ClusterDeployment) *Server {
 	s.mux.HandleFunc("GET /v1/replicas", s.handleReplicas)
 	s.mux.HandleFunc("POST /v1/serve", s.handleServe)
 	s.mux.HandleFunc("POST /v1/serve/batch", s.handleServeBatch)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	return s
 }
 
@@ -233,6 +237,252 @@ func (s *Server) handleServeBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// TracePoint is one recorded query of a SimulateRequest trace.
+type TracePoint struct {
+	// ArrivalS is seconds since stream start (non-decreasing).
+	ArrivalS float64 `json:"arrival_s"`
+	// MinAccuracy and MaxLatencyMS are the constraint pair it carried.
+	MinAccuracy  float64 `json:"min_accuracy"`
+	MaxLatencyMS float64 `json:"max_latency_ms"`
+}
+
+// SimulateRequest is /v1/simulate's body: an arrival process (or a
+// replayable trace), the constraint every generated query carries, and
+// the engine's queueing discipline. Unknown fields are rejected.
+type SimulateRequest struct {
+	// Queries is the stream length (required unless a trace is given,
+	// where it defaults to the full trace).
+	Queries int `json:"queries"`
+	// Process picks the arrival process: "poisson" (default), "onoff",
+	// "diurnal" or "trace".
+	Process string `json:"process"`
+	// RateQPS is the Poisson rate / OnOff off-state rate base; for
+	// diurnal it is the mean rate.
+	RateQPS float64 `json:"rate_qps"`
+	// BurstRateQPS, MeanOnS, MeanOffS parameterize the onoff process
+	// (burst-state rate and mean state sojourns).
+	BurstRateQPS float64 `json:"burst_rate_qps"`
+	MeanOnS      float64 `json:"mean_on_s"`
+	MeanOffS     float64 `json:"mean_off_s"`
+	// Amplitude and PeriodS parameterize the diurnal swing.
+	Amplitude float64 `json:"amplitude"`
+	PeriodS   float64 `json:"period_s"`
+	// Trace replays recorded (arrival, A_t, L_t) tuples (process
+	// "trace"); generated-process constraints below are ignored.
+	Trace []TracePoint `json:"trace"`
+	// MinAccuracy and MaxLatencyMS annotate every generated query.
+	MinAccuracy  float64 `json:"min_accuracy"`
+	MaxLatencyMS float64 `json:"max_latency_ms"`
+	// Seed drives the arrival process (default 1).
+	Seed int64 `json:"seed"`
+	// Queue bounds each replica's wait queue (0 = unbounded);
+	// Admission is "reject" (default), "shed-oldest" or "degrade".
+	Queue     int    `json:"queue"`
+	Admission string `json:"admission"`
+	// LoadAware debits budgets by wait time; Drop abandons queries
+	// whose budget expired in the queue.
+	LoadAware bool `json:"load_aware"`
+	Drop      bool `json:"drop"`
+	// Router overrides the dispatch policy for the simulated run (empty
+	// keeps the deployment's configured policy); RouterSeed seeds the
+	// random router.
+	Router     string `json:"router"`
+	RouterSeed int64  `json:"router_seed"`
+}
+
+// maxSimulateQueries caps one /v1/simulate stream. The engine runs the
+// whole simulation synchronously while sharing replica locks with live
+// traffic, so an unbounded stream length would let a single request pin
+// the server for minutes; 100k queries stays in low seconds.
+const maxSimulateQueries = 100_000
+
+// stream materializes the request's arrival process and query stream.
+func (req SimulateRequest) stream() ([]serving.TimedQuery, error) {
+	if req.MinAccuracy < 0 || req.MinAccuracy > 100 {
+		return nil, errors.New("min_accuracy must be in [0, 100]")
+	}
+	if req.MaxLatencyMS < 0 {
+		return nil, errors.New("max_latency_ms must be non-negative")
+	}
+	if req.Queries > maxSimulateQueries || len(req.Trace) > maxSimulateQueries {
+		return nil, fmt.Errorf("stream length capped at %d queries", maxSimulateQueries)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if req.Process == "trace" {
+		if len(req.Trace) == 0 {
+			return nil, errors.New("process \"trace\" needs a non-empty trace")
+		}
+		tr := workload.Trace{Entries: make([]workload.TraceEntry, len(req.Trace))}
+		for i, p := range req.Trace {
+			tr.Entries[i] = workload.TraceEntry{
+				Arrival:     p.ArrivalS,
+				MinAccuracy: p.MinAccuracy,
+				MaxLatency:  p.MaxLatencyMS * 1e-3,
+			}
+		}
+		n := req.Queries
+		if n == 0 {
+			n = len(tr.Entries)
+		}
+		qs, err := tr.Queries(n)
+		if err != nil {
+			return nil, err
+		}
+		arr, err := tr.Times(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return simq.Stream(qs, arr)
+	}
+	if len(req.Trace) > 0 {
+		return nil, fmt.Errorf("trace given but process is %q (want \"trace\")", req.Process)
+	}
+	if req.Queries <= 0 {
+		return nil, errors.New("queries must be positive")
+	}
+	var proc workload.ArrivalProcess
+	switch req.Process {
+	case "", "poisson":
+		proc = workload.Poisson{Rate: req.RateQPS}
+	case "onoff":
+		proc = workload.OnOff{
+			OnRate:  req.BurstRateQPS,
+			OffRate: req.RateQPS,
+			MeanOn:  req.MeanOnS,
+			MeanOff: req.MeanOffS,
+		}
+	case "diurnal":
+		proc = workload.Diurnal{
+			BaseRate:  req.RateQPS,
+			Amplitude: req.Amplitude,
+			Period:    req.PeriodS,
+		}
+	default:
+		return nil, fmt.Errorf("unknown process %q (want poisson, onoff, diurnal or trace)", req.Process)
+	}
+	arr, err := proc.Times(req.Queries, seed)
+	if err != nil {
+		return nil, err
+	}
+	qs := make([]serving.TimedQuery, req.Queries)
+	for i := range qs {
+		qs[i] = serving.TimedQuery{
+			Query: sched.Query{
+				ID:          i,
+				MinAccuracy: req.MinAccuracy,
+				MaxLatency:  req.MaxLatencyMS * 1e-3,
+			},
+			Arrival: arr[i],
+		}
+	}
+	return qs, nil
+}
+
+// SimulateResponse is /v1/simulate's body.
+type SimulateResponse struct {
+	Queries        int     `json:"queries"`
+	Served         int     `json:"served"`
+	Dropped        int     `json:"dropped"`
+	DroppedLate    int     `json:"dropped_deadline"`
+	Rejected       int     `json:"dropped_rejected"`
+	Shed           int     `json:"dropped_shed"`
+	Degraded       int     `json:"degraded"`
+	Router         string  `json:"router"`
+	OfferedQPS     float64 `json:"offered_qps"`
+	GoodputQPS     float64 `json:"goodput_qps"`
+	MakespanS      float64 `json:"makespan_s"`
+	AvgE2EMS       float64 `json:"avg_e2e_ms"`
+	P50E2EMS       float64 `json:"p50_e2e_ms"`
+	P95E2EMS       float64 `json:"p95_e2e_ms"`
+	P99E2EMS       float64 `json:"p99_e2e_ms"`
+	AvgQueueMS     float64 `json:"avg_queue_ms"`
+	SLO            float64 `json:"slo"`
+	AvgAccuracy    float64 `json:"avg_accuracy"`
+	CacheSwaps     int     `json:"cache_swaps"`
+	ReplicaQueries []int   `json:"replica_queries"`
+}
+
+// handleSimulate runs an open-loop virtual-time simulation on the
+// deployment's replicas. Virtual time decouples the run from the wall
+// clock — hours of diurnal traffic evaluate in milliseconds — but the
+// simulated queries serialize with live traffic on each replica's lock
+// and leave their mark on its cache state; point this at an idle
+// deployment for reproducible sweeps.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req SimulateRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	qs, err := req.stream()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Queue < 0 {
+		httpError(w, http.StatusBadRequest, "queue must be non-negative")
+		return
+	}
+	adm, err := simq.ParseAdmission(req.Admission)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	kind := req.Router
+	if kind == "" {
+		kind = s.dep.Cluster.RouterName()
+	}
+	router, err := core.NewRouter(kind, req.RouterSeed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	eng, err := simq.FromCluster(s.dep.Cluster, simq.Options{
+		QueueCap:  req.Queue,
+		Admission: adm,
+		LoadAware: req.LoadAware,
+		Drop:      req.Drop,
+		Router:    router,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := eng.Run(qs)
+	if err != nil {
+		serveError(w, err)
+		return
+	}
+	sum := res.Summary
+	writeJSON(w, SimulateResponse{
+		Queries:        res.Queries,
+		Served:         res.Served,
+		Dropped:        res.Dropped,
+		DroppedLate:    res.DeadlineDrops,
+		Rejected:       res.Rejected,
+		Shed:           res.Shed,
+		Degraded:       res.Degraded,
+		Router:         res.Router,
+		OfferedQPS:     res.OfferedRate,
+		GoodputQPS:     sum.Goodput,
+		MakespanS:      res.Makespan,
+		AvgE2EMS:       sum.AvgE2E * 1e3,
+		P50E2EMS:       sum.P50E2E * 1e3,
+		P95E2EMS:       sum.P95E2E * 1e3,
+		P99E2EMS:       sum.P99E2E * 1e3,
+		AvgQueueMS:     sum.AvgQueueDelay * 1e3,
+		SLO:            sum.E2ESLO,
+		AvgAccuracy:    sum.AvgAccuracy,
+		CacheSwaps:     sum.CacheSwaps,
+		ReplicaQueries: res.ReplicaQueries,
+	})
 }
 
 func (s *Server) handleFrontier(w http.ResponseWriter, _ *http.Request) {

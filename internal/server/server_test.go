@@ -342,3 +342,118 @@ func TestConcurrentServes(t *testing.T) {
 		t.Fatalf("replica counts sum to %d, want %d", total, n)
 	}
 }
+
+func postSimulate(t *testing.T, ts *httptest.Server, body string) (*http.Response, SimulateResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SimulateResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	ts := testServer(t, 2, core.RouterLeastLoaded)
+	// Poisson overload with drops: every query accounted for, tails and
+	// goodput populated.
+	resp, out := postSimulate(t, ts, `{
+		"queries": 80, "process": "poisson", "rate_qps": 800,
+		"max_latency_ms": 8, "load_aware": true, "drop": true,
+		"queue": 4, "admission": "shed-oldest", "seed": 3,
+		"router": "least-loaded"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Queries != 80 || out.Served+out.Dropped != 80 {
+		t.Fatalf("accounting off: %+v", out)
+	}
+	if out.Rejected+out.Shed+out.DroppedLate != out.Dropped {
+		t.Fatalf("drop reasons don't sum: %+v", out)
+	}
+	if out.Served > 0 && out.P99E2EMS <= 0 {
+		t.Errorf("p99 e2e missing: %+v", out)
+	}
+	if out.Router != "least-loaded" {
+		t.Errorf("router %q", out.Router)
+	}
+	// An empty router field keeps the deployment's configured policy
+	// instead of silently falling back to round-robin.
+	_, def := postSimulate(t, ts, `{"queries": 5, "rate_qps": 100}`)
+	if def.Router != "least-loaded" {
+		t.Errorf("default sim router %q, want the deployment's least-loaded", def.Router)
+	}
+	if len(out.ReplicaQueries) != 2 {
+		t.Errorf("replica accounting %v", out.ReplicaQueries)
+	}
+	if out.MakespanS <= 0 || out.OfferedQPS <= 0 {
+		t.Errorf("timing aggregates missing: %+v", out)
+	}
+}
+
+func TestSimulateTraceReplay(t *testing.T) {
+	ts := testServer(t, 1, "")
+	resp, out := postSimulate(t, ts, `{
+		"process": "trace",
+		"trace": [
+			{"arrival_s": 0, "min_accuracy": 60, "max_latency_ms": 50},
+			{"arrival_s": 0.01, "min_accuracy": 60, "max_latency_ms": 50},
+			{"arrival_s": 0.02, "min_accuracy": 60, "max_latency_ms": 50}
+		]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Queries != 3 || out.Served != 3 {
+		t.Fatalf("trace replay served %d/%d", out.Served, out.Queries)
+	}
+	if out.AvgAccuracy < 60 {
+		t.Errorf("avg accuracy %.1f below the trace floor", out.AvgAccuracy)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	ts := testServer(t, 1, "")
+	for name, body := range map[string]string{
+		"missing queries":  `{"process": "poisson", "rate_qps": 100}`,
+		"bad process":      `{"queries": 5, "process": "lunar", "rate_qps": 100}`,
+		"zero rate":        `{"queries": 5, "process": "poisson"}`,
+		"negative queue":   `{"queries": 5, "rate_qps": 100, "queue": -1}`,
+		"bad admission":    `{"queries": 5, "rate_qps": 100, "admission": "lifo"}`,
+		"bad router":       `{"queries": 5, "rate_qps": 100, "router": "carousel"}`,
+		"unknown field":    `{"queries": 5, "rate_qps": 100, "turbo": true}`,
+		"bad accuracy":     `{"queries": 5, "rate_qps": 100, "min_accuracy": 120}`,
+		"trace wrong mode": `{"queries": 2, "rate_qps": 100, "trace": [{"arrival_s": 0}]}`,
+		"empty trace":      `{"process": "trace"}`,
+		"bad trace order":  `{"process": "trace", "trace": [{"arrival_s": 1}, {"arrival_s": 0}]}`,
+	} {
+		resp, _ := postSimulate(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	// Two identical requests against two fresh deployments must agree
+	// bit-for-bit; a different seed must not.
+	body := `{"queries": 60, "rate_qps": 500, "max_latency_ms": 8,
+		"load_aware": true, "drop": true, "seed": 7}`
+	_, a := postSimulate(t, testServer(t, 2, ""), body)
+	_, b := postSimulate(t, testServer(t, 2, ""), body)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("same seed diverged:\n%s\n%s", aj, bj)
+	}
+	_, c := postSimulate(t, testServer(t, 2, ""), strings.Replace(body, `"seed": 7`, `"seed": 8`, 1))
+	cj, _ := json.Marshal(c)
+	if bytes.Equal(aj, cj) {
+		t.Error("different seeds produced identical simulations")
+	}
+}

@@ -2,15 +2,89 @@ package serving
 
 import "sort"
 
-// maxLatencySamples caps the per-accumulator latency reservoir. Streams
+// maxLatencySamples caps each per-accumulator latency reservoir. Streams
 // up to the cap yield exact percentiles; beyond it, reservoir sampling
 // keeps memory and read cost bounded for long-running servers at the
-// price of approximate P50/P99 (every other aggregate stays exact).
+// price of approximate P50/P95/P99 (every other aggregate stays exact).
 const maxLatencySamples = 4096
 
+// reservoir is a bounded uniform sample of a latency stream (Algorithm R
+// once the cap is reached). The replacement stream is a deterministic
+// xorshift64, so seeded runs stay reproducible. The zero value is ready.
+type reservoir struct {
+	// xs holds the samples; seen counts every value offered.
+	xs   []float64
+	seen int
+	rng  uint64
+}
+
+// observe records one value.
+func (r *reservoir) observe(x float64) {
+	r.seen++
+	if len(r.xs) < maxLatencySamples {
+		r.xs = append(r.xs, x)
+		return
+	}
+	if r.rng == 0 {
+		r.rng = 0x9E3779B97F4A7C15
+	}
+	r.rng ^= r.rng << 13
+	r.rng ^= r.rng >> 7
+	r.rng ^= r.rng << 17
+	if j := int(r.rng % uint64(r.seen)); j < maxLatencySamples {
+		r.xs[j] = x
+	}
+}
+
+// merge folds another reservoir's content in. While both sides are exact
+// (under the cap), so is the merge; once either side sampled, the merged
+// reservoir draws from each side proportionally to its traffic (seen),
+// so percentiles stay traffic-weighted — a near-idle replica cannot
+// dominate the cluster's folded P99.
+func (r *reservoir) merge(b *reservoir) {
+	exact := r.seen == len(r.xs) && b.seen == len(b.xs)
+	total := r.seen + b.seen
+	if exact || total == 0 {
+		r.xs = append(r.xs, b.xs...)
+		r.seen = total
+		return
+	}
+	target := maxLatencySamples
+	if total < target {
+		target = total
+	}
+	// Proportional draw; reservoir samples are exchangeable, so a prefix
+	// is itself a uniform sample (and keeps the merge deterministic).
+	na := int(float64(target) * float64(r.seen) / float64(total))
+	if na > len(r.xs) {
+		na = len(r.xs)
+	}
+	nb := target - na
+	if nb > len(b.xs) {
+		nb = len(b.xs)
+	}
+	r.xs = append(r.xs[:na:na], b.xs[:nb]...)
+	r.seen = total
+}
+
+// snapshot deep-copies the reservoir.
+func (r *reservoir) snapshot() reservoir {
+	cp := *r
+	cp.xs = append([]float64(nil), r.xs...)
+	return cp
+}
+
+// sorted returns a sorted copy of the samples.
+func (r *reservoir) sorted() []float64 {
+	xs := append([]float64(nil), r.xs...)
+	sort.Float64s(xs)
+	return xs
+}
+
 // Accumulator folds served outcomes into running aggregates without
-// retaining the full []Served. Each cluster replica owns one, updated
-// under the replica's lock; readers fold per-replica snapshots instead
+// retaining the full []Served. Each cluster replica owns one (updated
+// under the replica's lock) for live traffic, and the simq engine owns
+// one per replica for virtual-time runs; readers fold snapshots instead
 // of funneling every query through a global mutex. The zero value is
 // ready to use. Not safe for concurrent use.
 type Accumulator struct {
@@ -19,16 +93,23 @@ type Accumulator struct {
 	latMet, accMet, feasible, swaps int
 	hitBytes                        int64
 	energyJ                         float64
-	// lats is a bounded reservoir of individual latencies for
-	// percentile folding; latSeen counts every latency offered to it.
-	lats    []float64
-	latSeen int
-	// rng drives reservoir replacement (xorshift64; deterministic for a
-	// deterministic add order, so seeded runs stay reproducible).
-	rng uint64
+	// lats samples individual service latencies for percentile folding.
+	lats reservoir
+
+	// Open-loop extensions (fed by AddTimed; zero for closed-loop use).
+	// dropped counts abandoned queries, e2eMet the queries that finished
+	// inside their original budget; e2e samples end-to-end latencies of
+	// served queries; the arrival/finish span yields goodput.
+	dropped          int
+	e2eMet           int
+	sumE2E, sumQueue float64
+	e2e              reservoir
+	spanSet          bool
+	minArrival       float64
+	maxFinish        float64
 }
 
-// Add folds one outcome.
+// Add folds one closed-loop outcome.
 func (a *Accumulator) Add(r Served) {
 	a.queries++
 	a.sumLat += r.Latency
@@ -48,33 +129,36 @@ func (a *Accumulator) Add(r Served) {
 	if r.CacheSwapped {
 		a.swaps++
 	}
-	a.observeLatency(r.Latency)
+	a.lats.observe(r.Latency)
 }
 
-// observeLatency records one latency in the bounded reservoir
-// (Algorithm R once the cap is reached).
-func (a *Accumulator) observeLatency(lat float64) {
-	a.latSeen++
-	if len(a.lats) < maxLatencySamples {
-		a.lats = append(a.lats, lat)
-		return
+// AddTimed folds one open-loop outcome: service aggregates for served
+// queries (their LatencyMet is already end-to-end, judged by the
+// engine), plus queueing telemetry — E2E latency reservoir, queue
+// delay, drops, and the arrival/finish span goodput is computed over.
+func (a *Accumulator) AddTimed(r TimedServed) {
+	if r.Dropped {
+		a.queries++
+		a.dropped++
+	} else {
+		a.Add(r.Served)
+		if r.LatencyMet {
+			a.e2eMet++
+		}
+		a.sumE2E += r.E2ELatency
+		a.sumQueue += r.QueueDelay
+		a.e2e.observe(r.E2ELatency)
 	}
-	if a.rng == 0 {
-		a.rng = 0x9E3779B97F4A7C15
+	if !a.spanSet || r.Arrival < a.minArrival {
+		a.minArrival = r.Arrival
 	}
-	a.rng ^= a.rng << 13
-	a.rng ^= a.rng >> 7
-	a.rng ^= a.rng << 17
-	if j := int(a.rng % uint64(a.latSeen)); j < maxLatencySamples {
-		a.lats[j] = lat
+	if !a.spanSet || r.Finish > a.maxFinish {
+		a.maxFinish = r.Finish
 	}
+	a.spanSet = true
 }
 
-// Merge folds another accumulator's content into a. While both
-// reservoirs are exact (under the cap), so is the merge; once either
-// side sampled, the merged reservoir draws from each side proportionally
-// to its traffic (latSeen), so percentiles stay traffic-weighted — a
-// near-idle replica cannot dominate the cluster's folded P99.
+// Merge folds another accumulator's content into a.
 func (a *Accumulator) Merge(b *Accumulator) {
 	a.queries += b.queries
 	a.sumLat += b.sumLat
@@ -86,35 +170,29 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	a.accMet += b.accMet
 	a.feasible += b.feasible
 	a.swaps += b.swaps
-	exact := a.latSeen == len(a.lats) && b.latSeen == len(b.lats)
-	total := a.latSeen + b.latSeen
-	if exact || total == 0 {
-		a.lats = append(a.lats, b.lats...)
-		a.latSeen = total
-		return
+	a.lats.merge(&b.lats)
+
+	a.dropped += b.dropped
+	a.e2eMet += b.e2eMet
+	a.sumE2E += b.sumE2E
+	a.sumQueue += b.sumQueue
+	a.e2e.merge(&b.e2e)
+	if b.spanSet {
+		if !a.spanSet || b.minArrival < a.minArrival {
+			a.minArrival = b.minArrival
+		}
+		if !a.spanSet || b.maxFinish > a.maxFinish {
+			a.maxFinish = b.maxFinish
+		}
+		a.spanSet = true
 	}
-	target := maxLatencySamples
-	if total < target {
-		target = total
-	}
-	// Proportional draw; reservoir samples are exchangeable, so a prefix
-	// is itself a uniform sample (and keeps the merge deterministic).
-	na := int(float64(target) * float64(a.latSeen) / float64(total))
-	if na > len(a.lats) {
-		na = len(a.lats)
-	}
-	nb := target - na
-	if nb > len(b.lats) {
-		nb = len(b.lats)
-	}
-	a.lats = append(a.lats[:na:na], b.lats[:nb]...)
-	a.latSeen = total
 }
 
 // Snapshot returns a deep copy safe to merge after the lock is released.
 func (a *Accumulator) Snapshot() *Accumulator {
 	cp := *a
-	cp.lats = append([]float64(nil), a.lats...)
+	cp.lats = a.lats.snapshot()
+	cp.e2e = a.e2e.snapshot()
 	return &cp
 }
 
@@ -123,25 +201,50 @@ func (a *Accumulator) Queries() int { return a.queries }
 
 // Summary renders the accumulated aggregates, matching Summarize over
 // the same outcomes (percentiles are sample-exact up to
-// maxLatencySamples latencies, reservoir-approximate beyond).
+// maxLatencySamples latencies, reservoir-approximate beyond). Averages
+// are over served queries; SLO fractions are over all queries, so drops
+// count as misses.
 func (a *Accumulator) Summary() Summary {
-	s := Summary{Queries: a.queries}
+	s := Summary{Queries: a.queries, Dropped: a.dropped}
 	if a.queries == 0 {
 		return s
 	}
 	n := float64(a.queries)
-	s.AvgLatency = a.sumLat / n
-	s.AvgAccuracy = a.sumAcc / n
-	s.AvgHitRatio = a.sumHit / n
+	served := a.queries - a.dropped
+	if served > 0 {
+		ns := float64(served)
+		s.AvgLatency = a.sumLat / ns
+		s.AvgAccuracy = a.sumAcc / ns
+		s.AvgHitRatio = a.sumHit / ns
+	}
 	s.HitBytes = a.hitBytes
 	s.OffChipEnergyJ = a.energyJ
 	s.LatencySLO = float64(a.latMet) / n
 	s.AccuracySLO = float64(a.accMet) / n
 	s.FeasibleFraction = float64(a.feasible) / n
 	s.CacheSwaps = a.swaps
-	lats := append([]float64(nil), a.lats...)
-	sort.Float64s(lats)
-	s.P50Latency = percentile(lats, 0.50)
-	s.P99Latency = percentile(lats, 0.99)
+	// Percentiles stay zero (not NaN) when every query was dropped, so
+	// summaries remain JSON-marshalable.
+	if lats := a.lats.sorted(); len(lats) > 0 {
+		s.P50Latency = percentile(lats, 0.50)
+		s.P95Latency = percentile(lats, 0.95)
+		s.P99Latency = percentile(lats, 0.99)
+	}
+	if a.dropped > 0 || a.e2e.seen > 0 {
+		if served > 0 {
+			ns := float64(served)
+			s.AvgE2E = a.sumE2E / ns
+			s.AvgQueueDelay = a.sumQueue / ns
+		}
+		if e2e := a.e2e.sorted(); len(e2e) > 0 {
+			s.P50E2E = percentile(e2e, 0.50)
+			s.P95E2E = percentile(e2e, 0.95)
+			s.P99E2E = percentile(e2e, 0.99)
+		}
+		s.E2ESLO = float64(a.e2eMet) / n
+		if span := a.maxFinish - a.minArrival; a.spanSet && span > 0 {
+			s.Goodput = float64(a.e2eMet) / span
+		}
+	}
 	return s
 }

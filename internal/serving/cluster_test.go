@@ -372,8 +372,8 @@ func TestAccumulatorReservoirBounded(t *testing.T) {
 		a.Add(r)
 		b.Add(r)
 	}
-	if len(a.lats) != maxLatencySamples {
-		t.Fatalf("reservoir holds %d samples, want cap %d", len(a.lats), maxLatencySamples)
+	if len(a.lats.xs) != maxLatencySamples {
+		t.Fatalf("reservoir holds %d samples, want cap %d", len(a.lats.xs), maxLatencySamples)
 	}
 	sa, sb := a.Summary(), b.Summary()
 	if sa != sb {

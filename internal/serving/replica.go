@@ -135,3 +135,42 @@ func (r *Replica) Serve(ctx context.Context, q sched.Query) (Served, error) {
 	r.reserve()
 	return r.serve(ctx, q)
 }
+
+// Reserve marks one routed-but-unfinished query against the replica's
+// queue depth; Release undoes it. The simq engine uses the pair to
+// expose *virtual* queue depth to routers while it serializes service
+// in virtual time — the same depth live dispatch maintains, so every
+// Router implementation works unchanged against simulated load.
+func (r *Replica) Reserve() { r.reserve() }
+
+// Release drops one reservation (completed, dropped or shed in virtual
+// time).
+func (r *Replica) Release() { r.done() }
+
+// ServeVirtual serves one query at a virtual instant on behalf of the
+// simq engine: it serializes on the replica lock and publishes cache
+// state like the live path, but leaves queue-depth and accumulator
+// bookkeeping to the caller — the engine owns virtual time, so it alone
+// knows the query's queueing telemetry. With degrade set, the query is
+// served by the fastest SubNet reachable under the replica's current
+// cache column (admission control's degrade-to-fastest escape valve):
+// accuracy floor dropped, budget collapsed to the column's minimum
+// latency under a per-query StrictLatency override.
+func (r *Replica) ServeVirtual(q sched.Query, degrade bool) (Served, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if degrade {
+		pol := sched.StrictLatency
+		q.MinAccuracy = 0
+		q.MaxLatency = r.sys.fastestBudget()
+		q.Policy = &pol
+	}
+	res, err := r.sys.Serve(q)
+	if err != nil {
+		return Served{}, err
+	}
+	if res.CacheSwapped {
+		r.publishCache()
+	}
+	return res, nil
+}

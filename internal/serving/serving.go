@@ -10,6 +10,15 @@
 //   - StateUnaware — "Sushi w/o Sched": the PB holds one statically chosen
 //     SubGraph that never adapts to the query mix.
 //   - Full        — SUSHI: Algorithm 1 with Q-periodic cache updates.
+//
+// The package owns the closed-loop paths (Serve/ServeAll/ServeStream,
+// single System or multi-replica Cluster) and the shared telemetry
+// types: Served/TimedServed outcomes, the bounded-reservoir Accumulator
+// and Summary. Open-loop arrival-driven serving — virtual-time queueing,
+// admission control, load-aware budget debiting — lives in exactly one
+// place, the discrete-event engine of internal/simq, which drives these
+// replicas through Replica.ServeVirtual and folds outcomes back through
+// Accumulator.AddTimed.
 package serving
 
 import (
@@ -239,6 +248,20 @@ func (s *System) Scheduler() *sched.Scheduler { return s.schd }
 
 // Simulator exposes the accelerator simulator (read-only use).
 func (s *System) Simulator() *accel.Simulator { return s.sim }
+
+// fastestBudget is the smallest latency any SubNet achieves under the
+// scheduler's current cache column — the budget that forces Algorithm 1
+// to its fastest feasible choice (degraded admission).
+func (s *System) fastestBudget() float64 {
+	col := s.schd.CacheColumn()
+	best := s.table.Lookup(0, col)
+	for i := 1; i < s.table.Rows(); i++ {
+		if l := s.table.Lookup(i, col); l < best {
+			best = l
+		}
+	}
+	return best
+}
 
 // Serve runs one query through the full stack: schedule, execute with the
 // current cache state, then enact any cache update for subsequent queries.

@@ -11,8 +11,9 @@ import (
 type Summary struct {
 	// Queries is the stream length.
 	Queries int
-	// AvgLatency, P50Latency, P99Latency are in seconds.
-	AvgLatency, P50Latency, P99Latency float64
+	// AvgLatency, P50Latency, P95Latency, P99Latency are service
+	// latencies in seconds.
+	AvgLatency, P50Latency, P95Latency, P99Latency float64
 	// AvgAccuracy is the mean served top-1 accuracy.
 	AvgAccuracy float64
 	// LatencySLO and AccuracySLO are attainment fractions in [0, 1].
@@ -28,6 +29,25 @@ type Summary struct {
 	OffChipEnergyJ float64
 	// CacheSwaps counts enacted cache updates.
 	CacheSwaps int
+
+	// Open-loop aggregates, populated only for timed (arrival-driven)
+	// sessions folded through Accumulator.AddTimed; all zero for
+	// closed-loop streams.
+
+	// Dropped counts queries abandoned before service (deadline expiry,
+	// admission rejection, or shedding).
+	Dropped int
+	// AvgE2E, P50E2E, P95E2E, P99E2E are end-to-end (queueing + service)
+	// latencies in seconds, over served queries.
+	AvgE2E, P50E2E, P95E2E, P99E2E float64
+	// AvgQueueDelay is the mean time served queries waited.
+	AvgQueueDelay float64
+	// E2ESLO is the fraction of ALL queries (drops count as misses)
+	// finishing within their original latency budget.
+	E2ESLO float64
+	// Goodput is SLO-attaining completions per second of virtual time
+	// (the arrival-to-last-finish span).
+	Goodput float64
 }
 
 // Summarize folds a served stream into a Summary.
@@ -67,6 +87,7 @@ func Summarize(rs []Served) Summary {
 	s.FeasibleFraction /= n
 	sort.Float64s(lats)
 	s.P50Latency = percentile(lats, 0.50)
+	s.P95Latency = percentile(lats, 0.95)
 	s.P99Latency = percentile(lats, 0.99)
 	return s
 }

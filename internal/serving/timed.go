@@ -1,11 +1,12 @@
 package serving
 
-import (
-	"fmt"
-	"sort"
+import "sushi/internal/sched"
 
-	"sushi/internal/sched"
-)
+// Timed serving data types. The queueing semantics themselves — FIFO
+// arrival-order service, bounded queues, admission control, load-aware
+// budget debiting — live in exactly one place: the virtual-time
+// discrete-event engine in internal/simq. simq.ServeTimed is the
+// single-replica entry point that replaced System.ServeTimed.
 
 // TimedQuery is a query with an arrival time (seconds since stream start).
 type TimedQuery struct {
@@ -22,84 +23,24 @@ type TimedServed struct {
 	Arrival, Start, Finish, QueueDelay float64
 	// E2ELatency is Finish-Arrival (queueing + service).
 	E2ELatency float64
-	// Dropped reports the query was abandoned because its deadline
-	// passed before service could begin (§1's transient-overload
-	// failure mode). Dropped queries have a zero Served.
+	// Dropped reports the query was abandoned — its deadline passed
+	// before service could begin, or admission control rejected or shed
+	// it (§1's transient-overload failure mode). Dropped queries have a
+	// zero Served.
 	Dropped bool
 }
 
 // TimedOptions controls the queueing discipline.
 type TimedOptions struct {
 	// LoadAware shrinks each query's effective latency budget by the
-	// time it already waited, so the scheduler picks a faster SubNet
-	// under load — the dynamic navigation of the trade-off space the
-	// paper motivates. Only meaningful under StrictLatency.
+	// time it already waited (sched.Query.Debit), so the scheduler picks
+	// a faster SubNet under load — the dynamic navigation of the
+	// trade-off space the paper motivates. Only meaningful under
+	// StrictLatency.
 	LoadAware bool
 	// Drop abandons queries whose remaining budget is exhausted before
 	// service starts (instead of serving them hopelessly late).
 	Drop bool
-}
-
-// ServeTimed runs a timed stream through the single accelerator in
-// arrival order (FIFO, non-preemptive — queries serialize on SushiAccel
-// exactly as in the paper's serving setup).
-func (s *System) ServeTimed(qs []TimedQuery, opt TimedOptions) ([]TimedServed, error) {
-	ordered := make([]TimedQuery, len(qs))
-	copy(ordered, qs)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
-
-	out := make([]TimedServed, 0, len(ordered))
-	clock := 0.0
-	for _, tq := range ordered {
-		if tq.Arrival < 0 {
-			return out, fmt.Errorf("serving: negative arrival %g for query %d", tq.Arrival, tq.ID)
-		}
-		start := clock
-		if tq.Arrival > start {
-			start = tq.Arrival
-		}
-		wait := start - tq.Arrival
-		remaining := tq.MaxLatency - wait
-		if opt.Drop && tq.MaxLatency > 0 && remaining <= 0 {
-			out = append(out, TimedServed{
-				Arrival:    tq.Arrival,
-				Start:      start,
-				Finish:     start,
-				QueueDelay: wait,
-				E2ELatency: wait,
-				Dropped:    true,
-			})
-			// An abandoned query consumes no accelerator time.
-			continue
-		}
-		q := tq.Query
-		if opt.LoadAware && tq.MaxLatency > 0 {
-			budget := remaining
-			if budget < 0 {
-				budget = 0
-			}
-			q.MaxLatency = budget
-		}
-		r, err := s.Serve(q)
-		if err != nil {
-			return out, err
-		}
-		finish := start + r.Latency
-		clock = finish
-		e2e := finish - tq.Arrival
-		// SLO attainment for timed serving judges the end-to-end time
-		// against the original budget.
-		r.LatencyMet = tq.MaxLatency <= 0 || e2e <= tq.MaxLatency
-		out = append(out, TimedServed{
-			Served:     r,
-			Arrival:    tq.Arrival,
-			Start:      start,
-			Finish:     finish,
-			QueueDelay: wait,
-			E2ELatency: e2e,
-		})
-	}
-	return out, nil
 }
 
 // TimedSummary aggregates a timed session.

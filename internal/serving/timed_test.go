@@ -1,160 +1,30 @@
 package serving
 
-import (
-	"math"
-	"testing"
+// The timed queueing semantics (FIFO invariants, overload behaviour,
+// drop/load-aware policies, upfront validation) are exercised where they
+// now live: internal/simq. Only the summary fold stays here.
 
-	"sushi/internal/accel"
-	"sushi/internal/sched"
-	"sushi/internal/supernet"
-	"sushi/internal/workload"
-)
+import "testing"
 
-// timedStream builds a timed stream at the given arrival rate with fixed
-// latency budgets.
-func timedStream(t *testing.T, sys *System, n int, rate, budget float64) []TimedQuery {
-	t.Helper()
-	arr, err := workload.PoissonArrivals(n, rate, 3)
-	if err != nil {
-		t.Fatal(err)
+func TestSummarizeTimed(t *testing.T) {
+	rs := []TimedServed{
+		{Served: Served{Accuracy: 80, LatencyMet: true}, QueueDelay: 0.1, E2ELatency: 0.3},
+		{Served: Served{Accuracy: 70, LatencyMet: false}, QueueDelay: 0.3, E2ELatency: 0.5},
+		{Dropped: true, QueueDelay: 0.4, E2ELatency: 0.4},
 	}
-	qs := make([]TimedQuery, n)
-	for i := range qs {
-		qs[i] = TimedQuery{
-			Query:   sched.Query{ID: i, MaxLatency: budget},
-			Arrival: arr[i],
-		}
+	s := SummarizeTimed(rs)
+	if s.Queries != 3 || s.ServedCount != 2 || s.Dropped != 1 {
+		t.Fatalf("counts %+v", s)
 	}
-	return qs
-}
-
-func TestServeTimedFIFOInvariants(t *testing.T) {
-	sys := newSystem(t, supernet.MobileNetV3, Full, sched.StrictLatency)
-	budget := latRange(sys).Hi
-	qs := timedStream(t, sys, 60, 300, budget) // moderate load
-	rs, err := sys.ServeTimed(qs, TimedOptions{})
-	if err != nil {
-		t.Fatal(err)
+	if s.AvgAccuracy != 75 {
+		t.Errorf("avg accuracy %g over served only, want 75", s.AvgAccuracy)
 	}
-	if len(rs) != 60 {
-		t.Fatalf("%d results", len(rs))
+	if s.AvgE2E != 0.4 || s.AvgQueueDelay != 0.2 {
+		t.Errorf("avg e2e %g queue %g", s.AvgE2E, s.AvgQueueDelay)
 	}
-	prevFinish := 0.0
-	for i, r := range rs {
-		if r.Start < r.Arrival-1e-12 {
-			t.Fatalf("query %d started before arriving", i)
-		}
-		if r.Start < prevFinish-1e-12 {
-			t.Fatalf("query %d started before the accelerator was free", i)
-		}
-		if math.Abs(r.QueueDelay-(r.Start-r.Arrival)) > 1e-12 {
-			t.Fatalf("query %d queue delay inconsistent", i)
-		}
-		if math.Abs(r.E2ELatency-(r.Finish-r.Arrival)) > 1e-12 {
-			t.Fatalf("query %d e2e inconsistent", i)
-		}
-		prevFinish = r.Finish
-	}
-}
-
-func TestServeTimedOverloadBuildsQueue(t *testing.T) {
-	sys := newSystem(t, supernet.MobileNetV3, Full, sched.StrictLatency)
-	budget := latRange(sys).Hi
-	// Far beyond capacity: service ~2-6 ms -> capacity ~200-400 qps; feed 5000 qps.
-	over := timedStream(t, sys, 80, 5000, budget)
-	rs, err := sys.ServeTimed(over, TimedOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sum := SummarizeTimed(rs)
-	if sum.AvgQueueDelay <= 0 {
-		t.Error("overload produced no queueing delay")
-	}
-	// Under heavy overload the tail queries must wait many service times.
-	if last := rs[len(rs)-1]; last.QueueDelay < 5*budget {
-		t.Errorf("tail queue delay %.4f s too small for 25x overload", last.QueueDelay)
-	}
-	if sum.E2ESLO > 0.6 {
-		t.Errorf("E2E SLO %.2f implausibly high under overload", sum.E2ESLO)
-	}
-}
-
-func TestServeTimedLoadAwareBeatsStatic(t *testing.T) {
-	// §1's motivating claim: under transient overload, a static
-	// high-accuracy choice misses deadlines/drops queries, while
-	// navigating the trade-off space (load-aware SUSHI) keeps serving.
-	s, fr := fixtures(t, supernet.MobileNetV3)
-	mk := func() *System {
-		sys, err := New(s, fr, Options{
-			Accel: accel.ZCU104(), Policy: sched.StrictLatency, Q: 4,
-			Mode: Full, Candidates: 12, Seed: 1,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return sys
-	}
-	sys := mk()
-	budget := latRange(sys).Hi
-	qs := timedStream(t, sys, 100, 450, budget) // ~2-3x capacity of the largest SubNet
-	// Static: every query demands the top SubNet (MinAccuracy at max) —
-	// the "single static point" the paper argues against.
-	static := make([]TimedQuery, len(qs))
-	copy(static, qs)
-	for i := range static {
-		static[i].MinAccuracy = fr[len(fr)-1].Accuracy
-		static[i].MaxLatency = budget
-	}
-	staticRs, err := mk().ServeTimed(static, TimedOptions{Drop: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	adaptiveRs, err := mk().ServeTimed(qs, TimedOptions{Drop: true, LoadAware: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	st := SummarizeTimed(staticRs)
-	ad := SummarizeTimed(adaptiveRs)
-	t.Logf("static-top: SLO %.2f drops %d | load-aware: SLO %.2f drops %d",
-		st.E2ESLO, st.Dropped, ad.E2ESLO, ad.Dropped)
-	if ad.E2ESLO <= st.E2ESLO {
-		t.Errorf("load-aware SLO %.2f !> static-top SLO %.2f", ad.E2ESLO, st.E2ESLO)
-	}
-	if ad.Dropped >= st.Dropped && st.Dropped > 0 {
-		t.Errorf("load-aware dropped %d !< static-top %d", ad.Dropped, st.Dropped)
-	}
-}
-
-func TestServeTimedDropSemantics(t *testing.T) {
-	sys := newSystem(t, supernet.MobileNetV3, Full, sched.StrictLatency)
-	// Two queries arriving together with a budget smaller than one
-	// service: the second must be dropped when Drop is on.
-	budget := latRange(sys).Lo * 0.5
-	qs := []TimedQuery{
-		{Query: sched.Query{ID: 0, MaxLatency: budget}, Arrival: 0},
-		{Query: sched.Query{ID: 1, MaxLatency: budget}, Arrival: 0},
-	}
-	rs, err := sys.ServeTimed(qs, TimedOptions{Drop: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rs[0].Dropped {
-		t.Error("first query dropped")
-	}
-	if !rs[1].Dropped {
-		t.Error("second query not dropped despite exhausted budget")
-	}
-	sum := SummarizeTimed(rs)
-	if sum.Dropped != 1 || sum.ServedCount != 1 {
-		t.Errorf("summary %+v", sum)
-	}
-}
-
-func TestServeTimedValidation(t *testing.T) {
-	sys := newSystem(t, supernet.MobileNetV3, Full, sched.StrictLatency)
-	qs := []TimedQuery{{Query: sched.Query{ID: 0, MaxLatency: 1}, Arrival: -1}}
-	if _, err := sys.ServeTimed(qs, TimedOptions{}); err == nil {
-		t.Error("negative arrival accepted")
+	// One of three queries met its budget; drops count as misses.
+	if want := 1.0 / 3; s.E2ESLO != want {
+		t.Errorf("E2E SLO %g, want %g", s.E2ESLO, want)
 	}
 }
 

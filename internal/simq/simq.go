@@ -1,0 +1,445 @@
+// Package simq is SUSHI's virtual-time discrete-event serving engine:
+// the one implementation of open-loop queueing semantics for the whole
+// stack. An Engine advances a shared virtual clock over a cluster of
+// replicas, routing each query at its arrival instant (routers see the
+// *virtual* queue depth through the same Replica counters live dispatch
+// maintains), applying per-replica bounded FIFO queues with admission
+// control, and debiting each query's latency budget by its wait time
+// before handing it to SushiSched — the load-aware navigation of the
+// accuracy/latency trade-off space the paper motivates (§1).
+//
+// Because time is virtual, a run is deterministic for deterministic
+// seeds and routers, independent of wall-clock speed: heavy-traffic
+// scenarios (offered load far above aggregate service capacity, diurnal
+// swings, replayed traces) evaluate in milliseconds. Outcomes fold into
+// the serving package's accumulators, extended with p50/p95/p99
+// end-to-end latency, SLO attainment, goodput and drop counts.
+//
+// ServeTimed is the single-replica entry point that subsumed the old
+// System.ServeTimed FIFO loop; Cluster-level callers use New/FromCluster
+// + Run (surfaced publicly as sushi.Cluster.Simulate and POST
+// /v1/simulate).
+package simq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+)
+
+// Admission selects the bounded-queue overflow policy.
+type Admission int
+
+const (
+	// Reject refuses the arriving query when the replica's queue is full
+	// (load shedding at the door).
+	Reject Admission = iota
+	// ShedOldest evicts the oldest *queued* query to admit the new one —
+	// freshest-first under overload (the stale query would likely miss
+	// its deadline anyway).
+	ShedOldest
+	// Degrade admits the query past the cap but serves it with the
+	// fastest SubNet reachable under the replica's current cache column
+	// (accuracy floor dropped, budget collapsed) — trading accuracy for
+	// survival instead of dropping, SUSHI's core premise.
+	Degrade
+)
+
+// String implements fmt.Stringer.
+func (a Admission) String() string {
+	switch a {
+	case Reject:
+		return "reject"
+	case ShedOldest:
+		return "shed-oldest"
+	case Degrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("Admission(%d)", int(a))
+	}
+}
+
+// ParseAdmission maps the HTTP/CLI policy names to Admission values.
+func ParseAdmission(name string) (Admission, error) {
+	switch name {
+	case "", "reject":
+		return Reject, nil
+	case "shed", "shed-oldest":
+		return ShedOldest, nil
+	case "degrade":
+		return Degrade, nil
+	default:
+		return 0, fmt.Errorf("simq: unknown admission policy %q (want reject, shed-oldest or degrade)", name)
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// QueueCap bounds each replica's wait queue (in-flight service not
+	// counted); 0 means unbounded. Admission picks the overflow policy.
+	QueueCap int
+	// Admission is the bounded-queue overflow policy.
+	Admission Admission
+	// LoadAware debits each query's latency budget by its queueing delay
+	// (sched.Query.Debit) before scheduling, steering SushiSched toward
+	// faster SubNets under load.
+	LoadAware bool
+	// Drop abandons queries whose remaining budget is exhausted before
+	// service starts.
+	Drop bool
+	// Router picks the replica at each arrival instant; nil defaults to
+	// a fresh round-robin. Use a fresh router per engine — sharing one
+	// with live dispatch would race and break reproducibility.
+	Router serving.Router
+}
+
+// Reason classifies why a query was dropped.
+type Reason int
+
+const (
+	// ReasonNone marks a served query.
+	ReasonNone Reason = iota
+	// ReasonDeadline: the budget expired in the queue (Options.Drop).
+	ReasonDeadline
+	// ReasonRejected: admission control refused the arrival.
+	ReasonRejected
+	// ReasonShed: a newer arrival evicted it (ShedOldest).
+	ReasonShed
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "served"
+	case ReasonDeadline:
+		return "deadline"
+	case ReasonRejected:
+		return "rejected"
+	case ReasonShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Outcome is one query's fate: the timed service record, the replica
+// that handled (or refused) it, the drop reason, and whether admission
+// control degraded it to the fastest SubNet.
+type Outcome struct {
+	serving.TimedServed
+	// Replica is the replica index the router picked.
+	Replica int
+	// Reason is ReasonNone for served queries.
+	Reason Reason
+	// Degraded reports the degrade-to-fastest escape valve fired.
+	Degraded bool
+}
+
+// Result aggregates one open-loop run.
+type Result struct {
+	// Outcomes align with the arrival-sorted input stream.
+	Outcomes []Outcome
+	// Summary folds every replica's engine accumulator: service and E2E
+	// percentiles, SLO attainment, goodput, drop counts.
+	Summary serving.Summary
+	// Queries = Served + Dropped, and DeadlineDrops + Rejected + Shed =
+	// Dropped. Degraded counts every degrade-admission (whatever its
+	// eventual fate), so it overlaps both Served and Dropped.
+	Queries, Served, Dropped                int
+	DeadlineDrops, Rejected, Shed, Degraded int
+	// OfferedRate is arrivals per second of the arrival span (0 for a
+	// single-instant stream); Makespan is the virtual time of the last
+	// event.
+	OfferedRate, Makespan float64
+	// ReplicaQueries counts served queries per replica.
+	ReplicaQueries []int
+	// Router names the dispatch policy used.
+	Router string
+}
+
+// Engine is a virtual-time discrete-event simulator over replica
+// serving systems. It is single-threaded: one Run at a time. Runs
+// mutate replica accelerator state (caches adapt to the simulated
+// traffic), so bit-exact reproduction requires a fresh deployment with
+// the same seeds.
+type Engine struct {
+	reps   []*serving.Replica
+	router serving.Router
+	opt    Options
+}
+
+// New builds an engine over the given replicas.
+func New(reps []*serving.Replica, opt Options) (*Engine, error) {
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("simq: engine needs at least one replica")
+	}
+	for i, r := range reps {
+		if r == nil {
+			return nil, fmt.Errorf("simq: nil replica %d", i)
+		}
+	}
+	if opt.QueueCap < 0 {
+		return nil, fmt.Errorf("simq: negative queue capacity %d", opt.QueueCap)
+	}
+	switch opt.Admission {
+	case Reject, ShedOldest, Degrade:
+	default:
+		return nil, fmt.Errorf("simq: unknown admission policy %d", int(opt.Admission))
+	}
+	router := opt.Router
+	if router == nil {
+		router = serving.NewRoundRobin()
+	}
+	return &Engine{reps: reps, router: router, opt: opt}, nil
+}
+
+// FromCluster builds an engine over a cluster's replicas.
+func FromCluster(c *serving.Cluster, opt Options) (*Engine, error) {
+	if c == nil {
+		return nil, fmt.Errorf("simq: nil cluster")
+	}
+	return New(c.Replicas(), opt)
+}
+
+// NewSingle wraps one system as a single-replica engine — the modern
+// form of the old ServeTimed FIFO.
+func NewSingle(sys *serving.System, opt Options) (*Engine, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("simq: nil system")
+	}
+	return New([]*serving.Replica{serving.NewReplica(0, sys)}, opt)
+}
+
+// job is one admitted query waiting in (or at the head of) a replica
+// queue.
+type job struct {
+	q        sched.Query
+	arrival  float64
+	budget   float64
+	idx      int
+	degraded bool
+}
+
+// replicaState is one replica's virtual-time view.
+type replicaState struct {
+	queue  []job
+	busy   bool
+	freeAt float64
+}
+
+// Stream pairs a query stream with arrival times, element-wise.
+func Stream(qs []sched.Query, arrivals []float64) ([]serving.TimedQuery, error) {
+	if len(qs) != len(arrivals) {
+		return nil, fmt.Errorf("simq: %d queries but %d arrivals", len(qs), len(arrivals))
+	}
+	out := make([]serving.TimedQuery, len(qs))
+	for i := range qs {
+		out[i] = serving.TimedQuery{Query: qs[i], Arrival: arrivals[i]}
+	}
+	return out, nil
+}
+
+// Run plays the timed stream through the cluster in virtual time and
+// returns the per-query outcomes (arrival order) plus aggregates. The
+// whole stream is validated before any query is served, so invalid
+// input has no side effects on accelerator state.
+func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
+	for _, tq := range qs {
+		// Arrivals must be finite and non-negative: a NaN breaks the
+		// sort, a +Inf arrival would end the event loop with the query
+		// forever pending yet counted as served.
+		if math.IsNaN(tq.Arrival) || math.IsInf(tq.Arrival, 0) || tq.Arrival < 0 {
+			return nil, fmt.Errorf("simq: invalid arrival %g for query %d", tq.Arrival, tq.ID)
+		}
+	}
+	ordered := make([]serving.TimedQuery, len(qs))
+	copy(ordered, qs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+
+	res := &Result{
+		Outcomes:       make([]Outcome, len(ordered)),
+		ReplicaQueries: make([]int, len(e.reps)),
+		Queries:        len(ordered),
+		Router:         e.router.Name(),
+	}
+	states := make([]replicaState, len(e.reps))
+	accs := make([]serving.Accumulator, len(e.reps))
+
+	drop := func(ri int, j job, now float64, why Reason) {
+		wait := now - j.arrival
+		o := Outcome{
+			TimedServed: serving.TimedServed{
+				Arrival: j.arrival, Start: now, Finish: now,
+				QueueDelay: wait, E2ELatency: wait, Dropped: true,
+			},
+			Replica:  ri,
+			Reason:   why,
+			Degraded: j.degraded,
+		}
+		accs[ri].AddTimed(o.TimedServed)
+		res.Outcomes[j.idx] = o
+	}
+
+	// startNext pops the replica's queue until a query enters service or
+	// the queue drains; deadline-expired queries drop on the way.
+	startNext := func(ri int, now float64) error {
+		st := &states[ri]
+		for !st.busy && len(st.queue) > 0 {
+			j := st.queue[0]
+			st.queue = st.queue[1:]
+			wait := now - j.arrival
+			if e.opt.Drop && j.budget > 0 && j.budget-wait <= 0 {
+				e.reps[ri].Release()
+				drop(ri, j, now, ReasonDeadline)
+				continue
+			}
+			q := j.q
+			if e.opt.LoadAware {
+				q = q.Debit(wait)
+			}
+			served, err := e.reps[ri].ServeVirtual(q, j.degraded)
+			if err != nil {
+				e.reps[ri].Release()
+				return err
+			}
+			finish := now + served.Latency
+			e2e := finish - j.arrival
+			// SLO attainment for open-loop serving judges end-to-end
+			// time against the original budget.
+			served.LatencyMet = j.budget <= 0 || e2e <= j.budget
+			o := Outcome{
+				TimedServed: serving.TimedServed{
+					Served:  served,
+					Arrival: j.arrival, Start: now, Finish: finish,
+					QueueDelay: wait, E2ELatency: e2e,
+				},
+				Replica:  ri,
+				Degraded: j.degraded,
+			}
+			accs[ri].AddTimed(o.TimedServed)
+			res.Outcomes[j.idx] = o
+			res.ReplicaQueries[ri]++
+			st.busy, st.freeAt = true, finish
+		}
+		return nil
+	}
+
+	ai := 0
+	for {
+		// Next completion across replicas (lowest index on ties keeps
+		// the event order deterministic).
+		cr, ct := -1, math.Inf(1)
+		for i := range states {
+			if states[i].busy && states[i].freeAt < ct {
+				cr, ct = i, states[i].freeAt
+			}
+		}
+		at := math.Inf(1)
+		if ai < len(ordered) {
+			at = ordered[ai].Arrival
+		}
+		if cr < 0 && math.IsInf(at, 1) {
+			break
+		}
+		if cr >= 0 && ct <= at {
+			// Completions fire before arrivals at the same instant, so a
+			// query arriving exactly as the server frees starts with
+			// zero wait — matching the sequential FIFO semantics.
+			states[cr].busy = false
+			e.reps[cr].Release()
+			if err := startNext(cr, ct); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		// Arrival: route at the arrival instant against virtual depth.
+		tq := ordered[ai]
+		j := job{q: tq.Query, arrival: tq.Arrival, budget: tq.MaxLatency, idx: ai}
+		ai++
+		ri := e.router.Pick(tq.Query, e.reps)
+		if ri < 0 || ri >= len(e.reps) {
+			ri = 0
+		}
+		st := &states[ri]
+		if st.busy && e.opt.QueueCap > 0 && len(st.queue) >= e.opt.QueueCap {
+			switch e.opt.Admission {
+			case Reject:
+				drop(ri, j, tq.Arrival, ReasonRejected)
+				continue
+			case ShedOldest:
+				old := st.queue[0]
+				st.queue = st.queue[1:]
+				e.reps[ri].Release()
+				drop(ri, old, tq.Arrival, ReasonShed)
+			case Degrade:
+				j.degraded = true
+			}
+		}
+		e.reps[ri].Reserve()
+		st.queue = append(st.queue, j)
+		if !st.busy {
+			if err := startNext(ri, tq.Arrival); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Fold aggregates.
+	var merged serving.Accumulator
+	for i := range accs {
+		merged.Merge(&accs[i])
+	}
+	res.Summary = merged.Summary()
+	for _, o := range res.Outcomes {
+		switch o.Reason {
+		case ReasonDeadline:
+			res.DeadlineDrops++
+		case ReasonRejected:
+			res.Rejected++
+		case ReasonShed:
+			res.Shed++
+		}
+		if o.Dropped {
+			res.Dropped++
+		} else {
+			res.Served++
+		}
+		if o.Degraded {
+			res.Degraded++
+		}
+		if o.Finish > res.Makespan {
+			res.Makespan = o.Finish
+		}
+	}
+	if n := len(ordered); n > 1 {
+		if span := ordered[n-1].Arrival - ordered[0].Arrival; span > 0 {
+			res.OfferedRate = float64(n-1) / span
+		}
+	}
+	return res, nil
+}
+
+// ServeTimed runs a timed stream through a single system in arrival
+// order — the thin wrapper that replaced System.ServeTimed; FIFO,
+// non-preemptive, unbounded queue, with the TimedOptions disciplines
+// mapped onto the engine.
+func ServeTimed(sys *serving.System, qs []serving.TimedQuery, opt serving.TimedOptions) ([]serving.TimedServed, error) {
+	eng, err := NewSingle(sys, Options{LoadAware: opt.LoadAware, Drop: opt.Drop})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]serving.TimedServed, len(res.Outcomes))
+	for i, o := range res.Outcomes {
+		out[i] = o.TimedServed
+	}
+	return out, nil
+}

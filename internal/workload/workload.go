@@ -178,21 +178,9 @@ func Drifting(n int, accStart, accEnd, latStart, latEnd Range, seed int64) ([]sc
 }
 
 // PoissonArrivals draws n arrival times with exponential inter-arrival
-// gaps at the given rate (queries/second) — the standard open-loop
-// arrival process for serving experiments. Deterministic given the seed.
+// gaps at the given rate (queries/second) — the function form of the
+// Poisson ArrivalProcess, kept for callers that don't need the
+// abstraction. Deterministic given the seed.
 func PoissonArrivals(n int, rate float64, seed int64) ([]float64, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("workload: non-positive count %d", n)
-	}
-	if rate <= 0 {
-		return nil, fmt.Errorf("workload: non-positive rate %g", rate)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]float64, n)
-	t := 0.0
-	for i := range out {
-		t += rng.ExpFloat64() / rate
-		out[i] = t
-	}
-	return out, nil
+	return Poisson{Rate: rate}.Times(n, seed)
 }

@@ -43,6 +43,7 @@ import (
 	"sushi/internal/core"
 	"sushi/internal/sched"
 	"sushi/internal/serving"
+	"sushi/internal/simq"
 	"sushi/internal/workload"
 )
 
@@ -144,10 +145,52 @@ var SummarizeTimed = serving.SummarizeTimed
 // PoissonArrivals draws open-loop arrival times at the given rate.
 var PoissonArrivals = workload.PoissonArrivals
 
+// Open-loop simulation. Arrival processes generate deterministic
+// seeded arrival streams; Cluster.Simulate plays them through the
+// virtual-time discrete-event engine (internal/simq) with bounded
+// queues and admission control.
+type (
+	// ArrivalProcess generates open-loop arrival instants.
+	ArrivalProcess = workload.ArrivalProcess
+	// Poisson is the constant-rate memoryless process.
+	Poisson = workload.Poisson
+	// OnOff is the two-state bursty (MMPP) process.
+	OnOff = workload.OnOff
+	// Diurnal is the sinusoidal-rate day/night process.
+	Diurnal = workload.Diurnal
+	// TraceArrivals replays recorded (arrival, A_t, L_t) tuples.
+	TraceArrivals = workload.Trace
+	// TraceEntry is one recorded tuple of a TraceArrivals.
+	TraceEntry = workload.TraceEntry
+	// SimResult aggregates one open-loop run.
+	SimResult = simq.Result
+	// SimOutcome is one query's fate in an open-loop run.
+	SimOutcome = simq.Outcome
+	// AdmissionPolicy selects the bounded-queue overflow behaviour.
+	AdmissionPolicy = simq.Admission
+)
+
+// Admission policies for SimOptions.
+const (
+	// AdmitReject refuses arrivals when the replica queue is full.
+	AdmitReject = simq.Reject
+	// AdmitShedOldest evicts the stalest queued query instead.
+	AdmitShedOldest = simq.ShedOldest
+	// AdmitDegrade admits past the cap but serves with the fastest
+	// SubNet under the replica's current cache state.
+	AdmitDegrade = simq.Degrade
+)
+
+// TimedStream pairs a query stream with arrival times, element-wise.
+var TimedStream = simq.Stream
+
 // ServeTimed runs a timed stream through the system's single accelerator
-// in arrival order (FIFO, non-preemptive).
+// in arrival order (FIFO, non-preemptive). It is a thin wrapper over the
+// simq discrete-event engine — the same queueing semantics that drive
+// Cluster.Simulate. The whole stream is validated before any query is
+// served, so invalid input has no side effects on accelerator state.
 func (s *System) ServeTimed(qs []TimedQuery, opt TimedOptions) ([]TimedServed, error) {
-	return s.d.System.ServeTimed(qs, opt)
+	return simq.ServeTimed(s.d.System, qs, opt)
 }
 
 // System is a ready-to-serve SUSHI deployment.
@@ -279,6 +322,9 @@ var experimentRegistry = []experimentEntry{
 		return core.AblationAvg(w, 0)
 	}},
 	{id: "overload", run: func(w core.Workload) (*core.Result, error) { return core.Overload(w, 0) }},
+	// loadsweep is the open-loop analogue of fig16: offered load vs tail
+	// latency/SLO/goodput per system variant, through the simq engine.
+	{id: "loadsweep", run: func(w core.Workload) (*core.Result, error) { return core.LoadSweep(w, 0) }},
 }
 
 // Experiments lists the available experiment ids, in registry order.
