@@ -515,3 +515,55 @@ func BenchmarkOpenLoopSimulate(b *testing.B) {
 	b.ReportMetric(goodput, "goodput-qps")
 	b.ReportMetric(float64(queries), "queries/run")
 }
+
+// BenchmarkHeteroSimulate drives the heterogeneous-fleet path end to
+// end: a mixed ZCU104+AlveoU50 cluster (one latency table per hardware
+// group), hardware-aware "fastest" routing against per-replica tables,
+// and the cache-management layer re-caching as drifting budgets move
+// the served SubNet mix — every switch charged in virtual time. ns/op
+// tracks the engine's wall-clock cost per simulated run; the reported
+// metrics are the heterogeneity headline numbers.
+func BenchmarkHeteroSimulate(b *testing.B) {
+	const queries = 400
+	arr, err := workload.OnOff{OnRate: 1500, OffRate: 250, MeanOn: 0.05, MeanOff: 0.08}.Times(queries, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drift, err := workload.Drifting(queries, workload.Range{}, workload.Range{},
+		workload.Range{Lo: 5.5e-3, Hi: 7e-3}, workload.Range{Lo: 1.5e-3, Hi: 2.5e-3}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := TimedStream(drift, arr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p99 float64
+	var recaches int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// A fresh fleet per iteration: re-caching mutates cache state, so
+		// fresh deployments keep every iteration identical.
+		c, err := NewCluster(Options{Workload: MobileNetV3, Policy: StrictLatency},
+			WithHardware(ZCU104(), ZCU104(), AlveoU50(), AlveoU50()),
+			WithRouter(Fastest),
+			WithRecache(RecachePolicy{Window: 8, MinGain: 0.01, Cooldown: 8}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := c.Simulate(qs, SimOptions{LoadAware: true, Drop: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Served == 0 {
+			b.Fatal("nothing served")
+		}
+		p99 = res.Summary.P99E2E * 1e3
+		recaches = res.Recaches
+	}
+	b.ReportMetric(p99, "p99-e2e-ms")
+	b.ReportMetric(float64(recaches), "recaches/run")
+	b.ReportMetric(float64(queries), "queries/run")
+}

@@ -8,6 +8,11 @@ import (
 	"sushi/internal/simq"
 )
 
+// RecachePolicy configures the replica cache-management layer enabled
+// by WithRecache: window size, minimum predicted-latency gain and
+// switch cooldown. Zero-valued fields select defaults.
+type RecachePolicy = serving.RecachePolicy
+
 // RouterKind names a cluster dispatch policy.
 type RouterKind string
 
@@ -24,6 +29,12 @@ const (
 	// RandomRouter spreads load with a seeded uniform draw (see
 	// WithRouterSeed); reproducible baseline for experiments.
 	RandomRouter = RouterKind(core.RouterRandom)
+	// Fastest is the hardware-aware policy for heterogeneous fleets: it
+	// scores each replica by the service latency its OWN latency table
+	// predicts for the query (scaled by queue depth) and picks the
+	// minimum — compute-heavy SubNets flow to wide datacenter arrays,
+	// small SubNets to embedded boards (§5.4.2 at cluster scale).
+	Fastest = RouterKind(core.RouterFastest)
 )
 
 // ClusterOption customizes NewCluster beyond the per-replica Options.
@@ -44,6 +55,33 @@ func WithRouter(kind RouterKind) ClusterOption {
 // WithRouterSeed seeds the RandomRouter (default 1).
 func WithRouterSeed(seed int64) ClusterOption {
 	return func(o *core.ClusterOptions) { o.RouterSeed = seed }
+}
+
+// WithHardware assigns per-replica hardware: replica i runs on cfgs[i],
+// with a latency table derived per distinct configuration — mixed
+// ZCU104/AlveoU50 fleets are first-class:
+//
+//	c, err := sushi.NewCluster(opt,
+//		sushi.WithHardware(sushi.ZCU104(), sushi.ZCU104(), sushi.AlveoU50()),
+//		sushi.WithRouter(sushi.Fastest))
+//
+// The replica count follows len(cfgs) unless WithReplicas names the
+// same number; a mismatch is rejected. Without WithHardware every
+// replica runs Options.Accel (homogeneous, one shared table).
+func WithHardware(cfgs ...AccelConfig) ClusterOption {
+	return func(o *core.ClusterOptions) { o.Accels = cfgs }
+}
+
+// WithRecache enables the window-driven cache-management layer on every
+// replica: caches become mutable at runtime, switching to the latency
+// table column that would have served the replica's recent query mix
+// with fewer infeasible queries or at least pol.MinGain lower total
+// predicted latency. The switch is a modeled, non-free action — the
+// simq engine (Cluster.Simulate) charges each switch's Persistent
+// Buffer fill time as replica busy time in virtual seconds. Zero-valued
+// policy fields select defaults (window 16, gain 5%, cooldown = window).
+func WithRecache(pol RecachePolicy) ClusterOption {
+	return func(o *core.ClusterOptions) { o.Recache = &pol }
 }
 
 // Result is one open-loop outcome from ServeStream: the served record,
@@ -69,9 +107,11 @@ type Cluster struct {
 //	c, err := sushi.NewCluster(sushi.Options{Workload: sushi.MobileNetV3},
 //		sushi.WithReplicas(4), sushi.WithRouter(sushi.Affinity))
 //
-// Replica i boots with cache candidate column i, so deployments start
-// with distinct cached SubGraphs and affinity routing has signal from
-// the first query.
+// The i-th replica of each hardware group boots with cache candidate
+// column i, so deployments start with distinct cached SubGraphs and
+// affinity routing has signal from the first query; asking for more
+// replicas than the latency table has columns is rejected with a typed
+// error instead of silently reusing columns.
 func NewCluster(opt Options, opts ...ClusterOption) (*Cluster, error) {
 	var copt core.ClusterOptions
 	for _, o := range opts {

@@ -185,3 +185,96 @@ func TestClusterSimulatePublicAPI(t *testing.T) {
 		t.Error("bogus router accepted")
 	}
 }
+
+// heteroStream is a drifting-budget bursty stream: budgets tighten over
+// the stream so the served SubNet mix drifts from large to small.
+func heteroStream(t *testing.T, n int) []TimedQuery {
+	t.Helper()
+	arr, err := (OnOff{OnRate: 1500, OffRate: 250, MeanOn: 0.05, MeanOff: 0.08}).Times(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := DriftingWorkload(n, Range{}, Range{},
+		Range{Lo: 5.5e-3, Hi: 7e-3}, Range{Lo: 1.5e-3, Hi: 2.5e-3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := TimedStream(qs, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// TestClusterHomogeneousHardwareBitIdentical pins the compatibility
+// half of the heterogeneity change: a homogeneous fleet declared via
+// WithHardware (the new per-replica path) must reproduce the plain
+// WithReplicas deployment bit-for-bit per seed, and so must a fleet
+// with re-caching left disabled.
+func TestClusterHomogeneousHardwareBitIdentical(t *testing.T) {
+	ts := heteroStream(t, 80)
+	run := func(opts ...ClusterOption) *SimResult {
+		c, err := NewCluster(Options{Workload: MobileNetV3, Policy: StrictLatency}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Simulate(ts, SimOptions{LoadAware: true, Drop: true, Router: LeastLoaded})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(WithReplicas(2))
+	hw := run(WithHardware(ZCU104(), ZCU104()))
+	if len(plain.Outcomes) != len(hw.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(plain.Outcomes), len(hw.Outcomes))
+	}
+	for i := range plain.Outcomes {
+		if plain.Outcomes[i] != hw.Outcomes[i] {
+			t.Fatalf("outcome %d diverged:\nWithReplicas: %+v\nWithHardware: %+v",
+				i, plain.Outcomes[i], hw.Outcomes[i])
+		}
+	}
+	if hw.Recaches != 0 || hw.RecacheSec != 0 {
+		t.Errorf("re-caching disabled but charged: %d switches / %g s", hw.Recaches, hw.RecacheSec)
+	}
+}
+
+// TestClusterMixedFleetSimulate is the tentpole acceptance path through
+// the public API: a mixed ZCU104+AlveoU50 fleet with per-replica tables
+// runs through Cluster.Simulate, enacts at least one modeled cache
+// switch, and reports per-replica hardware on the views.
+func TestClusterMixedFleetSimulate(t *testing.T) {
+	c, err := NewCluster(Options{Workload: MobileNetV3, Policy: StrictLatency},
+		WithHardware(ZCU104(), ZCU104(), AlveoU50(), AlveoU50()),
+		WithRouter(Fastest),
+		WithRecache(RecachePolicy{Window: 8, MinGain: 0.01, Cooldown: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Simulate(heteroStream(t, 200), SimOptions{LoadAware: true, Drop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 200 || res.Served+res.Dropped != 200 {
+		t.Fatalf("accounting off: %+v", res)
+	}
+	if res.Recaches == 0 {
+		t.Error("mixed fleet under drifting budgets never re-cached")
+	}
+	if res.Recaches > 0 && res.RecacheSec <= 0 {
+		t.Errorf("%d re-caches but no charged fill time", res.Recaches)
+	}
+	names := map[string]int{}
+	totalSwitches := 0
+	for _, rv := range c.Replicas() {
+		names[rv.Accel.Name]++
+		totalSwitches += rv.Recaches
+	}
+	if names["ZCU104"] != 2 || names["AlveoU50"] != 2 {
+		t.Errorf("replica hardware views wrong: %v", names)
+	}
+	if totalSwitches != res.Recaches {
+		t.Errorf("replica views count %d switches, run counted %d", totalSwitches, res.Recaches)
+	}
+}

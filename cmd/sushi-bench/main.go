@@ -7,10 +7,11 @@
 //	sushi-bench all
 //	sushi-bench list
 //
-// Experiments: fig2 fig3 fig10 fig11 fig12 fig13a fig13b fig14 fig15
-// fig15acc fig16 fig17 table1 table2 table3 table4 table5 table6 hitratio.
-// The -w flag (resnet50|mobilenetv3) applies to workload-parameterized
-// experiments.
+// Experiments: fig2 fig3 fig9 fig10 fig11 fig12 fig13a fig13b fig14
+// fig15 fig15acc fig16 fig17 fig18 table1 table2 table3 table4 table5
+// table6 hitratio ablation-avg overload loadsweep hetero (sushi-bench
+// list prints the authoritative set). The -w flag
+// (resnet50|mobilenetv3) applies to workload-parameterized experiments.
 package main
 
 import (
@@ -52,7 +53,8 @@ func main() {
 		full := id
 		switch id {
 		case "fig2", "fig9", "fig10", "fig11", "fig12", "fig13b", "fig15", "fig15acc",
-			"fig16", "fig17", "table5", "table6", "ablation-avg", "overload":
+			"fig16", "fig17", "table5", "table6", "ablation-avg", "overload",
+			"loadsweep", "hetero":
 			full = id + ":" + *w
 		}
 		out, err := sushi.Experiment(full)

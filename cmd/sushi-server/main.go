@@ -3,7 +3,8 @@
 //	POST /v1/serve        {"min_accuracy": 78, "max_latency_ms": 5,
 //	                       "deadline_ms": 20, "policy": "lat"}
 //	POST /v1/serve/batch  NDJSON queries in, NDJSON outcomes out
-//	GET  /v1/replicas     per-replica cache state, queue depth, hit ratio
+//	POST /v1/simulate     open-loop virtual-time simulation
+//	GET  /v1/replicas     per-replica hardware, cache state, queue depth
 //	GET  /v1/frontier     servable SubNets
 //	GET  /v1/cache        replica 0's Persistent Buffer state
 //	GET  /v1/stats        cluster-wide aggregates
@@ -13,8 +14,12 @@
 //
 //	sushi-server [-addr :8080] [-w workload] [-policy acc|lat|energy]
 //	             [-q period] [-replicas n] [-router kind] [-seed n]
+//	             [-accels preset,preset,...] [-recache]
 //
-// Router kinds: round-robin (default), least-loaded, affinity, random.
+// Router kinds: round-robin (default), least-loaded, affinity, fastest,
+// random. The -accels flag boots a heterogeneous fleet, one preset per
+// replica (zcu104, alveo-u50, roofline); -recache enables runtime
+// SubGraph re-caching with the default policy.
 package main
 
 import (
@@ -22,9 +27,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 
+	"sushi/internal/accel"
 	"sushi/internal/core"
 	"sushi/internal/server"
+	"sushi/internal/serving"
 )
 
 func main() {
@@ -35,8 +43,12 @@ func main() {
 		q        = flag.Int("q", 4, "cache-update period Q")
 		replicas = flag.Int("replicas", 1, "replica deployments behind the dispatcher")
 		router   = flag.String("router", core.RouterRoundRobin,
-			"dispatch policy: round-robin, least-loaded, affinity or random")
-		seed = flag.Int64("seed", 1, "random-router seed")
+			"dispatch policy: round-robin, least-loaded, affinity, fastest or random")
+		seed   = flag.Int64("seed", 1, "random-router seed")
+		accels = flag.String("accels", "",
+			"comma-separated per-replica hardware presets (zcu104, alveo-u50, roofline); overrides -replicas")
+		recache = flag.Bool("recache", false,
+			"enable runtime SubGraph re-caching (window-driven cache switching) on every replica")
 	)
 	flag.Parse()
 
@@ -46,11 +58,25 @@ func main() {
 		log.Fatalf("sushi-server: %v", err)
 	}
 	opt.Policy = pol
-	dep, err := core.DeployCluster(opt, core.ClusterOptions{
+	copt := core.ClusterOptions{
 		Replicas:   *replicas,
 		Router:     *router,
 		RouterSeed: *seed,
-	})
+	}
+	if *accels != "" {
+		for _, name := range strings.Split(*accels, ",") {
+			cfg, err := accel.Preset(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatalf("sushi-server: -accels: %v", err)
+			}
+			copt.Accels = append(copt.Accels, cfg)
+		}
+		copt.Replicas = len(copt.Accels)
+	}
+	if *recache {
+		copt.Recache = &serving.RecachePolicy{}
+	}
+	dep, err := core.DeployCluster(opt, copt)
 	if err != nil {
 		log.Fatalf("sushi-server: %v", err)
 	}

@@ -13,6 +13,7 @@ package accel
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Config parameterizes one SushiAccel instance. The zero value is not
@@ -150,6 +151,29 @@ func AlveoU50() Config {
 		ZSBBytes:         8 << 10,
 		OffChipPJPerByte: 25.0,
 		OnChipPJPerByte:  1.2,
+	}
+}
+
+// PresetNames lists the hardware presets Preset accepts, in display
+// order: the paper's two boards (Table 2) and the analytic-model
+// configuration (§5.2).
+func PresetNames() []string { return []string{"zcu104", "alveo-u50", "roofline"} }
+
+// Preset resolves a hardware preset by name ("zcu104", "alveo-u50" /
+// "alveou50" / "u50", "roofline"), case-insensitively — the display
+// names the system itself reports ("ZCU104", "AlveoU50") round-trip.
+// Heterogeneous fleet options (core.ClusterOptions.Accels, the
+// sushi-server -accels flag) parse per-replica hardware through it.
+func Preset(name string) (Config, error) {
+	switch strings.ToLower(name) {
+	case "zcu104":
+		return ZCU104(), nil
+	case "alveo-u50", "alveou50", "u50":
+		return AlveoU50(), nil
+	case "roofline":
+		return RooflineStudy(), nil
+	default:
+		return Config{}, fmt.Errorf("accel: unknown preset %q (want one of %v)", name, PresetNames())
 	}
 }
 

@@ -65,6 +65,21 @@ func (s *Simulator) Cached() *supernet.SubGraph { return s.cached }
 // bytes they moved.
 func (s *Simulator) Swaps() (int, int64) { return s.swaps, s.swapBytes }
 
+// FillBytes returns the DRAM traffic (bytes) an immediate SetCached(g)
+// would cost: the weight bytes of g's cells not already resident in the
+// Persistent Buffer (all of g on a cold cache, 0 for nil). The single
+// definition of incremental fill, shared by the simulator's own swap
+// accounting and the serving layer's swap-latency / re-cache charges.
+func (s *Simulator) FillBytes(g *supernet.SubGraph) int64 {
+	if g == nil {
+		return 0
+	}
+	if s.cached != nil {
+		return g.Bytes() - g.IntersectBytes(s.cached)
+	}
+	return g.Bytes()
+}
+
 // SetCached enacts a SubGraph-caching control decision. It fails if the
 // configuration has no Persistent Buffer or the SubGraph exceeds its
 // capacity. Passing nil clears the cache.
@@ -83,12 +98,7 @@ func (s *Simulator) SetCached(g *supernet.SubGraph) error {
 	// Fetching the newly cached cells not already resident costs DRAM
 	// traffic; this is why SushiSched updates the cache only every Q
 	// queries (Appendix A.1).
-	var fill int64
-	if s.cached != nil {
-		fill = g.Bytes() - g.IntersectBytes(s.cached)
-	} else {
-		fill = g.Bytes()
-	}
+	fill := s.FillBytes(g)
 	s.cached = g.Clone()
 	s.swaps++
 	s.swapBytes += fill

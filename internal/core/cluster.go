@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"sushi/internal/accel"
 	"sushi/internal/latencytable"
 	"sushi/internal/serving"
 	"sushi/internal/supernet"
@@ -13,17 +16,37 @@ const (
 	RouterLeastLoaded = "least-loaded"
 	RouterAffinity    = "affinity"
 	RouterRandom      = "random"
+	// RouterFastest is the hardware-aware policy: minimum predicted
+	// service latency from each replica's OWN latency table, scaled by
+	// queue depth — the natural dispatcher for heterogeneous fleets.
+	RouterFastest = "fastest"
 )
 
 // ClusterOptions sizes a multi-replica deployment.
 type ClusterOptions struct {
-	// Replicas is the deployment count R (default 1).
+	// Replicas is the deployment count R (default 1, or len(Accels) when
+	// per-replica hardware is given).
 	Replicas int
 	// Router names the dispatch policy (default round-robin).
 	Router string
 	// RouterSeed seeds the random router (default 1; ignored by the
 	// deterministic policies).
 	RouterSeed int64
+	// Accels assigns per-replica hardware: replica i runs on Accels[i],
+	// and a latency table is derived per DISTINCT configuration (replicas
+	// on identical hardware share one table; different hardware gets its
+	// own — mixed ZCU104/AlveoU50 fleets are first-class). Empty means a
+	// homogeneous fleet on DeployOptions.Accel. When both Replicas and
+	// Accels are set their lengths must agree.
+	Accels []accel.Config
+	// Recache, when non-nil, enables the window-driven cache-management
+	// layer on every replica with the given policy (zero-valued fields
+	// select defaults): caches become mutable at runtime, switching to
+	// the column that would have served the replica's recent query mix
+	// best, with the switch cost modeled in virtual time by the simq
+	// engine. Nil keeps the boot-time cache column fixed apart from the
+	// scheduler's own Q-periodic updates.
+	Recache *serving.RecachePolicy
 }
 
 // NewRouter constructs the named routing policy.
@@ -35,6 +58,8 @@ func NewRouter(name string, seed int64) (serving.Router, error) {
 		return serving.NewLeastLoaded(), nil
 	case RouterAffinity:
 		return serving.NewAffinity(), nil
+	case RouterFastest:
+		return serving.NewFastest(), nil
 	case RouterRandom:
 		if seed == 0 {
 			seed = 1
@@ -42,7 +67,7 @@ func NewRouter(name string, seed int64) (serving.Router, error) {
 		return serving.NewRandom(seed), nil
 	default:
 		return nil, &OptionError{Field: "Router", Value: name,
-			Reason: "must be round-robin, least-loaded, affinity or random"}
+			Reason: "must be round-robin, least-loaded, affinity, fastest or random"}
 	}
 }
 
@@ -59,19 +84,41 @@ type ClusterDeployment struct {
 	Cluster *serving.Cluster
 }
 
-// DeployCluster builds R replica systems over ONE shared SushiAbs
-// latency table (it is read-only after build, so replicas share the
-// abstraction instead of re-deriving it) and wires them behind the named
-// router. Replica i boots with cache candidate column i — deployments
-// start with distinct cached SubGraphs, which gives the affinity router
-// signal from the first query.
+// DeployCluster builds R replica systems — homogeneous fleets share ONE
+// SushiAbs latency table (read-only after build), heterogeneous fleets
+// get one table per distinct accel.Config — and wires them behind the
+// named router. The i-th replica of each hardware group boots with
+// cache candidate column i, so deployments start with distinct cached
+// SubGraphs and affinity routing has signal from the first query; a
+// group with more replicas than table columns is rejected with a typed
+// OptionError (older versions silently wrapped around, booting two
+// replicas on the same column).
 func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, error) {
 	if copt.Replicas < 0 {
 		return nil, &OptionError{Field: "Replicas", Value: copt.Replicas,
 			Reason: "replica count must be positive (0 selects 1)"}
 	}
+	if len(copt.Accels) > 0 {
+		if copt.Replicas == 0 {
+			copt.Replicas = len(copt.Accels)
+		}
+		if copt.Replicas != len(copt.Accels) {
+			return nil, &OptionError{Field: "Accels", Value: len(copt.Accels),
+				Reason: fmt.Sprintf("per-replica hardware list must match the replica count %d", copt.Replicas)}
+		}
+		for i, cfg := range copt.Accels {
+			if err := cfg.Validate(); err != nil {
+				return nil, &OptionError{Field: "Accels", Value: i, Reason: err.Error()}
+			}
+		}
+	}
 	if copt.Replicas == 0 {
 		copt.Replicas = 1
+	}
+	if copt.Recache != nil {
+		if err := copt.Recache.Validate(); err != nil {
+			return nil, &OptionError{Field: "Recache", Value: copt.Recache.MinGain, Reason: err.Error()}
+		}
 	}
 	router, err := NewRouter(copt.Router, copt.RouterSeed)
 	if err != nil {
@@ -88,12 +135,15 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 	if err != nil {
 		return nil, err
 	}
-	sopt := opt.servingOptions(opt.accelConfig())
-	table, _, err := serving.BuildTable(super, frontier, sopt)
-	if err != nil {
-		return nil, err
+	cfgs := copt.Accels
+	if len(cfgs) == 0 {
+		base := opt.accelConfig()
+		cfgs = make([]accel.Config, copt.Replicas)
+		for i := range cfgs {
+			cfgs[i] = base
+		}
 	}
-	systems, err := BootReplicaSystems(super, frontier, sopt, table, copt.Replicas)
+	systems, err := BootHeteroSystems(super, frontier, opt.servingOptions(opt.accelConfig()), cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -101,21 +151,92 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 	if err != nil {
 		return nil, err
 	}
+	if copt.Recache != nil {
+		for _, rep := range cluster.Replicas() {
+			rep.EnableRecache(*copt.Recache)
+		}
+	}
 	return &ClusterDeployment{Super: super, Frontier: frontier, Cluster: cluster}, nil
 }
 
+// bootColumn is the single home of the boot-cache invariant shared by
+// BootReplicaSystems and BootHeteroSystems: the idx-th replica of a
+// hardware group boots on cache candidate column idx (distinct cached
+// SubGraphs give affinity routing signal from the first query), a
+// group outgrowing its table's columns is a typed OptionError instead
+// of the old silent wraparound, and NoPB deployments — which have no
+// cache, hence no distinctness invariant — all boot on the table's
+// single cold column.
+func bootColumn(mode serving.Mode, idx, cols, fleet int, hw string) (int, error) {
+	if mode == serving.NoPB {
+		return 0, nil
+	}
+	if idx >= cols {
+		return 0, &OptionError{Field: "Replicas", Value: fleet,
+			Reason: fmt.Sprintf("%d replicas on %q exceed the latency table's %d cache columns (raise Candidates or shrink the fleet)",
+				idx+1, hw, cols)}
+	}
+	return idx, nil
+}
+
+// BootHeteroSystems builds one serving system per entry of cfgs, with
+// ONE latency table per distinct hardware configuration (identical
+// configs share; the Config struct is comparable, so grouping is
+// exact). Boot columns follow the bootColumn invariant per hardware
+// group.
+func BootHeteroSystems(super *supernet.SuperNet, frontier []*supernet.SubNet, sopt serving.Options, cfgs []accel.Config) ([]*serving.System, error) {
+	type group struct {
+		table *latencytable.Table
+		count int
+	}
+	groups := make(map[accel.Config]*group)
+	systems := make([]*serving.System, len(cfgs))
+	for i, cfg := range cfgs {
+		g := groups[cfg]
+		if g == nil {
+			o := sopt
+			o.Accel = cfg
+			o.Table = nil
+			table, _, err := serving.BuildTable(super, frontier, o)
+			if err != nil {
+				return nil, err
+			}
+			g = &group{table: table}
+			groups[cfg] = g
+		}
+		col, err := bootColumn(sopt.Mode, g.count, g.table.Cols(), len(cfgs), cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		o := sopt
+		o.Accel = cfg
+		o.Table = g.table
+		o.StaticColumn = col
+		systems[i], err = serving.New(super, frontier, o)
+		if err != nil {
+			return nil, err
+		}
+		g.count++
+	}
+	return systems, nil
+}
+
 // BootReplicaSystems builds n serving systems over ONE shared latency
-// table, replica i booting on cache candidate column i — deployments
-// start with distinct cached SubGraphs, which gives affinity routing
-// signal from the first query. This is the single home of that
-// invariant, shared by DeployCluster and the open-loop experiments.
+// table. Boot columns follow the bootColumn invariant: replica i on
+// cache candidate column i (distinct cached SubGraphs), a typed
+// OptionError when the fleet outgrows the table's columns (the old
+// behaviour silently wrapped around, column i mod columns), and NoPB
+// deployments exempt — no cache, every replica boots cold.
 func BootReplicaSystems(super *supernet.SuperNet, frontier []*supernet.SubNet, sopt serving.Options, table *latencytable.Table, n int) ([]*serving.System, error) {
 	systems := make([]*serving.System, n)
 	for i := range systems {
+		col, err := bootColumn(sopt.Mode, i, table.Cols(), n, sopt.Accel.Name)
+		if err != nil {
+			return nil, err
+		}
 		o := sopt
 		o.Table = table
-		o.StaticColumn = i % table.Cols()
-		var err error
+		o.StaticColumn = col
 		systems[i], err = serving.New(super, frontier, o)
 		if err != nil {
 			return nil, err

@@ -442,6 +442,41 @@ func TestFig9Experiment(t *testing.T) {
 	}
 }
 
+func TestHeteroExperiment(t *testing.T) {
+	r, err := Hetero(MobileNetV3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 fleets", len(r.Rows))
+	}
+	homo, mixed := r.Rows[0], r.Rows[1]
+	// Acceptance criterion: identical seeded arrivals, measurable
+	// p99/SLO difference between fleet compositions.
+	if homo[2] == mixed[2] && homo[3] == mixed[3] {
+		t.Errorf("homogeneous and mixed fleets indistinguishable: p99 %s vs %s, SLO %s vs %s",
+			homo[2], mixed[2], homo[3], mixed[3])
+	}
+	for _, row := range r.Rows {
+		if p99 := col(t, row, 2); p99 <= 0 {
+			t.Errorf("%s: non-positive p99 %v", row[0], row)
+		}
+		if slo := col(t, row, 3); slo < 0 || slo > 100 {
+			t.Errorf("%s: SLO %v outside [0, 100]", row[0], row)
+		}
+	}
+	// At least one modeled cache switch across the two fleets, with its
+	// cost accounted.
+	switches := col(t, homo, 6) + col(t, mixed, 6)
+	cost := col(t, homo, 7) + col(t, mixed, 7)
+	if switches < 1 {
+		t.Error("no fleet enacted a modeled cache switch")
+	}
+	if switches >= 1 && cost <= 0 {
+		t.Errorf("%v switches but zero charged fill time", switches)
+	}
+}
+
 func TestOverloadExperiment(t *testing.T) {
 	r, err := Overload(MobileNetV3, 80)
 	if err != nil {

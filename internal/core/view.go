@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"sushi/internal/accel"
 	"sushi/internal/serving"
 	"sushi/internal/supernet"
 )
@@ -70,12 +73,44 @@ func NewCacheView(sys *serving.System) CacheView {
 	return v
 }
 
+// AccelView is the external description of one replica's hardware
+// configuration — the heterogeneous-fleet half of GET /v1/replicas.
+type AccelView struct {
+	// Name is the preset/configuration label ("ZCU104", "AlveoU50", ...).
+	Name string `json:"name"`
+	// Array is the DPE array shape "KPxCP".
+	Array string `json:"dpe_array"`
+	// PeakOpsPerCycle is Table 2's throughput row; GFLOPS the same at
+	// the configured clock.
+	PeakOpsPerCycle int     `json:"peak_ops_per_cycle"`
+	GFLOPS          float64 `json:"gflops"`
+	// OffChipGBs is the (effective) DRAM bandwidth in GB/s.
+	OffChipGBs float64 `json:"offchip_gb_s"`
+	// PBKB is the Persistent Buffer capacity in KiB (0 = no PB).
+	PBKB int64 `json:"pb_kb"`
+}
+
+// NewAccelView renders a hardware configuration.
+func NewAccelView(cfg accel.Config) AccelView {
+	return AccelView{
+		Name:            cfg.Name,
+		Array:           fmt.Sprintf("%dx%d", cfg.KP, cfg.CP),
+		PeakOpsPerCycle: cfg.PeakOpsPerCycle(),
+		GFLOPS:          cfg.PeakFLOPS() / 1e9,
+		OffChipGBs:      cfg.OffChipBW / 1e9,
+		PBKB:            cfg.PBBytes >> 10,
+	}
+}
+
 // ReplicaView is the external description of one cluster replica:
-// identity, load, served aggregates and Persistent Buffer state — the
-// body of GET /v1/replicas.
+// identity, hardware, load, served aggregates and Persistent Buffer
+// state — the body of GET /v1/replicas.
 type ReplicaView struct {
 	// ID is the replica index.
 	ID int `json:"id"`
+	// Accel is the replica's hardware configuration (per-replica in
+	// heterogeneous fleets).
+	Accel AccelView `json:"accel"`
 	// Queries is the number of queries this replica has served.
 	Queries int `json:"queries"`
 	// QueueDepth is the routed-but-unfinished query count.
@@ -83,6 +118,14 @@ type ReplicaView struct {
 	// AvgLatencyMS and AvgHitRatio summarize the replica's stream.
 	AvgLatencyMS float64 `json:"avg_latency_ms"`
 	AvgHitRatio  float64 `json:"avg_hit_ratio"`
+	// CacheColumn is the latency-table column the replica's scheduler
+	// currently believes cached.
+	CacheColumn int `json:"cache_column"`
+	// Recaches counts window-driven cache switches the cache-management
+	// layer enacted; RecacheMS is their total modeled fill time in
+	// milliseconds. Both stay 0 while re-caching is disabled.
+	Recaches  int     `json:"recache_switches"`
+	RecacheMS float64 `json:"recache_ms"`
 	// Cache is the replica's Persistent Buffer state.
 	Cache CacheView `json:"cache"`
 }
@@ -99,7 +142,11 @@ func ReplicaViews(c *serving.Cluster) []ReplicaView {
 		v.Queries = sum.Queries
 		v.AvgLatencyMS = sum.AvgLatency * 1e3
 		v.AvgHitRatio = sum.AvgHitRatio
+		switches, sec := rep.RecacheStats()
+		v.Recaches, v.RecacheMS = switches, sec*1e3
 		rep.Inspect(func(sys *serving.System) {
+			v.Accel = NewAccelView(sys.Simulator().Config())
+			v.CacheColumn = sys.Scheduler().CacheColumn()
 			v.Cache = NewCacheView(sys)
 		})
 		out = append(out, v)

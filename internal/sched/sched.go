@@ -155,6 +155,21 @@ func New(table *latencytable.Table, opt Options) (*Scheduler, error) {
 // CacheColumn returns the column the scheduler currently assumes cached.
 func (s *Scheduler) CacheColumn() int { return s.cacheCol }
 
+// SetColumn enacts an externally chosen cache column: the scheduler's
+// cache belief moves to col so subsequent per-query decisions are made
+// against it. This is the hook the serving layer's cache manager uses
+// to re-cache outside Algorithm 1's Q-periodic updates; the caller owns
+// enacting the matching accelerator state (accel.Simulator.SetCached)
+// and accounting the switch cost. Like every other mutating method it
+// must be serialized with Schedule.
+func (s *Scheduler) SetColumn(col int) error {
+	if col < 0 || col >= s.table.Cols() {
+		return fmt.Errorf("sched: cache column %d outside [0, %d)", col, s.table.Cols())
+	}
+	s.cacheCol = col
+	return nil
+}
+
 // Served returns the number of scheduled queries so far.
 func (s *Scheduler) Served() int { return s.served }
 

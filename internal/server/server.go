@@ -13,7 +13,8 @@
 //	POST /v1/serve        one query; per-request policy and deadline_ms
 //	POST /v1/serve/batch  NDJSON stream of queries in, NDJSON out
 //	POST /v1/simulate     open-loop virtual-time simulation (simq engine)
-//	GET  /v1/replicas     per-replica cache state, queue depth, hit ratio
+//	GET  /v1/replicas     per-replica hardware, cache state (column +
+//	                      re-cache stats), queue depth, hit ratio
 //	GET  /v1/frontier     servable SubNets
 //	GET  /v1/cache        replica 0's Persistent Buffer state
 //	GET  /v1/stats        cluster-wide aggregates

@@ -88,11 +88,11 @@ func (r *reservoir) sorted() []float64 {
 // of funneling every query through a global mutex. The zero value is
 // ready to use. Not safe for concurrent use.
 type Accumulator struct {
-	queries                         int
-	sumLat, sumAcc, sumHit          float64
-	latMet, accMet, feasible, swaps int
-	hitBytes                        int64
-	energyJ                         float64
+	queries                                   int
+	sumLat, sumAcc, sumHit                    float64
+	latMet, accMet, feasible, swaps, recaches int
+	hitBytes                                  int64
+	energyJ                                   float64
 	// lats samples individual service latencies for percentile folding.
 	lats reservoir
 
@@ -128,6 +128,9 @@ func (a *Accumulator) Add(r Served) {
 	}
 	if r.CacheSwapped {
 		a.swaps++
+	}
+	if r.Recached {
+		a.recaches++
 	}
 	a.lats.observe(r.Latency)
 }
@@ -170,6 +173,7 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	a.accMet += b.accMet
 	a.feasible += b.feasible
 	a.swaps += b.swaps
+	a.recaches += b.recaches
 	a.lats.merge(&b.lats)
 
 	a.dropped += b.dropped
@@ -223,6 +227,7 @@ func (a *Accumulator) Summary() Summary {
 	s.AccuracySLO = float64(a.accMet) / n
 	s.FeasibleFraction = float64(a.feasible) / n
 	s.CacheSwaps = a.swaps
+	s.Recaches = a.recaches
 	// Percentiles stay zero (not NaN) when every query was dropped, so
 	// summaries remain JSON-marshalable.
 	if lats := a.lats.sorted(); len(lats) > 0 {

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"context"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +26,9 @@ type Replica struct {
 	// cache is the replica's last published cache state, read lock-free
 	// by affinity routing so dispatch never blocks on in-flight serves.
 	cache atomic.Pointer[cacheSnapshot]
+	// rec is the cache-management layer (nil = re-caching disabled, the
+	// fixed-cache behaviour of earlier revisions). Guarded by mu.
+	rec *recacheState
 }
 
 // cacheSnapshot is an immutable view of a replica's cache state: the
@@ -65,6 +69,77 @@ func (r *Replica) AffinityScore(q sched.Query) float64 {
 		return -1
 	}
 	return supernet.Overlap(r.sys.Table().SubNets[d.SubNet].Graph, snap.graph)
+}
+
+// PredictedLatency is the service latency (seconds) this replica's own
+// latency table predicts for q under its last published cache column —
+// the hardware-aware routing signal: heterogeneous fleets have one
+// table per hardware configuration, so the same query scores
+// differently per replica. The prediction covers whatever the
+// scheduler would actually serve, including the best-effort fallback
+// when the constraint is unsatisfiable (use predicted for the
+// feasibility verdict). Lock-free like AffinityScore; returns +Inf
+// when the query cannot be scheduled at all.
+func (r *Replica) PredictedLatency(q sched.Query) float64 {
+	lat, _ := r.predicted(q)
+	return lat
+}
+
+// predicted returns the lock-free latency prediction together with the
+// scheduler's feasibility verdict for it. Routers need both: an
+// infeasible replica's fallback is often its FASTEST SubNet (strict-
+// latency fallback is argmin latency), so scoring by latency alone
+// would systematically attract queries to replicas that cannot honour
+// their constraints.
+func (r *Replica) predicted(q sched.Query) (float64, bool) {
+	snap := r.cache.Load()
+	if snap == nil {
+		return math.Inf(1), false
+	}
+	d, err := r.sys.Scheduler().PeekAt(q, snap.col)
+	if err != nil {
+		return math.Inf(1), false
+	}
+	return d.PredictedLatency, d.Feasible
+}
+
+// EnableRecache turns on the replica's cache-management layer with the
+// given policy (zero-valued fields select defaults): the replica starts
+// tracking its served query mix and re-caches when a different cache
+// column would have served the recent window better. Call before
+// serving begins; enabling mid-stream discards no state but the window
+// starts empty.
+func (r *Replica) EnableRecache(pol RecachePolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rec = newRecacheState(pol)
+}
+
+// RecacheStats reports the window-driven cache switches enacted so far
+// and their total modeled fill time in seconds (0, 0 while re-caching
+// is disabled).
+func (r *Replica) RecacheStats() (switches int, seconds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rec == nil {
+		return 0, 0
+	}
+	return r.rec.switches, r.rec.switchSec
+}
+
+// TakeRecacheCost consumes the virtual-time cost (seconds) of the
+// re-cache enacted by the most recent ServeVirtual, or 0. The simq
+// engine calls it after each virtual service to extend the replica's
+// busy interval — the switch occupies the accelerator without serving.
+func (r *Replica) TakeRecacheCost() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rec == nil {
+		return 0
+	}
+	c := r.rec.pendingSec
+	r.rec.pendingSec = 0
+	return c
 }
 
 // ID returns the replica's index within its cluster.
@@ -123,8 +198,17 @@ func (r *Replica) serve(ctx context.Context, q sched.Query) (Served, error) {
 	if err != nil {
 		return Served{}, err
 	}
+	if r.rec != nil {
+		if cost, switched := r.rec.maybeRecache(r.sys, q); switched {
+			res.Recached = true
+			// On the live path the switch cost follows the closed-loop
+			// convention: charged to the next query when the system
+			// accounts swap latency at all.
+			r.sys.chargeSwap(cost)
+		}
+	}
 	r.acc.Add(res)
-	if res.CacheSwapped {
+	if res.CacheSwapped || res.Recached {
 		r.publishCache()
 	}
 	return res, nil
@@ -151,12 +235,16 @@ func (r *Replica) Release() { r.done() }
 // simq engine: it serializes on the replica lock and publishes cache
 // state like the live path, but leaves queue-depth and accumulator
 // bookkeeping to the caller — the engine owns virtual time, so it alone
-// knows the query's queueing telemetry. With degrade set, the query is
-// served by the fastest SubNet reachable under the replica's current
-// cache column (admission control's degrade-to-fastest escape valve):
-// accuracy floor dropped, budget collapsed to the column's minimum
-// latency under a per-query StrictLatency override.
-func (r *Replica) ServeVirtual(q sched.Query, degrade bool) (Served, error) {
+// knows the query's queueing telemetry. offered is the query as it
+// arrived, before load-aware budget debiting: the cache-management
+// layer observes it so re-caching chases the workload's (A_t, L_t)
+// drift, not transient queue-induced budget erosion or degrade
+// rewrites. With degrade set, the query is served by the fastest
+// SubNet reachable under the replica's current cache column (admission
+// control's degrade-to-fastest escape valve): accuracy floor dropped,
+// budget collapsed to the column's minimum latency under a per-query
+// StrictLatency override.
+func (r *Replica) ServeVirtual(q, offered sched.Query, degrade bool) (Served, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if degrade {
@@ -169,7 +257,15 @@ func (r *Replica) ServeVirtual(q sched.Query, degrade bool) (Served, error) {
 	if err != nil {
 		return Served{}, err
 	}
-	if res.CacheSwapped {
+	if r.rec != nil {
+		if cost, switched := r.rec.maybeRecache(r.sys, offered); switched {
+			res.Recached = true
+			// The engine consumes the cost via TakeRecacheCost and models
+			// it as replica busy time in virtual seconds.
+			r.rec.pendingSec += cost
+		}
+	}
+	if res.CacheSwapped || res.Recached {
 		r.publishCache()
 	}
 	return res, nil

@@ -62,6 +62,42 @@ func (r *random) Pick(_ sched.Query, reps []*Replica) int {
 	return r.rng.Intn(len(reps))
 }
 
+// NewFastest is the hardware-aware dispatcher for heterogeneous fleets:
+// it scores every replica by the service latency its OWN latency table
+// predicts for the query under its published cache column (seconds),
+// scaled by the replica's queue depth plus one as a FIFO completion
+// estimate, and picks the minimum (lowest index on ties). Replicas that
+// can serve the query feasibly always outrank replicas that cannot —
+// an infeasible replica's prediction is its best-effort fallback (under
+// strict latency, its FASTEST SubNet), so latency alone would
+// systematically attract queries to the one replica guaranteed to miss
+// the constraint. On a mixed ZCU104/AlveoU50 fleet this steers
+// compute-heavy SubNets to the wide datacenter array and small SubNets
+// to the embedded board — the cluster-level reading of §5.4.2's
+// observation that neither board dominates. Scoring is lock-free
+// (Replica.PredictedLatency and the scheduler's pure PeekAt).
+func NewFastest() Router { return fastest{} }
+
+type fastest struct{}
+
+func (fastest) Name() string { return "fastest" }
+
+func (fastest) Pick(q sched.Query, reps []*Replica) int {
+	best, bestScore, bestFeasible := 0, 0.0, false
+	for i, rep := range reps {
+		lat, feasible := rep.predicted(q)
+		score := lat * float64(rep.QueueDepth()+1)
+		better := score < bestScore
+		if feasible != bestFeasible {
+			better = feasible
+		}
+		if i == 0 || better {
+			best, bestScore, bestFeasible = i, score, feasible
+		}
+	}
+	return best
+}
+
 // NewAffinity steers each query to the replica whose cached SubGraph
 // best covers the SubNet that replica would serve — SubGraph Stationary
 // reuse (Appendix A.4's hit ratio) maximized at cluster scale. Scoring

@@ -109,8 +109,14 @@ type Served struct {
 	Feasible bool
 	// LatencyMet and AccuracyMet compare the outcome to the constraints.
 	LatencyMet, AccuracyMet bool
-	// CacheSwapped reports whether this query triggered a cache update.
+	// CacheSwapped reports whether this query triggered a scheduler-driven
+	// (Algorithm 1, Q-periodic) cache update.
 	CacheSwapped bool
+	// Recached reports that the replica's cache-management layer enacted a
+	// window-driven re-cache right after this query was served (the switch
+	// cost is charged separately: to virtual time by the simq engine, or
+	// to the next query under Options.ChargeSwapLatency on the live path).
+	Recached bool
 	// HitRatio is the Appendix A.4 metric: ||SN ∩ G||2 / ||SN||2.
 	HitRatio float64
 	// HitBytes is the weight traffic served from the PB.
@@ -249,6 +255,42 @@ func (s *System) Scheduler() *sched.Scheduler { return s.schd }
 // Simulator exposes the accelerator simulator (read-only use).
 func (s *System) Simulator() *accel.Simulator { return s.sim }
 
+// Recache enacts an externally chosen cache column — the mutable-cache
+// primitive behind the replica cache-management layer. It switches both
+// halves of the stack atomically (the simulator's Persistent Buffer and
+// the scheduler's cache belief) and returns the modeled switch cost in
+// seconds: the DRAM fill time of the newly cached cells not already
+// resident, at the accelerator's off-chip bandwidth. The cost is NOT
+// charged here — the simq engine charges it as replica busy time in
+// virtual seconds, and the live path charges it to the next query when
+// Options.ChargeSwapLatency is set (chargeSwap).
+func (s *System) Recache(col int) (float64, error) {
+	if s.mode == NoPB {
+		return 0, fmt.Errorf("serving: NoPB system has no Persistent Buffer to re-cache")
+	}
+	if col < 0 || col >= s.table.Cols() {
+		return 0, fmt.Errorf("serving: recache column %d outside [0, %d)", col, s.table.Cols())
+	}
+	g := s.table.Graphs[col]
+	fill := s.sim.FillBytes(g)
+	if err := s.sim.SetCached(g); err != nil {
+		return 0, err
+	}
+	if err := s.schd.SetColumn(col); err != nil {
+		return 0, err
+	}
+	return float64(fill) / s.sim.Config().OffChipBW, nil
+}
+
+// chargeSwap adds sec of cache-fill time to the next query's latency
+// when the system charges swap costs on the query path (the closed-loop
+// convention of Appendix A.1); a no-op otherwise.
+func (s *System) chargeSwap(sec float64) {
+	if s.opt.ChargeSwapLatency {
+		s.pendingSwapSec += sec
+	}
+}
+
 // fastestBudget is the smallest latency any SubNet achieves under the
 // scheduler's current cache column — the budget that forces Algorithm 1
 // to its fastest feasible choice (degraded admission).
@@ -297,12 +339,7 @@ func (s *System) Serve(q sched.Query) (Served, error) {
 	}
 	if d.CacheUpdate >= 0 {
 		g := s.table.Graphs[d.CacheUpdate]
-		var prevFillBytes int64
-		if prev := s.sim.Cached(); prev != nil {
-			prevFillBytes = g.Bytes() - g.IntersectBytes(prev)
-		} else {
-			prevFillBytes = g.Bytes()
-		}
+		prevFillBytes := s.sim.FillBytes(g)
 		if err := s.sim.SetCached(g); err != nil {
 			return Served{}, err
 		}

@@ -27,8 +27,11 @@ type Summary struct {
 	HitBytes int64
 	// OffChipEnergyJ is the stream's total off-chip energy.
 	OffChipEnergyJ float64
-	// CacheSwaps counts enacted cache updates.
+	// CacheSwaps counts scheduler-driven (Q-periodic) cache updates.
 	CacheSwaps int
+	// Recaches counts window-driven cache switches enacted by the
+	// replica cache-management layer (0 while re-caching is disabled).
+	Recaches int
 
 	// Open-loop aggregates, populated only for timed (arrival-driven)
 	// sessions folded through Accumulator.AddTimed; all zero for
@@ -75,6 +78,9 @@ func Summarize(rs []Served) Summary {
 		}
 		if r.CacheSwapped {
 			s.CacheSwaps++
+		}
+		if r.Recached {
+			s.Recaches++
 		}
 		lats = append(lats, r.Latency)
 	}

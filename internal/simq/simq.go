@@ -76,10 +76,13 @@ func ParseAdmission(name string) (Admission, error) {
 	}
 }
 
-// Options configures an Engine.
+// Options configures an Engine. All times inside the engine are
+// virtual seconds; a run is deterministic given deterministic arrival
+// seeds and routers.
 type Options struct {
-	// QueueCap bounds each replica's wait queue (in-flight service not
-	// counted); 0 means unbounded. Admission picks the overflow policy.
+	// QueueCap bounds each replica's wait queue in queries (in-flight
+	// service not counted); 0 means unbounded. Admission picks the
+	// overflow policy.
 	QueueCap int
 	// Admission is the bounded-queue overflow policy.
 	Admission Admission
@@ -137,6 +140,12 @@ type Outcome struct {
 	Reason Reason
 	// Degraded reports the degrade-to-fastest escape valve fired.
 	Degraded bool
+	// RecacheSec is the modeled cache-switch cost (virtual seconds) of
+	// the window-driven re-cache this query's completion triggered, 0
+	// otherwise. The cost extends the replica's busy interval — the next
+	// query on the replica starts no earlier than Finish+RecacheSec —
+	// but is excluded from this query's own E2ELatency.
+	RecacheSec float64
 }
 
 // Result aggregates one open-loop run.
@@ -151,12 +160,18 @@ type Result struct {
 	// eventual fate), so it overlaps both Served and Dropped.
 	Queries, Served, Dropped                int
 	DeadlineDrops, Rejected, Shed, Degraded int
-	// OfferedRate is arrivals per second of the arrival span (0 for a
-	// single-instant stream); Makespan is the virtual time of the last
-	// event.
+	// OfferedRate is arrivals per virtual second of the arrival span (0
+	// for a single-instant stream); Makespan is the virtual time of the
+	// last completion in seconds since stream start.
 	OfferedRate, Makespan float64
 	// ReplicaQueries counts served queries per replica.
 	ReplicaQueries []int
+	// Recaches counts window-driven cache switches enacted during the
+	// run; RecacheSec totals their modeled fill time in virtual seconds
+	// (time replicas spent refilling the Persistent Buffer instead of
+	// serving).
+	Recaches   int
+	RecacheSec float64
 	// Router names the dispatch policy used.
 	Router string
 }
@@ -231,7 +246,8 @@ type replicaState struct {
 	freeAt float64
 }
 
-// Stream pairs a query stream with arrival times, element-wise.
+// Stream pairs a query stream with arrival times (seconds since stream
+// start), element-wise.
 func Stream(qs []sched.Query, arrivals []float64) ([]serving.TimedQuery, error) {
 	if len(qs) != len(arrivals) {
 		return nil, fmt.Errorf("simq: %d queries but %d arrivals", len(qs), len(arrivals))
@@ -301,11 +317,16 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 			if e.opt.LoadAware {
 				q = q.Debit(wait)
 			}
-			served, err := e.reps[ri].ServeVirtual(q, j.degraded)
+			served, err := e.reps[ri].ServeVirtual(q, j.q, j.degraded)
 			if err != nil {
 				e.reps[ri].Release()
 				return err
 			}
+			// A window-driven re-cache enacted after this serve occupies
+			// the accelerator for the PB fill: the switch cost extends the
+			// replica's busy interval in virtual time (the next query
+			// waits) without inflating this query's own E2E latency.
+			recache := e.reps[ri].TakeRecacheCost()
 			finish := now + served.Latency
 			e2e := finish - j.arrival
 			// SLO attainment for open-loop serving judges end-to-end
@@ -317,13 +338,14 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 					Arrival: j.arrival, Start: now, Finish: finish,
 					QueueDelay: wait, E2ELatency: e2e,
 				},
-				Replica:  ri,
-				Degraded: j.degraded,
+				Replica:    ri,
+				Degraded:   j.degraded,
+				RecacheSec: recache,
 			}
 			accs[ri].AddTimed(o.TimedServed)
 			res.Outcomes[j.idx] = o
 			res.ReplicaQueries[ri]++
-			st.busy, st.freeAt = true, finish
+			st.busy, st.freeAt = true, finish+recache
 		}
 		return nil
 	}
@@ -412,6 +434,10 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 		if o.Degraded {
 			res.Degraded++
 		}
+		if o.Recached {
+			res.Recaches++
+		}
+		res.RecacheSec += o.RecacheSec
 		if o.Finish > res.Makespan {
 			res.Makespan = o.Finish
 		}

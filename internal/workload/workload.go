@@ -15,7 +15,13 @@ import (
 	"sushi/internal/sched"
 )
 
-// Range is a closed interval for constraint sampling.
+// Range is a closed interval for constraint sampling. Accuracy ranges
+// are in top-1 percent (A_t), latency ranges in seconds (L_t) — the
+// units of sched.Query. The zero value [0, 0] always samples 0: an
+// unconstrained accuracy floor, but the TIGHTEST possible latency
+// budget for scheduling (no SubNet serves in <= 0 s; only budget
+// debiting and the engine's drop path treat a non-positive MaxLatency
+// as "no budget"), so leave the latency range real.
 type Range struct {
 	Lo, Hi float64
 }
@@ -34,7 +40,8 @@ func (r Range) Validate() error {
 }
 
 // Uniform draws n independent queries with constraints uniform in the
-// given ranges — the random query stream of Fig. 15/16.
+// given ranges (acc in top-1 percent, lat in seconds) — the random
+// query stream of Fig. 15/16. Deterministic given the seed.
 func Uniform(n int, acc, lat Range, seed int64) ([]sched.Query, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload: non-positive count %d", n)
@@ -62,13 +69,15 @@ func Uniform(n int, acc, lat Range, seed int64) ([]sched.Query, error) {
 type Phase struct {
 	// Name labels the phase in traces.
 	Name string
-	// Queries is the phase length.
+	// Queries is the phase length in queries.
 	Queries int
-	// Acc and Lat are the constraint ranges during the phase.
+	// Acc and Lat are the constraint ranges during the phase (top-1
+	// percent, seconds).
 	Acc, Lat Range
 }
 
 // Phased concatenates phases, cycling until n queries are produced.
+// Deterministic given the seed.
 func Phased(n int, phases []Phase, seed int64) ([]sched.Query, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload: non-positive count %d", n)
@@ -107,8 +116,9 @@ func Phased(n int, phases []Phase, seed int64) ([]sched.Query, error) {
 }
 
 // Bursty models transient overloads (e.g. ICU triage spikes): during a
-// burst the latency budget tightens by burstFactor (<1) with probability
-// burstProb per query, with bursts lasting burstLen queries.
+// burst the latency budget (seconds) tightens by burstFactor (<1) with
+// probability burstProb per query, with bursts lasting burstLen
+// queries. Deterministic given the seed.
 func Bursty(n int, acc, lat Range, burstProb, burstFactor float64, burstLen int, seed int64) ([]sched.Query, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload: non-positive count %d", n)
@@ -145,9 +155,10 @@ func Bursty(n int, acc, lat Range, burstProb, burstFactor float64, burstLen int,
 	return out, nil
 }
 
-// Drifting linearly interpolates the constraint ranges from start to end
-// over the stream — e.g. a battery draining on an edge device, gradually
-// trading accuracy for latency headroom.
+// Drifting linearly interpolates the constraint ranges (top-1 percent,
+// seconds) from start to end over the stream — e.g. a battery draining
+// on an edge device, gradually trading accuracy for latency headroom.
+// Deterministic given the seed.
 func Drifting(n int, accStart, accEnd, latStart, latEnd Range, seed int64) ([]sched.Query, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload: non-positive count %d", n)

@@ -29,6 +29,15 @@
 // Every cluster serve path is context-aware: a context deadline tightens
 // the query's latency budget and cancellation drains cleanly.
 //
+// Fleets may be heterogeneous: WithHardware assigns per-replica
+// accelerator configurations (mixed ZCU104/AlveoU50 deployments get one
+// latency table per distinct configuration), the Fastest router
+// dispatches against per-replica predicted latencies, and WithRecache
+// makes each replica's Persistent-Buffer cache mutable at runtime —
+// switching to the SubGraph that would have served the replica's recent
+// query mix best, with the switch cost modeled in virtual time by
+// Cluster.Simulate.
+//
 // The deeper layers are available for direct use in advanced scenarios:
 // the experiment harness regenerating every figure and table of the paper
 // lives behind Experiment; the cmd/sushi-bench tool wraps it.
@@ -325,6 +334,11 @@ var experimentRegistry = []experimentEntry{
 	// loadsweep is the open-loop analogue of fig16: offered load vs tail
 	// latency/SLO/goodput per system variant, through the simq engine.
 	{id: "loadsweep", run: func(w core.Workload) (*core.Result, error) { return core.LoadSweep(w, 0) }},
+	// hetero compares homogeneous vs mixed ZCU104+AlveoU50 fleets with
+	// per-replica latency tables, hardware-aware routing and dynamic
+	// re-caching under identical seeded arrivals (Table 2 / §5.4.2 at
+	// cluster scale).
+	{id: "hetero", run: func(w core.Workload) (*core.Result, error) { return core.Hetero(w, 0) }},
 }
 
 // Experiments lists the available experiment ids, in registry order.
