@@ -516,6 +516,73 @@ func BenchmarkOpenLoopSimulate(b *testing.B) {
 	b.ReportMetric(float64(queries), "queries/run")
 }
 
+// BenchmarkBatchedSimulate drives SubGraph-stationary micro-batching
+// end to end: the same 2.5x-overload Poisson stream through a 2-replica
+// cluster, unbatched (B=1) and batched (B=4/B=8 with a half-service
+// window). The reported goodput must rise with B at this fixed offered
+// load — queries grouped onto one scheduled SubNet pay the weight fetch
+// once — while ns/op tracks the flush-event engine's wall-clock cost.
+func BenchmarkBatchedSimulate(b *testing.B) {
+	const (
+		queries = 400
+		budget  = 30e-3 // SLO with headroom for a full batch
+		svc     = 8e-3  // unbatched slowest-service anchor
+	)
+	arr, err := workload.Poisson{Rate: 2 / svc * 2.5}.Times(queries, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]TimedQuery, queries)
+	for i := range qs {
+		qs[i] = TimedQuery{
+			Query:   Query{ID: i, MaxLatency: budget},
+			Arrival: arr[i],
+		}
+	}
+	goodputs := map[int]float64{}
+	for _, batch := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("B=%d", batch), func(b *testing.B) {
+			var goodput, p99, avgBatch float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// A fresh cluster per iteration: the engine mutates cache
+				// state, and fresh deployments keep iterations identical.
+				c, err := NewCluster(Options{Workload: MobileNetV3, Policy: StrictLatency},
+					WithReplicas(2), WithRouter(LeastLoaded))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := c.Simulate(qs, SimOptions{
+					LoadAware: true,
+					Drop:      true,
+					Router:    LeastLoaded,
+					Batching:  Batching{MaxBatch: batch, Window: svc / 2},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Served == 0 {
+					b.Fatal("nothing served")
+				}
+				goodput = res.Summary.Goodput
+				p99 = res.Summary.P99E2E * 1e3
+				avgBatch = res.Summary.AvgBatchSize
+				if batch == 1 {
+					avgBatch = 1
+				}
+			}
+			goodputs[batch] = goodput
+			b.ReportMetric(goodput, "goodput-qps")
+			b.ReportMetric(p99, "p99-e2e-ms")
+			b.ReportMetric(avgBatch, "avg-batch")
+		})
+	}
+	if g1, g4 := goodputs[1], goodputs[4]; g1 > 0 && g4 > 0 && g4 <= g1 {
+		b.Errorf("batching did not pay: B=4 goodput %.1f <= B=1 %.1f at fixed load", g4, g1)
+	}
+}
+
 // BenchmarkHeteroSimulate drives the heterogeneous-fleet path end to
 // end: a mixed ZCU104+AlveoU50 cluster (one latency table per hardware
 // group), hardware-aware "fastest" routing against per-replica tables,

@@ -278,3 +278,65 @@ func TestClusterMixedFleetSimulate(t *testing.T) {
 		t.Errorf("replica views count %d switches, run counted %d", totalSwitches, res.Recaches)
 	}
 }
+
+// TestClusterBatchingPublicAPI exercises WithBatching end to end: the
+// cluster policy becomes the default batch former for Simulate, an
+// explicit SimOptions.Batching overrides it, and live Serve calls pass
+// the batch former (batch telemetry appears even for solo flushes).
+func TestClusterBatchingPublicAPI(t *testing.T) {
+	c, err := NewCluster(Options{Workload: MobileNetV3, Policy: StrictLatency},
+		WithReplicas(2), WithRouter(LeastLoaded),
+		WithBatching(4, 4*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 30e-3
+	arr, err := (Poisson{Rate: 2 / 8e-3 * 2.5}).Times(120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]Query, len(arr))
+	for i := range qs {
+		qs[i] = Query{ID: i, MaxLatency: budget}
+	}
+	ts, err := TimedStream(qs, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Simulate(ts, SimOptions{LoadAware: true, Drop: true, Router: LeastLoaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Batches == 0 || res.Summary.MaxBatchSize < 2 {
+		t.Fatalf("Simulate did not inherit WithBatching: %+v", res.Summary)
+	}
+	for _, o := range res.Outcomes {
+		if !o.Dropped && o.Batch < 1 {
+			t.Fatalf("served outcome without batch size: %+v", o)
+		}
+	}
+	// Explicit B=1 forces an unbatched run on the batched cluster.
+	solo, err := c.Simulate(ts, SimOptions{LoadAware: true, Drop: true, Router: LeastLoaded,
+		Batching: Batching{MaxBatch: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Summary.Batches != 0 {
+		t.Errorf("B=1 override still batched: %+v", solo.Summary)
+	}
+	// And the fixed-load payoff: batching must beat the unbatched run.
+	if res.Summary.Goodput <= solo.Summary.Goodput {
+		t.Errorf("batched goodput %.1f <= unbatched %.1f", res.Summary.Goodput, solo.Summary.Goodput)
+	}
+	// Live path: a serve passes the batch former and records occupancy.
+	if _, err := c.Serve(context.Background(), Query{ID: 999, MaxLatency: budget}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Batches == 0 {
+		t.Errorf("live serve recorded no flush: %+v", st)
+	}
+	// Validation: a negative batch size is a typed option error.
+	if _, err := NewCluster(Options{Workload: MobileNetV3}, WithBatching(-3, time.Millisecond)); err == nil {
+		t.Error("negative batch size accepted")
+	}
+}

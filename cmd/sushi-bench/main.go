@@ -3,31 +3,56 @@
 //
 // Usage:
 //
-//	sushi-bench [-w workload] [experiment ...]
+//	sushi-bench [-w workload] [-json] [-csv dir] [experiment ...]
 //	sushi-bench all
 //	sushi-bench list
 //
 // Experiments: fig2 fig3 fig9 fig10 fig11 fig12 fig13a fig13b fig14
 // fig15 fig15acc fig16 fig17 fig18 table1 table2 table3 table4 table5
-// table6 hitratio ablation-avg overload loadsweep hetero (sushi-bench
-// list prints the authoritative set). The -w flag
+// table6 hitratio ablation-avg overload loadsweep hetero batchsweep
+// (sushi-bench list prints the authoritative set). The -w flag
 // (resnet50|mobilenetv3) applies to workload-parameterized experiments.
+//
+// With -json, the human-readable tables are replaced by one NDJSON
+// record per experiment on stdout — name, ns_per_op (wall time of the
+// run), and the experiment's headline metrics (goodput_qps, p99_e2e_ms
+// where applicable) — so bench trajectories (BENCH_*.json) can be
+// recorded by machines instead of scraped from prose.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"sushi"
 )
 
+// benchRecord is one -json output line.
+type benchRecord struct {
+	// Name is the experiment id as invoked (without workload suffix).
+	Name string `json:"name"`
+	// Workload is the resolved workload for parameterized experiments.
+	Workload string `json:"workload,omitempty"`
+	// NsPerOp is the wall-clock time of the single run in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// GoodputQPS and P99MS surface the canonical open-loop headline
+	// metrics when the experiment reports them (0 otherwise).
+	GoodputQPS float64 `json:"goodput_qps,omitempty"`
+	P99MS      float64 `json:"p99_ms,omitempty"`
+	// Metrics carries every headline metric the experiment exported.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
 func main() {
 	w := flag.String("w", "resnet50", "workload: resnet50 or mobilenetv3")
 	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
+	asJSON := flag.Bool("json", false, "emit one NDJSON record per experiment (name, ns_per_op, metrics) instead of text tables")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sushi-bench [-w workload] [-csv dir] [experiment ...|all|list]\n")
+		fmt.Fprintf(os.Stderr, "usage: sushi-bench [-w workload] [-json] [-csv dir] [experiment ...|all|list]\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", sushi.Experiments())
 	}
@@ -48,22 +73,40 @@ func main() {
 	if args[0] == "all" {
 		ids = sushi.Experiments()
 	}
+	enc := json.NewEncoder(os.Stdout)
 	exit := 0
 	for _, id := range ids {
-		full := id
+		full, workload := id, ""
 		switch id {
 		case "fig2", "fig9", "fig10", "fig11", "fig12", "fig13b", "fig15", "fig15acc",
 			"fig16", "fig17", "table5", "table6", "ablation-avg", "overload",
-			"loadsweep", "hetero":
-			full = id + ":" + *w
+			"loadsweep", "hetero", "batchsweep":
+			full, workload = id+":"+*w, *w
 		}
-		out, err := sushi.Experiment(full)
+		start := time.Now()
+		out, metrics, err := sushi.ExperimentWithMetrics(full)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sushi-bench: %s: %v\n", id, err)
 			exit = 1
 			continue
 		}
-		fmt.Print(out)
+		if *asJSON {
+			rec := benchRecord{
+				Name:       id,
+				Workload:   workload,
+				NsPerOp:    elapsed.Nanoseconds(),
+				GoodputQPS: metrics["goodput_qps"],
+				P99MS:      metrics["p99_e2e_ms"],
+				Metrics:    metrics,
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "sushi-bench: %s: %v\n", id, err)
+				exit = 1
+			}
+		} else {
+			fmt.Print(out)
+		}
 		if *csvDir != "" {
 			csvOut, err := sushi.ExperimentCSV(full)
 			if err != nil {

@@ -15,11 +15,17 @@
 //	sushi-server [-addr :8080] [-w workload] [-policy acc|lat|energy]
 //	             [-q period] [-replicas n] [-router kind] [-seed n]
 //	             [-accels preset,preset,...] [-recache]
+//	             [-batch n] [-batch-window dur]
 //
 // Router kinds: round-robin (default), least-loaded, affinity, fastest,
 // random. The -accels flag boots a heterogeneous fleet, one preset per
 // replica (zcu104, alveo-u50, roofline); -recache enables runtime
-// SubGraph re-caching with the default policy.
+// SubGraph re-caching with the default policy. -batch enables
+// SubGraph-stationary micro-batching: up to n concurrent same-SubNet
+// queries per replica share one accelerator pass (weights fetched
+// once), waiting at most -batch-window (default 2ms) for the batch to
+// fill; the same B/W pair is the default batch former for
+// POST /v1/simulate.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"sushi/internal/accel"
 	"sushi/internal/core"
@@ -49,6 +56,10 @@ func main() {
 			"comma-separated per-replica hardware presets (zcu104, alveo-u50, roofline); overrides -replicas")
 		recache = flag.Bool("recache", false,
 			"enable runtime SubGraph re-caching (window-driven cache switching) on every replica")
+		batch = flag.Int("batch", 0,
+			"micro-batch size B: group up to B concurrent same-SubNet queries per replica into one accelerator pass (0/1 = off)")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond,
+			"longest a forming micro-batch waits to fill (wall clock; virtual seconds for /v1/simulate)")
 	)
 	flag.Parse()
 
@@ -76,11 +87,18 @@ func main() {
 	if *recache {
 		copt.Recache = &serving.RecachePolicy{}
 	}
+	if *batch > 1 {
+		copt.Batch = &serving.BatchPolicy{MaxBatch: *batch, Window: *batchWindow}
+	}
 	dep, err := core.DeployCluster(opt, copt)
 	if err != nil {
 		log.Fatalf("sushi-server: %v", err)
 	}
-	fmt.Printf("sushi-server: %s (%s policy) on %s, %d replicas (%s router), %d servable SubNets\n",
-		*wl, *policy, *addr, dep.Cluster.Size(), dep.Cluster.RouterName(), len(dep.Frontier))
+	batching := "unbatched"
+	if pol := dep.Cluster.BatchPolicy(); pol.Enabled() {
+		batching = fmt.Sprintf("batch B=%d W=%v", pol.MaxBatch, pol.Window)
+	}
+	fmt.Printf("sushi-server: %s (%s policy) on %s, %d replicas (%s router, %s), %d servable SubNets\n",
+		*wl, *policy, *addr, dep.Cluster.Size(), dep.Cluster.RouterName(), batching, len(dep.Frontier))
 	log.Fatal(http.ListenAndServe(*addr, server.New(dep)))
 }

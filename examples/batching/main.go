@@ -1,0 +1,99 @@
+// Command batching demonstrates SubGraph-stationary micro-batching:
+// the same overloaded Poisson stream played through a 2-replica SUSHI
+// cluster with the batch former swept over B (queries per flush) and W
+// (batching window).
+//
+// The mechanism is the paper's weight-traffic argument turned into a
+// throughput lever: serving a SubNet is dominated by moving its weights
+// (DRAM fetch, or Persistent-Buffer read for the cached SubGraph), so
+// queries that resolve to the SAME scheduled SubNet can share one
+// accelerator pass — the weights are fetched once, and each member pays
+// only its own compute and activation traffic. Under load the queue
+// always holds compatible queries, batches fill instantly, effective
+// capacity rises, and goodput climbs while per-query energy falls. B=1
+// is the unbatched engine, bit-identical per seed to a plain cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sushi"
+)
+
+func main() {
+	const (
+		replicas = 2
+		queries  = 500
+		svc      = 8e-3    // unbatched slowest-service anchor
+		budget   = 4 * svc // E2E SLO, headroom for a full batch
+		seed     = 11
+	)
+	capacity := float64(replicas) / svc
+	rate := capacity * 2.5 // fixed offered load for every sweep point
+
+	arr, err := (sushi.Poisson{Rate: rate}).Times(queries, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := make([]sushi.Query, queries)
+	for i := range qs {
+		qs[i] = sushi.Query{ID: i, MaxLatency: budget}
+	}
+	stream, err := sushi.TimedStream(qs, arr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("micro-batching under %.1fx overload: %d replicas, %.0f qps offered, %.0f ms SLO\n\n",
+		2.5, replicas, rate, budget*1e3)
+	fmt.Printf("%-4s  %-7s  %-9s  %12s  %12s  %8s  %12s\n",
+		"B", "W(ms)", "avg batch", "goodput(qps)", "p99 e2e(ms)", "SLO%", "energy/q(uJ)")
+
+	for _, point := range []struct {
+		b int
+		w time.Duration
+	}{
+		{1, 0},
+		{2, 4 * time.Millisecond},
+		{4, 4 * time.Millisecond},
+		{8, 4 * time.Millisecond},
+	} {
+		// A fresh cluster per point: caches adapt to traffic, and fresh
+		// deployments keep every point per-seed reproducible.
+		c, err := sushi.NewCluster(
+			sushi.Options{Workload: sushi.MobileNetV3, Policy: sushi.StrictLatency},
+			sushi.WithReplicas(replicas),
+			sushi.WithRouter(sushi.LeastLoaded),
+			sushi.WithBatching(point.b, point.w),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.Simulate(stream, sushi.SimOptions{
+			LoadAware: true,
+			Drop:      true,
+			Router:    sushi.LeastLoaded,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := res.Summary
+		avgBatch := 1.0
+		if sum.Batches > 0 {
+			avgBatch = sum.AvgBatchSize
+		}
+		energy := 0.0
+		if res.Served > 0 {
+			energy = sum.OffChipEnergyJ / float64(res.Served) * 1e6
+		}
+		fmt.Printf("%-4d  %-7.1f  %-9.2f  %12.1f  %12.2f  %8.1f  %12.2f\n",
+			point.b, point.w.Seconds()*1e3, avgBatch,
+			sum.Goodput, sum.P99E2E*1e3, sum.E2ESLO*100, energy)
+	}
+
+	fmt.Println("\nreading the table: at fixed offered load, larger batches amortize the")
+	fmt.Println("dominant weight fetch across members — goodput climbs, per-query energy")
+	fmt.Println("falls, and the E2E tail shrinks as queues drain faster than they build.")
+}

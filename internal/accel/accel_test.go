@@ -478,3 +478,92 @@ func TestReportAggregationInvariants(t *testing.T) {
 		t.Error("byte accounting differs from layer sums")
 	}
 }
+
+// TestServeBatchAmortizesWeights pins the micro-batching model: a batch
+// of n same-SubNet queries pays the weight traffic (off-chip fetches,
+// on-chip supply, bytes, and their share of energy) ONCE, and only
+// compute + activation traffic n times. Three properties: (1)
+// ServeBatch(sn, 1) is bit-identical to Run(sn); (2) batched total
+// latency equals weights + n x per-item (within float tolerance); (3)
+// batched weight bytes are <= the sum of n solo runs, with equality
+// only at n = 1.
+func TestServeBatchAmortizesWeights(t *testing.T) {
+	super, fr := buildFrontier(t, supernet.MobileNetV3)
+	sim, err := NewSimulator(ZCU104())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A warm cache makes HitBytes non-trivial.
+	g := supernet.NewSubGraph(super, "warm")
+	for id := 0; id < super.NumCells()/2; id++ {
+		g.Add(id)
+	}
+	if err := sim.SetCached(g); err != nil {
+		t.Fatal(err)
+	}
+	sn := fr[len(fr)-1]
+	solo, err := sim.Run(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	one, err := sim.ServeBatch(sn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Total() != solo.Total() || one.OffChipBytes != solo.OffChipBytes ||
+		one.OnChipBytes != solo.OnChipBytes || one.HitBytes != solo.HitBytes ||
+		one.DistinctBytes != solo.DistinctBytes || one.OffChipEnergyJ != solo.OffChipEnergyJ {
+		t.Errorf("ServeBatch(sn, 1) differs from Run(sn): %+v vs %+v", one, solo)
+	}
+
+	weights := solo.WeightsOffChip + solo.WeightsOnChip
+	perItem := solo.Compute + solo.IActOffChip + solo.OActOffChip
+	for _, n := range []int{2, 4, 8} {
+		rep, err := sim.ServeBatch(sn, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Batch != n {
+			t.Errorf("n=%d: Batch = %d", n, rep.Batch)
+		}
+		want := weights + float64(n)*perItem
+		if math.Abs(rep.Total()-want) > 1e-12*want {
+			t.Errorf("n=%d: Total %g != weights + n x perItem %g", n, rep.Total(), want)
+		}
+		if math.Abs(rep.PerItem()-perItem) > 1e-9*perItem {
+			t.Errorf("n=%d: PerItem %g != solo per-item %g", n, rep.PerItem(), perItem)
+		}
+		// Weight traffic charged once, not n times.
+		if rep.DistinctBytes != solo.DistinctBytes || rep.HitBytes != solo.HitBytes {
+			t.Errorf("n=%d: weight bytes scaled with batch: %d/%d vs solo %d/%d",
+				n, rep.DistinctBytes, rep.HitBytes, solo.DistinctBytes, solo.HitBytes)
+		}
+		// Strictly less total traffic than n solo runs (the amortization),
+		// and the batch must still cost more than one solo run.
+		if nSolo := int64(n) * solo.OffChipBytes; rep.OffChipBytes >= nSolo {
+			t.Errorf("n=%d: off-chip bytes %d not amortized vs %d", n, rep.OffChipBytes, nSolo)
+		}
+		if rep.OffChipBytes <= solo.OffChipBytes {
+			t.Errorf("n=%d: off-chip bytes %d <= solo %d", n, rep.OffChipBytes, solo.OffChipBytes)
+		}
+		if rep.Total() <= solo.Total() || rep.Total() >= float64(n)*solo.Total() {
+			t.Errorf("n=%d: batch latency %g outside (solo, n x solo) = (%g, %g)",
+				n, rep.Total(), solo.Total(), float64(n)*solo.Total())
+		}
+		// Per-layer decomposition still sums to the batch total.
+		var layerTotal float64
+		for _, l := range rep.Layers {
+			layerTotal += l.Total()
+		}
+		if math.Abs(layerTotal-rep.Total()) > 1e-12*rep.Total() {
+			t.Errorf("n=%d: layer totals %g != Total %g", n, layerTotal, rep.Total())
+		}
+	}
+	if _, err := sim.ServeBatch(sn, 0); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+	if _, err := sim.ServeBatch(nil, 2); err == nil {
+		t.Error("nil SubNet accepted")
+	}
+}

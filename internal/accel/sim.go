@@ -6,30 +6,52 @@ import (
 	"sushi/internal/supernet"
 )
 
-// Report aggregates one SubNet inference on the simulator: the Fig. 10
-// critical-path breakdown, traffic and energy accounting.
+// Report aggregates one SubNet inference — or one micro-batch of Batch
+// same-SubNet inferences — on the simulator: the Fig. 10 critical-path
+// breakdown, traffic and energy accounting. For a batch, weight traffic
+// (WeightsOffChip/WeightsOnChip and the weight byte counts) is charged
+// ONCE — the whole point of SubGraph-Stationary batching: every member
+// reads the same scheduled SubNet's weights, so the PB hit or DRAM
+// fetch amortizes — while Compute, IActOffChip and OActOffChip (and the
+// activation bytes) scale per item.
 type Report struct {
 	// SubNet and Accel identify the run.
 	SubNet, Accel string
-	// Layers holds the per-layer decomposition.
+	// Batch is the number of same-SubNet queries served together (1 for
+	// a plain Run).
+	Batch int
+	// Layers holds the per-layer decomposition (batch-scaled, so the
+	// per-layer Totals still sum to Total).
 	Layers []LayerLatency
 	// Compute, IActOffChip, WeightsOffChip, WeightsOnChip, OActOffChip
 	// are the summed critical-path components (they add up to Total).
 	Compute, IActOffChip, WeightsOffChip, WeightsOnChip, OActOffChip float64
 	// WeightBytes is the SubNet's total weight footprint; HitBytes the
 	// portion served by the Persistent Buffer; DistinctBytes the portion
-	// fetched from DRAM.
+	// fetched from DRAM. All three are charged once per batch.
 	WeightBytes, HitBytes, DistinctBytes int64
-	// OffChipBytes and OnChipBytes are total traffic per class.
+	// OffChipBytes and OnChipBytes are total traffic per class (weights
+	// once per batch, activations per item).
 	OffChipBytes, OnChipBytes int64
 	// OffChipEnergyJ and OnChipEnergyJ follow the paper's
 	// accesses x energy-per-access model (§5.4.3).
 	OffChipEnergyJ, OnChipEnergyJ float64
 }
 
-// Total returns the end-to-end serving latency in seconds.
+// Total returns the end-to-end serving latency in seconds — for a batch,
+// the time from flush to the shared completion of every member.
 func (r *Report) Total() float64 {
 	return r.Compute + r.IActOffChip + r.WeightsOffChip + r.WeightsOnChip + r.OActOffChip
+}
+
+// PerItem returns the latency components that scale with batch size:
+// compute plus visible activation traffic, per batch member. Total ==
+// weights components + Batch x PerItem (up to float rounding).
+func (r *Report) PerItem() float64 {
+	if r.Batch <= 1 {
+		return r.Compute + r.IActOffChip + r.OActOffChip
+	}
+	return (r.Compute + r.IActOffChip + r.OActOffChip) / float64(r.Batch)
 }
 
 // TotalEnergyJ returns combined data-movement energy.
@@ -108,17 +130,58 @@ func (s *Simulator) SetCached(g *supernet.SubGraph) error {
 // Run simulates serving one query with SubNet sn given the current cache
 // state and returns the full report. The cache state is not modified.
 func (s *Simulator) Run(sn *supernet.SubNet) (*Report, error) {
+	return s.run(sn, 1, nil)
+}
+
+// ServeBatch simulates serving a micro-batch of n same-SubNet queries
+// back to back given the current cache state: the SubNet's weights are
+// brought to the array once — Persistent-Buffer hits and DRAM fetches
+// alike — and every member pays only its own compute and activation
+// traffic on top. WeightsOffChip/WeightsOnChip (and HitBytes/
+// DistinctBytes and their energy) are therefore charged once per batch,
+// while Compute, IActOffChip and OActOffChip scale by n. ServeBatch(sn,
+// 1) is exactly Run(sn). The cache state is not modified.
+func (s *Simulator) ServeBatch(sn *supernet.SubNet, n int) (*Report, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("accel %s: non-positive batch size %d", s.cfg.Name, n)
+	}
+	return s.run(sn, n, nil)
+}
+
+// RunLayers simulates only the layers selected by keep (e.g. the 3x3
+// convolutions used in the paper's board evaluation, §5.4-5.5).
+func (s *Simulator) RunLayers(sn *supernet.SubNet, keep func(i int) bool) (*Report, error) {
+	return s.run(sn, 1, keep)
+}
+
+// run is the shared core of Run, ServeBatch and RunLayers: the layer
+// loop with batch scaling applied per layer, so the per-layer
+// decomposition still sums to the batch's Total.
+func (s *Simulator) run(sn *supernet.SubNet, n int, keep func(i int) bool) (*Report, error) {
 	if sn == nil || sn.Model == nil {
 		return nil, fmt.Errorf("accel %s: nil SubNet", s.cfg.Name)
 	}
-	rep := &Report{SubNet: sn.Name, Accel: s.cfg.Name}
+	rep := &Report{SubNet: sn.Name, Accel: s.cfg.Name, Batch: n}
 	for i := range sn.Model.Layers {
+		if keep != nil && !keep(i) {
+			continue
+		}
 		l := &sn.Model.Layers[i]
 		var hit int64
 		if s.cached != nil && l.BlockID >= 0 {
 			hit = sn.Graph.LayerHitBytes(l.BlockID, s.cached)
 		}
 		ll := layerLatency(&s.cfg, l, hit)
+		if n > 1 {
+			// Per-item components scale with the batch; the weight
+			// components (and weight bytes) stay batch-stationary.
+			fn := float64(n)
+			ll.Compute *= fn
+			ll.IActOffChip *= fn
+			ll.OActOffChip *= fn
+			ll.IActBytes *= int64(n)
+			ll.OActBytes *= int64(n)
+		}
 		rep.Layers = append(rep.Layers, ll)
 		rep.Compute += ll.Compute
 		rep.IActOffChip += ll.IActOffChip
@@ -131,40 +194,6 @@ func (s *Simulator) Run(sn *supernet.SubNet) (*Report, error) {
 		rep.OffChipBytes += ll.DistinctBytes + ll.IActBytes + ll.OActBytes
 		// Every operand consumed by the array moves through on-chip
 		// buffers once (weights via PB/DB, iActs via SB/LB, oActs via OB).
-		rep.OnChipBytes += l.WeightBytes() + ll.IActBytes + ll.OActBytes
-	}
-	rep.OffChipEnergyJ = float64(rep.OffChipBytes) * s.cfg.OffChipPJPerByte * 1e-12
-	rep.OnChipEnergyJ = float64(rep.OnChipBytes) * s.cfg.OnChipPJPerByte * 1e-12
-	return rep, nil
-}
-
-// RunLayers simulates only the layers selected by keep (e.g. the 3x3
-// convolutions used in the paper's board evaluation, §5.4-5.5).
-func (s *Simulator) RunLayers(sn *supernet.SubNet, keep func(i int) bool) (*Report, error) {
-	if sn == nil || sn.Model == nil {
-		return nil, fmt.Errorf("accel %s: nil SubNet", s.cfg.Name)
-	}
-	rep := &Report{SubNet: sn.Name, Accel: s.cfg.Name}
-	for i := range sn.Model.Layers {
-		if !keep(i) {
-			continue
-		}
-		l := &sn.Model.Layers[i]
-		var hit int64
-		if s.cached != nil && l.BlockID >= 0 {
-			hit = sn.Graph.LayerHitBytes(l.BlockID, s.cached)
-		}
-		ll := layerLatency(&s.cfg, l, hit)
-		rep.Layers = append(rep.Layers, ll)
-		rep.Compute += ll.Compute
-		rep.IActOffChip += ll.IActOffChip
-		rep.WeightsOffChip += ll.WeightsOffChip
-		rep.WeightsOnChip += ll.WeightsOnChip
-		rep.OActOffChip += ll.OActOffChip
-		rep.WeightBytes += l.WeightBytes()
-		rep.HitBytes += ll.HitBytes
-		rep.DistinctBytes += ll.DistinctBytes
-		rep.OffChipBytes += ll.DistinctBytes + ll.IActBytes + ll.OActBytes
 		rep.OnChipBytes += l.WeightBytes() + ll.IActBytes + ll.OActBytes
 	}
 	rep.OffChipEnergyJ = float64(rep.OffChipBytes) * s.cfg.OffChipPJPerByte * 1e-12

@@ -47,6 +47,13 @@ type ClusterOptions struct {
 	// engine. Nil keeps the boot-time cache column fixed apart from the
 	// scheduler's own Q-periodic updates.
 	Recache *serving.RecachePolicy
+	// Batch, when non-nil and Enabled (MaxBatch > 1, Window > 0),
+	// switches on SubGraph-stationary micro-batching: the live Serve
+	// path groups concurrent same-SubNet queries per replica into one
+	// accelerator pass (Window is wall-clock there), and Simulate
+	// defaults its virtual batch former to the same B and W (Window
+	// reinterpreted as virtual seconds via Seconds()).
+	Batch *serving.BatchPolicy
 }
 
 // NewRouter constructs the named routing policy.
@@ -120,6 +127,11 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 			return nil, &OptionError{Field: "Recache", Value: copt.Recache.MinGain, Reason: err.Error()}
 		}
 	}
+	if copt.Batch != nil {
+		if err := copt.Batch.Validate(); err != nil {
+			return nil, &OptionError{Field: "Batch", Value: copt.Batch.MaxBatch, Reason: err.Error()}
+		}
+	}
 	router, err := NewRouter(copt.Router, copt.RouterSeed)
 	if err != nil {
 		return nil, err
@@ -154,6 +166,11 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 	if copt.Recache != nil {
 		for _, rep := range cluster.Replicas() {
 			rep.EnableRecache(*copt.Recache)
+		}
+	}
+	if copt.Batch != nil {
+		if err := cluster.EnableBatching(*copt.Batch); err != nil {
+			return nil, err
 		}
 	}
 	return &ClusterDeployment{Super: super, Frontier: frontier, Cluster: cluster}, nil

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"sushi/internal/accel"
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+	"sushi/internal/simq"
+	"sushi/internal/workload"
+)
+
+// BatchSweep is the open-loop payoff curve of SubGraph-stationary
+// micro-batching: a 2-replica cluster under a fixed Poisson offered
+// load beyond its unbatched capacity, swept over the batch former's
+// B x W grid. Queries grouped onto the same scheduled SubNet pay the
+// weight fetch (PB hit or DRAM) once and only their own compute and
+// activation traffic — exactly the traffic the paper shows dominates
+// SubNet serving — so larger batches raise effective capacity: queues
+// drain faster, E2E tails shrink, goodput climbs, and per-query
+// off-chip energy falls. B=1 (or W=0) is the unbatched engine,
+// bit-identical per seed to the pre-batching event loop.
+func BatchSweep(w Workload, queries int) (*Result, error) {
+	if queries <= 0 {
+		queries = 200
+	}
+	const replicas = 2
+	super, fr, err := frontierFor(w)
+	if err != nil {
+		return nil, err
+	}
+	sopt := serving.Options{
+		Accel:      accel.ZCU104(),
+		Policy:     sched.StrictLatency,
+		Q:          4,
+		Mode:       serving.Full,
+		Candidates: 16,
+		Seed:       1,
+	}
+	table, _, err := serving.BuildTable(super, fr, sopt)
+	if err != nil {
+		return nil, err
+	}
+	// The unbatched capacity anchor: one slowest-SubNet service per
+	// budgetBase, per replica. The per-query SLO is a multiple of it so
+	// batched passes (weights once + B items of compute) still fit.
+	budgetBase := table.Lookup(table.Rows()-1, 0) * 1.1
+	budget := budgetBase * 4
+	capacity := replicas / budgetBase
+	rate := capacity * 2.5 // fixed offered load, all sweep points
+
+	res := &Result{
+		Name: "batchsweep",
+		Title: fmt.Sprintf("Micro-batching B x W sweep at %.1fx unbatched capacity, %d replicas — %s",
+			2.5, replicas, w),
+		Header:  []string{"B", "W(ms)", "avg batch", "goodput(qps)", "p50 e2e(ms)", "p99 e2e(ms)", "SLO%", "drops", "energy/q(uJ)"},
+		Metrics: map[string]float64{},
+	}
+	arr, err := workload.Poisson{Rate: rate}.Times(queries, 11)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range []int{1, 2, 4, 8} {
+		for _, win := range []float64{0, budgetBase / 2} {
+			if b == 1 && win > 0 {
+				continue // B=1 ignores the window; one row suffices
+			}
+			if b > 1 && win == 0 {
+				continue // W=0 disables batching; covered by the B=1 row
+			}
+			// Fresh replicas per point over the shared table: every sweep
+			// point is an independent deployment, per-seed reproducible.
+			systems, err := BootReplicaSystems(super, fr, sopt, table, replicas)
+			if err != nil {
+				return nil, err
+			}
+			reps := make([]*serving.Replica, len(systems))
+			for i, sys := range systems {
+				reps[i] = serving.NewReplica(i, sys)
+			}
+			eng, err := simq.New(reps, simq.Options{
+				LoadAware: true,
+				Drop:      true,
+				Router:    serving.NewLeastLoaded(),
+				Batching:  simq.Batching{MaxBatch: b, Window: win},
+			})
+			if err != nil {
+				return nil, err
+			}
+			qs := make([]serving.TimedQuery, queries)
+			for i := range qs {
+				qs[i] = serving.TimedQuery{
+					Query:   sched.Query{ID: i, MaxLatency: budget},
+					Arrival: arr[i],
+				}
+			}
+			run, err := eng.Run(qs)
+			if err != nil {
+				return nil, err
+			}
+			sum := run.Summary
+			avgBatch := 1.0
+			if sum.Batches > 0 {
+				avgBatch = sum.AvgBatchSize
+			}
+			energyPerQ := 0.0
+			if run.Served > 0 {
+				energyPerQ = sum.OffChipEnergyJ / float64(run.Served) * 1e6
+			}
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%d", b), ms(win), f2(avgBatch), f1(sum.Goodput),
+				ms(sum.P50E2E), ms(sum.P99E2E), f1(sum.E2ESLO * 100),
+				fmt.Sprintf("%d", run.Dropped), f2(energyPerQ),
+			})
+			if b == 1 {
+				res.Metrics["goodput_b1_qps"] = sum.Goodput
+				res.Metrics["p99_b1_ms"] = sum.P99E2E * 1e3
+			}
+			// Canonical headline keys track the best sweep point.
+			if g := sum.Goodput; g > res.Metrics["goodput_qps"] {
+				res.Metrics["goodput_qps"] = g
+				res.Metrics["p99_e2e_ms"] = sum.P99E2E * 1e3
+			}
+		}
+	}
+	res.Notes = append(res.Notes,
+		"weights fetched once per batch: B queries on one SubNet cost one weight fetch + B x (compute + activations)",
+		"beyond unbatched capacity, batching raises effective capacity — queues drain, goodput climbs, tails shrink",
+		"per-query off-chip energy falls with B: the amortized fetch is the dominant traffic (the paper's premise)")
+	return res, nil
+}

@@ -122,6 +122,12 @@ func Hetero(w Workload, queries int) (*Result, error) {
 			fmt.Sprintf("%d", run.Recaches), ms(run.RecacheSec),
 			f2(sum.AvgAccuracy),
 		})
+		// The headline for the bench trajectory: the mixed fleet (last
+		// row wins, fleets ordered homogeneous-first).
+		res.Metrics = map[string]float64{
+			"goodput_qps": sum.Goodput,
+			"p99_e2e_ms":  sum.P99E2E * 1e3,
+		}
 	}
 	res.Notes = append(res.Notes,
 		"per-replica latency tables: the same query is predicted (and routed) differently per board — Table 2's hardware diversity as a scenario axis",

@@ -564,6 +564,14 @@ func LoadSweep(w Workload, queries int) (*Result, error) {
 				ms(sum.P50E2E), ms(sum.P99E2E), f1(sum.E2ESLO * 100),
 				f1(sum.Goodput), fmt.Sprintf("%d", run.Dropped),
 			})
+			// The headline for the bench trajectory: the full SUSHI stack
+			// at the deepest overload point.
+			if mode == serving.Full && factor == 3.0 {
+				res.Metrics = map[string]float64{
+					"goodput_qps": sum.Goodput,
+					"p99_e2e_ms":  sum.P99E2E * 1e3,
+				}
+			}
 		}
 	}
 	res.Notes = append(res.Notes,

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
 
 	"sushi/internal/sched"
+	"sushi/internal/serving"
 )
 
 // col extracts a numeric cell (stripping unit suffixes).
@@ -503,5 +505,51 @@ func TestOverloadExperiment(t *testing.T) {
 	}
 	if col(t, r.Rows[0], 2) >= col(t, r.Rows[1], 2) {
 		t.Errorf("light load: static should not beat load-aware: %v vs %v", r.Rows[0], r.Rows[1])
+	}
+}
+
+func TestBatchSweepExperiment(t *testing.T) {
+	for _, w := range []Workload{MobileNetV3, ResNet50} {
+		r, err := BatchSweep(w, 160)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 4 {
+			t.Fatalf("%s: %d rows, want 4 batch sizes", w, len(r.Rows))
+		}
+		// Acceptance criterion: at fixed offered load, goodput strictly
+		// increases for every B > 1 over the unbatched B=1 row, and the
+		// amortized weight fetch shows up as falling per-query energy.
+		b1Goodput := col(t, r.Rows[0], 3)
+		b1Energy := col(t, r.Rows[0], 8)
+		for _, row := range r.Rows[1:] {
+			if g := col(t, row, 3); g <= b1Goodput {
+				t.Errorf("%s: B=%s goodput %.1f not above B=1 %.1f", w, row[0], g, b1Goodput)
+			}
+			if e := col(t, row, 8); e >= b1Energy {
+				t.Errorf("%s: B=%s energy/query %.2f not below B=1 %.2f", w, row[0], e, b1Energy)
+			}
+			if avg := col(t, row, 2); avg <= 1 {
+				t.Errorf("%s: B=%s average batch %.2f never exceeded 1", w, row[0], avg)
+			}
+		}
+		// The machine-readable headline must match the table.
+		if r.Metrics["goodput_qps"] <= r.Metrics["goodput_b1_qps"] {
+			t.Errorf("%s: metrics claim no batching win: %+v", w, r.Metrics)
+		}
+		if r.Metrics["goodput_qps"] <= 0 || r.Metrics["p99_e2e_ms"] <= 0 {
+			t.Errorf("%s: degenerate headline metrics %+v", w, r.Metrics)
+		}
+	}
+}
+
+// TestClusterBatchOptionValidation: DeployCluster rejects malformed
+// batch policies with a typed OptionError.
+func TestClusterBatchOptionValidation(t *testing.T) {
+	_, err := DeployCluster(DeployOptions{Workload: MobileNetV3},
+		ClusterOptions{Batch: &serving.BatchPolicy{MaxBatch: -2}})
+	var oe *OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("negative batch size: got %v, want OptionError", err)
 	}
 }

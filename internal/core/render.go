@@ -20,6 +20,11 @@ type Result struct {
 	Rows [][]string
 	// Notes carry paper-vs-measured commentary.
 	Notes []string
+	// Metrics carries the experiment's headline numbers in machine-
+	// readable form (e.g. "goodput_qps", "p99_e2e_ms") for the bench
+	// trajectory (sushi-bench -json). Nil for experiments without a
+	// scalar headline.
+	Metrics map[string]float64
 }
 
 // WriteTo renders the result as an aligned text table.

@@ -126,6 +126,12 @@ type ReplicaView struct {
 	// milliseconds. Both stay 0 while re-caching is disabled.
 	Recaches  int     `json:"recache_switches"`
 	RecacheMS float64 `json:"recache_ms"`
+	// Batches counts micro-batch accelerator passes this replica served,
+	// AvgBatchSize their mean occupancy and MaxBatchSize the largest
+	// flush. All stay 0 while micro-batching is disabled.
+	Batches      int     `json:"batches"`
+	AvgBatchSize float64 `json:"avg_batch_size"`
+	MaxBatchSize int     `json:"max_batch_size"`
 	// Cache is the replica's Persistent Buffer state.
 	Cache CacheView `json:"cache"`
 }
@@ -142,6 +148,9 @@ func ReplicaViews(c *serving.Cluster) []ReplicaView {
 		v.Queries = sum.Queries
 		v.AvgLatencyMS = sum.AvgLatency * 1e3
 		v.AvgHitRatio = sum.AvgHitRatio
+		v.Batches = sum.Batches
+		v.AvgBatchSize = sum.AvgBatchSize
+		v.MaxBatchSize = sum.MaxBatchSize
 		switches, sec := rep.RecacheStats()
 		v.Recaches, v.RecacheMS = switches, sec*1e3
 		rep.Inspect(func(sys *serving.System) {

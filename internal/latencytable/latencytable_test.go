@@ -337,3 +337,95 @@ func TestCandidatesTinyBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestLookupBatchMatchesSimulator pins the batched SushiAbs abstraction
+// against the thing it abstracts: for every (SubNet, SubGraph) pairing,
+// LookupBatch(i, j, n) must equal the simulator's own ServeBatch total
+// (the table records Lat and its per-item share from the same profiling
+// run, so the reconstruction is exact up to float rounding), and n = 1
+// must be bit-identical to Lookup.
+func TestLookupBatchMatchesSimulator(t *testing.T) {
+	s, fr, cfg := testFixture(t)
+	cands, err := Candidates(s, fr, CandidateOptions{Budget: cfg.PBBytes, Count: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(cfg, fr, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := accel.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, g := range tab.Graphs {
+		var err error
+		if g.Count() == 0 {
+			err = sim.SetCached(nil)
+		} else {
+			err = sim.SetCached(g)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, sn := range tab.SubNets {
+			if got := tab.LookupBatch(i, j, 1); got != tab.Lookup(i, j) {
+				t.Fatalf("LookupBatch(%d,%d,1) = %g != Lookup %g", i, j, got, tab.Lookup(i, j))
+			}
+			for _, n := range []int{2, 5} {
+				rep, err := sim.ServeBatch(sn, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, want := tab.LookupBatch(i, j, n), rep.Total()
+				if diff := got - want; diff > 1e-9*want || diff < -1e-9*want {
+					t.Errorf("LookupBatch(%d,%d,%d) = %g, simulator %g", i, j, n, got, want)
+				}
+				// Batching must amortize, never inflate: per-query cost
+				// strictly below n solo serves, above one.
+				if got <= tab.Lookup(i, j) || got >= float64(n)*tab.Lookup(i, j) {
+					t.Errorf("LookupBatch(%d,%d,%d) = %g outside (solo, n x solo)", i, j, n, got)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupBatchSurvivesTruncateAndWire: the Item matrix must follow
+// the table through Truncate and the gob wire format.
+func TestLookupBatchSurvivesTruncateAndWire(t *testing.T) {
+	s, fr, cfg := testFixture(t)
+	cands, err := Candidates(s, fr, CandidateOptions{Budget: cfg.PBBytes, Count: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(cfg, fr, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tab.Truncate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.LookupBatch(1, 2, 4), tab.LookupBatch(1, 2, 4); got != want {
+		t.Errorf("truncated LookupBatch %g != original %g", got, want)
+	}
+	var buf bytes.Buffer
+	if err := tab.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf, s, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dec.LookupBatch(1, 2, 4), tab.LookupBatch(1, 2, 4); got != want {
+		t.Errorf("decoded LookupBatch %g != original %g", got, want)
+	}
+	// A stream predating the Item matrix decodes with Item nil;
+	// LookupBatch must degrade to Lookup instead of panicking.
+	old := *tab
+	old.Item = nil
+	if got := old.LookupBatch(1, 2, 4); got != old.Lookup(1, 2) {
+		t.Errorf("nil-Item LookupBatch %g != Lookup %g", got, old.Lookup(1, 2))
+	}
+}

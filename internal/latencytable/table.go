@@ -22,6 +22,12 @@ type Table struct {
 	Graphs []*supernet.SubGraph
 	// Lat[i][j] is seconds of serving latency.
 	Lat [][]float64
+	// Item[i][j] is the per-item share of Lat[i][j]: the compute and
+	// visible activation-traffic time that every member of a micro-batch
+	// pays, as opposed to the weight-fetch time paid once per batch.
+	// Lat[i][j] - Item[i][j] is therefore the batch-stationary weight
+	// component, and LookupBatch derives batched latencies from the two.
+	Item [][]float64
 	// Energy[i][j] is off-chip energy in joules for the same pairing
 	// (the paper notes SushiAbs can abstract energy the same way).
 	Energy [][]float64
@@ -42,9 +48,11 @@ func Build(cfg accel.Config, subnets []*supernet.SubNet, graphs []*supernet.SubG
 	}
 	t := &Table{SubNets: subnets, Graphs: graphs}
 	t.Lat = make([][]float64, len(subnets))
+	t.Item = make([][]float64, len(subnets))
 	t.Energy = make([][]float64, len(subnets))
 	for i := range t.Lat {
 		t.Lat[i] = make([]float64, len(graphs))
+		t.Item[i] = make([]float64, len(graphs))
 		t.Energy[i] = make([]float64, len(graphs))
 	}
 
@@ -91,6 +99,7 @@ func Build(cfg accel.Config, subnets []*supernet.SubNet, graphs []*supernet.SubG
 						return
 					}
 					t.Lat[i][j] = rep.Total()
+					t.Item[i][j] = rep.PerItem()
 					t.Energy[i][j] = rep.OffChipEnergyJ
 				}
 			}
@@ -121,6 +130,21 @@ func (t *Table) Cols() int { return len(t.Graphs) }
 // Lookup returns L[i][j] in seconds.
 func (t *Table) Lookup(i, j int) float64 { return t.Lat[i][j] }
 
+// LookupBatch returns the predicted service latency (seconds) of a
+// micro-batch of n same-SubNet queries: the weight-fetch component of
+// L[i][j] is paid once, the per-item component n times —
+//
+//	L_batch(i, j, n) = L[i][j] + (n-1) * Item[i][j]
+//
+// For n <= 1 (including tables decoded from streams predating the Item
+// matrix, where Item is nil) it degrades to Lookup(i, j) exactly.
+func (t *Table) LookupBatch(i, j, n int) float64 {
+	if n <= 1 || t.Item == nil {
+		return t.Lat[i][j]
+	}
+	return t.Lat[i][j] + float64(n-1)*t.Item[i][j]
+}
+
 // NearestGraph returns the column index of the SubGraph whose encoding
 // vector is closest (Euclidean) to v — Algorithm 1's
 // argmin_j Dist(G_j, AvgNet) step.
@@ -144,9 +168,15 @@ func (t *Table) Truncate(cols int) (*Table, error) {
 	n := &Table{SubNets: t.SubNets, Graphs: t.Graphs[:cols]}
 	n.Lat = make([][]float64, len(t.Lat))
 	n.Energy = make([][]float64, len(t.Energy))
+	if t.Item != nil {
+		n.Item = make([][]float64, len(t.Item))
+	}
 	for i := range t.Lat {
 		n.Lat[i] = t.Lat[i][:cols]
 		n.Energy[i] = t.Energy[i][:cols]
+		if t.Item != nil {
+			n.Item[i] = t.Item[i][:cols]
+		}
 	}
 	n.buildVectors()
 	return n, nil
@@ -160,13 +190,17 @@ type wireTable struct {
 	GraphCells  [][]int
 	NumCells    int
 	Lat         [][]float64
-	Energy      [][]float64
+	// Item is the per-item (batch-scaling) share of Lat; nil in streams
+	// written before micro-batching, where LookupBatch degrades to
+	// Lookup.
+	Item   [][]float64
+	Energy [][]float64
 }
 
 // Encode serializes the table (without SubNet bodies; rows are identified
 // by name and must be re-supplied on decode).
 func (t *Table) Encode(w io.Writer) error {
-	wt := wireTable{Lat: t.Lat, Energy: t.Energy}
+	wt := wireTable{Lat: t.Lat, Item: t.Item, Energy: t.Energy}
 	for _, sn := range t.SubNets {
 		wt.SubNetNames = append(wt.SubNetNames, sn.Name)
 	}
@@ -192,7 +226,7 @@ func Decode(r io.Reader, super *supernet.SuperNet, subnets []*supernet.SubNet) (
 	for _, sn := range subnets {
 		byName[sn.Name] = sn
 	}
-	t := &Table{Lat: wt.Lat, Energy: wt.Energy}
+	t := &Table{Lat: wt.Lat, Item: wt.Item, Energy: wt.Energy}
 	for _, name := range wt.SubNetNames {
 		sn, ok := byName[name]
 		if !ok {

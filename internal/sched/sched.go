@@ -255,8 +255,109 @@ func (s *Scheduler) Schedule(q Query) (Decision, error) {
 	return d, nil
 }
 
-// selectSubNet evaluates the policy against cache column col.
+// batchQuery folds a micro-batch into the single query Algorithm 1
+// evaluates: the TIGHTEST member constraints — the highest accuracy
+// floor and the smallest positive latency budget — so the batched
+// decision is safe for every member. All members must resolve to the
+// same effective policy (the batch former groups by it).
+func (s *Scheduler) batchQuery(qs []Query) (Query, Policy, error) {
+	if len(qs) == 0 {
+		return Query{}, 0, fmt.Errorf("sched: empty batch")
+	}
+	pol, err := s.policyFor(qs[0])
+	if err != nil {
+		return Query{}, 0, err
+	}
+	agg := Query{ID: qs[0].ID, MinAccuracy: qs[0].MinAccuracy, MaxLatency: qs[0].MaxLatency}
+	for _, q := range qs[1:] {
+		p, err := s.policyFor(q)
+		if err != nil {
+			return Query{}, 0, err
+		}
+		if p != pol {
+			return Query{}, 0, fmt.Errorf("sched: mixed policies in batch (%v and %v)", pol, p)
+		}
+		if q.MinAccuracy > agg.MinAccuracy {
+			agg.MinAccuracy = q.MinAccuracy
+		}
+		// A non-positive MaxLatency means unconstrained; the aggregate
+		// takes the smallest positive budget.
+		if q.MaxLatency > 0 && (agg.MaxLatency <= 0 || q.MaxLatency < agg.MaxLatency) {
+			agg.MaxLatency = q.MaxLatency
+		}
+	}
+	return agg, pol, nil
+}
+
+// PeekBatch evaluates the SubNet choice for a micro-batch of len(qs)
+// queries served together against the current cache belief, without
+// consuming anything: the batched SushiAbs lookup (weights once,
+// per-item costs n times) is compared against the tightest member
+// budget, so the scheduler picks the SubNet the whole batch can afford.
+// PredictedLatency is the batch's total service latency. Like Peek it
+// must be serialized with Schedule/ScheduleBatch.
+func (s *Scheduler) PeekBatch(qs []Query) (Decision, error) {
+	agg, pol, err := s.batchQuery(qs)
+	if err != nil {
+		return Decision{}, err
+	}
+	col, n := s.cacheCol, len(qs)
+	idx, feasible := s.selectSubNetBatch(agg, pol, col, n)
+	return Decision{
+		SubNet:            idx,
+		PredictedLatency:  s.table.LookupBatch(idx, col, n),
+		PredictedAccuracy: s.table.SubNets[idx].Accuracy,
+		Feasible:          feasible,
+		CacheUpdate:       -1,
+	}, nil
+}
+
+// ScheduleBatch makes the control decision for a micro-batch served as
+// one accelerator pass: SubNet selection uses the batched latency model
+// under the tightest member constraints (see PeekBatch), every member
+// counts as one served query toward the Q-periodic cache window, and —
+// exactly as a sequence of Schedule calls would — a cache update fires
+// for each Q boundary the batch crosses (the last one wins, enacted by
+// the caller AFTER the batch). ScheduleBatch(qs[:1]) is bit-identical
+// to Schedule(qs[0]).
+func (s *Scheduler) ScheduleBatch(qs []Query) (Decision, error) {
+	agg, pol, err := s.batchQuery(qs)
+	if err != nil {
+		return Decision{}, err
+	}
+	col, n := s.cacheCol, len(qs)
+	idx, feasible := s.selectSubNetBatch(agg, pol, col, n)
+	d := Decision{
+		SubNet:            idx,
+		PredictedLatency:  s.table.LookupBatch(idx, col, n),
+		PredictedAccuracy: s.table.SubNets[idx].Accuracy,
+		Feasible:          feasible,
+		CacheUpdate:       -1,
+	}
+	for range qs {
+		s.observe(idx)
+		s.served++
+		if s.opt.StateAware && s.served%s.opt.Q == 0 {
+			newCol := s.table.NearestGraph(s.avg)
+			if newCol != s.cacheCol {
+				s.cacheCol = newCol
+				d.CacheUpdate = newCol
+			}
+		}
+	}
+	return d, nil
+}
+
+// selectSubNet evaluates the policy against cache column col for a
+// single query.
 func (s *Scheduler) selectSubNet(q Query, pol Policy, col int) (idx int, feasible bool) {
+	return s.selectSubNetBatch(q, pol, col, 1)
+}
+
+// selectSubNetBatch evaluates the policy against cache column col with
+// the batched latency model for n same-SubNet queries; n = 1 is the
+// plain Algorithm 1 (LookupBatch degrades to Lookup exactly).
+func (s *Scheduler) selectSubNetBatch(q Query, pol Policy, col, n int) (idx int, feasible bool) {
 	switch pol {
 	case MinEnergy:
 		// argmin energy s.t. accuracy >= A_t and latency <= L_t; fall
@@ -266,7 +367,7 @@ func (s *Scheduler) selectSubNet(q Query, pol Policy, col int) (idx int, feasibl
 			if s.table.SubNets[i].Accuracy < q.MinAccuracy {
 				continue
 			}
-			if s.table.Lookup(i, col) > q.MaxLatency {
+			if s.table.LookupBatch(i, col, n) > q.MaxLatency {
 				continue
 			}
 			if e := s.table.Energy[i][col]; best < 0 || e < bestE {
@@ -283,7 +384,7 @@ func (s *Scheduler) selectSubNet(q Query, pol Policy, col int) (idx int, feasibl
 			if s.table.SubNets[i].Accuracy < q.MinAccuracy {
 				continue
 			}
-			if lat := s.table.Lookup(i, col); best < 0 || lat < bestLat {
+			if lat := s.table.LookupBatch(i, col, n); best < 0 || lat < bestLat {
 				best, bestLat = i, lat
 			}
 		}
@@ -299,7 +400,7 @@ func (s *Scheduler) selectSubNet(q Query, pol Policy, col int) (idx int, feasibl
 			if s.table.SubNets[i].Accuracy < q.MinAccuracy {
 				continue
 			}
-			if lat := s.table.Lookup(i, col); best < 0 || lat < bestLat {
+			if lat := s.table.LookupBatch(i, col, n); best < 0 || lat < bestLat {
 				best, bestLat = i, lat
 			}
 		}
@@ -312,7 +413,7 @@ func (s *Scheduler) selectSubNet(q Query, pol Policy, col int) (idx int, feasibl
 		// SubNet when the constraint is unsatisfiable.
 		best, bestAcc := -1, 0.0
 		for i := 0; i < s.table.Rows(); i++ {
-			if s.table.Lookup(i, col) > q.MaxLatency {
+			if s.table.LookupBatch(i, col, n) > q.MaxLatency {
 				continue
 			}
 			if acc := s.table.SubNets[i].Accuracy; best < 0 || acc > bestAcc {
@@ -322,7 +423,7 @@ func (s *Scheduler) selectSubNet(q Query, pol Policy, col int) (idx int, feasibl
 		if best >= 0 {
 			return best, true
 		}
-		return s.argminLatency(col), false
+		return s.argminLatencyBatch(col, n), false
 	}
 }
 
@@ -336,10 +437,10 @@ func (s *Scheduler) argmaxAccuracy() int {
 	return best
 }
 
-func (s *Scheduler) argminLatency(col int) int {
+func (s *Scheduler) argminLatencyBatch(col, n int) int {
 	best := 0
 	for i := 1; i < s.table.Rows(); i++ {
-		if s.table.Lookup(i, col) < s.table.Lookup(best, col) {
+		if s.table.LookupBatch(i, col, n) < s.table.LookupBatch(best, col, n) {
 			best = i
 		}
 	}

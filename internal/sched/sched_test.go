@@ -566,3 +566,142 @@ func TestQueryDebit(t *testing.T) {
 		t.Errorf("negative wait changed budget to %g", d.MaxLatency)
 	}
 }
+
+// TestScheduleBatchSingletonIdentical: a batch of one must make exactly
+// the decision (and the same state mutation) Schedule makes — the
+// bit-identity anchor the simq engine's B=1 path relies on.
+func TestScheduleBatchSingletonIdentical(t *testing.T) {
+	tab := buildTable(t)
+	mk := func() *Scheduler {
+		s, err := New(tab, Options{Policy: StrictLatency, Q: 3, StateAware: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 40; i++ {
+		q := Query{ID: i, MaxLatency: tab.Lookup(rng.Intn(tab.Rows()), 0) * (0.8 + rng.Float64())}
+		da, err := a.Schedule(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := b.ScheduleBatch([]Query{q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if da != db {
+			t.Fatalf("query %d: Schedule %+v != ScheduleBatch %+v", i, da, db)
+		}
+		if a.CacheColumn() != b.CacheColumn() || a.Served() != b.Served() {
+			t.Fatalf("query %d: scheduler state diverged", i)
+		}
+	}
+}
+
+// TestScheduleBatchTightestMember: the batched decision must honour the
+// tightest member constraints with the BATCHED latency model — a batch
+// whose members individually afford a large SubNet may have to drop to
+// a smaller one, because n members share one pass.
+func TestScheduleBatchTightestMember(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictLatency, Q: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := s.CacheColumn()
+	top := tab.Rows() - 1
+	// A budget that fits the top SubNet solo but not a batch of 8.
+	budget := tab.Lookup(top, col) * 1.05
+	qs := make([]Query, 8)
+	for i := range qs {
+		qs[i] = Query{ID: i, MaxLatency: budget}
+	}
+	solo, err := s.PeekBatch(qs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.SubNet != top || !solo.Feasible {
+		t.Fatalf("solo peek picked %d (feasible=%v), want top %d", solo.SubNet, solo.Feasible, top)
+	}
+	batched, err := s.PeekBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Feasible {
+		if batched.SubNet >= top {
+			t.Errorf("batch of 8 still picked row %d; batched latency should forbid the top SubNet", batched.SubNet)
+		}
+		if batched.PredictedLatency > budget {
+			t.Errorf("feasible batch predicted %g > budget %g", batched.PredictedLatency, budget)
+		}
+	}
+	if got, want := batched.PredictedLatency, tab.LookupBatch(batched.SubNet, col, 8); got != want {
+		t.Errorf("batch PredictedLatency %g != LookupBatch %g", got, want)
+	}
+	// Tightest member: one strict member tightens the whole batch.
+	mixed := make([]Query, 4)
+	for i := range mixed {
+		mixed[i] = Query{ID: i, MaxLatency: budget * 100}
+	}
+	mixed[2].MaxLatency = tab.LookupBatch(0, col, 4) * 1.01 // only the smallest SubNet fits
+	d, err := s.PeekBatch(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Feasible && d.PredictedLatency > mixed[2].MaxLatency {
+		t.Errorf("batch ignored its tightest member: predicted %g > %g", d.PredictedLatency, mixed[2].MaxLatency)
+	}
+}
+
+// TestScheduleBatchMixedPolicies: members with different effective
+// policies cannot share a pass.
+func TestScheduleBatchMixedPolicies(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictLatency, Q: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := StrictAccuracy
+	qs := []Query{{ID: 0, MaxLatency: 1}, {ID: 1, MaxLatency: 1, Policy: &acc}}
+	if _, err := s.ScheduleBatch(qs); err == nil {
+		t.Error("mixed-policy batch accepted")
+	}
+	if _, err := s.ScheduleBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if s.Served() != 0 {
+		t.Errorf("failed batch consumed %d queries", s.Served())
+	}
+}
+
+// TestScheduleBatchCountsMembers: a batch of n advances the Q-periodic
+// cache window by n queries, exactly as n sequential serves of the same
+// SubNet would.
+func TestScheduleBatchCountsMembers(t *testing.T) {
+	tab := buildTable(t)
+	s, err := New(tab, Options{Policy: StrictAccuracy, Q: 4, StateAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]Query, 6)
+	for i := range qs {
+		qs[i] = Query{ID: i, MinAccuracy: tab.SubNets[tab.Rows()-1].Accuracy}
+	}
+	d, err := s.ScheduleBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Served() != 6 {
+		t.Errorf("batch of 6 counted as %d served", s.Served())
+	}
+	// 6 observations of the top SubNet cross the Q=4 boundary once; the
+	// window is pure top-SubNet, so the update targets its nearest graph.
+	if d.CacheUpdate < 0 {
+		t.Error("batch crossing a Q boundary emitted no cache update")
+	}
+	if d.CacheUpdate >= 0 && d.CacheUpdate != s.CacheColumn() {
+		t.Errorf("decision column %d != scheduler belief %d", d.CacheUpdate, s.CacheColumn())
+	}
+}

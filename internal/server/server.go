@@ -12,9 +12,12 @@
 //
 //	POST /v1/serve        one query; per-request policy and deadline_ms
 //	POST /v1/serve/batch  NDJSON stream of queries in, NDJSON out
-//	POST /v1/simulate     open-loop virtual-time simulation (simq engine)
+//	POST /v1/simulate     open-loop virtual-time simulation (simq engine;
+//	                      max_batch/batch_window_ms drive the micro-batch
+//	                      former)
 //	GET  /v1/replicas     per-replica hardware, cache state (column +
-//	                      re-cache stats), queue depth, hit ratio
+//	                      re-cache stats), queue depth, hit ratio, batch
+//	                      occupancy
 //	GET  /v1/frontier     servable SubNets
 //	GET  /v1/cache        replica 0's Persistent Buffer state
 //	GET  /v1/stats        cluster-wide aggregates
@@ -291,6 +294,13 @@ type SimulateRequest struct {
 	// random router.
 	Router     string `json:"router"`
 	RouterSeed int64  `json:"router_seed"`
+	// MaxBatch and BatchWindowMS configure the virtual-time batch
+	// former: up to max_batch same-SubNet queries share one accelerator
+	// pass (weights fetched once), waiting at most batch_window_ms
+	// virtual milliseconds for the batch to fill. Both zero inherits the
+	// deployment's -batch policy; max_batch 1 forces an unbatched run.
+	MaxBatch      int     `json:"max_batch"`
+	BatchWindowMS float64 `json:"batch_window_ms"`
 }
 
 // maxSimulateQueries caps one /v1/simulate stream. The engine runs the
@@ -406,6 +416,10 @@ type SimulateResponse struct {
 	AvgAccuracy    float64 `json:"avg_accuracy"`
 	CacheSwaps     int     `json:"cache_swaps"`
 	ReplicaQueries []int   `json:"replica_queries"`
+	// Batch occupancy of the run (zero when the batch former was off).
+	Batches      int     `json:"batches"`
+	AvgBatchSize float64 `json:"avg_batch_size"`
+	MaxBatchSize int     `json:"max_batch_size"`
 }
 
 // handleSimulate runs an open-loop virtual-time simulation on the
@@ -445,12 +459,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.MaxBatch < 0 || req.BatchWindowMS < 0 {
+		httpError(w, http.StatusBadRequest, "max_batch and batch_window_ms must be non-negative")
+		return
+	}
 	eng, err := simq.FromCluster(s.dep.Cluster, simq.Options{
 		QueueCap:  req.Queue,
 		Admission: adm,
 		LoadAware: req.LoadAware,
 		Drop:      req.Drop,
 		Router:    router,
+		Batching: simq.ResolveBatching(
+			simq.Batching{MaxBatch: req.MaxBatch, Window: req.BatchWindowMS * 1e-3},
+			s.dep.Cluster.BatchPolicy()),
 	})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -483,6 +504,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		AvgAccuracy:    sum.AvgAccuracy,
 		CacheSwaps:     sum.CacheSwaps,
 		ReplicaQueries: res.ReplicaQueries,
+		Batches:        sum.Batches,
+		AvgBatchSize:   sum.AvgBatchSize,
+		MaxBatchSize:   sum.MaxBatchSize,
 	})
 }
 

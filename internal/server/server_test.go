@@ -10,8 +10,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sushi/internal/core"
+	"sushi/internal/serving"
 )
 
 func testServer(t *testing.T, replicas int, router string) *httptest.Server {
@@ -455,5 +457,87 @@ func TestSimulateDeterministicPerSeed(t *testing.T) {
 	cj, _ := json.Marshal(c)
 	if bytes.Equal(aj, cj) {
 		t.Error("different seeds produced identical simulations")
+	}
+}
+
+// TestSimulateBatching: the max_batch/batch_window_ms knobs drive the
+// virtual batch former, batch telemetry lands in the response and in
+// /v1/replicas, and malformed knobs are rejected.
+func TestSimulateBatching(t *testing.T) {
+	ts := testServer(t, 2, core.RouterLeastLoaded)
+	body := `{"queries": 80, "process": "poisson", "rate_qps": 800,
+		"max_latency_ms": 30, "load_aware": true, "drop": true, "seed": 3,
+		"max_batch": 4, "batch_window_ms": 5}`
+	resp, out := postSimulate(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Batches == 0 || out.MaxBatchSize < 2 {
+		t.Fatalf("800 qps with B=4 never batched: %+v", out)
+	}
+	if out.AvgBatchSize <= 1 || out.AvgBatchSize > 4 {
+		t.Errorf("avg batch %.2f outside (1, 4]", out.AvgBatchSize)
+	}
+	// An unbatched run on the same deployment reports no occupancy.
+	_, solo := postSimulate(t, ts, `{"queries": 20, "rate_qps": 400, "max_latency_ms": 30}`)
+	if solo.Batches != 0 {
+		t.Errorf("unbatched run reported %d batches", solo.Batches)
+	}
+	// Validation.
+	bad, _ := postSimulate(t, ts, `{"queries": 5, "rate_qps": 100, "max_batch": -1}`)
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative max_batch: status %d", bad.StatusCode)
+	}
+	bad, _ = postSimulate(t, ts, `{"queries": 5, "rate_qps": 100, "batch_window_ms": -2}`)
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative batch_window_ms: status %d", bad.StatusCode)
+	}
+}
+
+// TestBatchedDeploymentTelemetry: a deployment booted with a live batch
+// policy surfaces per-replica batch occupancy on /v1/replicas (every
+// live serve passes the batch former, so even solo flushes count), and
+// /v1/simulate inherits the deployment's B/W as its default former.
+func TestBatchedDeploymentTelemetry(t *testing.T) {
+	dep, err := core.DeployCluster(
+		core.DeployOptions{Workload: core.MobileNetV3},
+		core.ClusterOptions{Replicas: 1,
+			Batch: &serving.BatchPolicy{MaxBatch: 4, Window: time.Millisecond}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(dep))
+	t.Cleanup(ts.Close)
+	for i := 0; i < 3; i++ {
+		resp, _ := postServe(t, ts, `{"min_accuracy": 60}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("serve %d: status %d", i, resp.StatusCode)
+		}
+	}
+	rr, err := http.Get(ts.URL + "/v1/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reps []ReplicaEntry
+	if err := json.NewDecoder(rr.Body).Decode(&reps); err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if len(reps) != 1 || reps[0].Batches == 0 {
+		t.Fatalf("batched deployment reported no flushes: %+v", reps)
+	}
+	if reps[0].AvgBatchSize < 1 || reps[0].MaxBatchSize < 1 {
+		t.Errorf("implausible occupancy: %+v", reps[0])
+	}
+	// Simulate with no explicit knobs inherits the deployment policy.
+	_, sim := postSimulate(t, ts, `{"queries": 60, "rate_qps": 2000, "max_latency_ms": 50, "seed": 3}`)
+	if sim.Batches == 0 || sim.MaxBatchSize < 2 {
+		t.Errorf("simulate did not inherit the deployment batch former: %+v", sim)
+	}
+	// max_batch 1 forces an unbatched run despite the deployment policy.
+	_, solo := postSimulate(t, ts, `{"queries": 20, "rate_qps": 2000, "max_latency_ms": 50, "max_batch": 1}`)
+	if solo.Batches != 0 {
+		t.Errorf("max_batch 1 still batched: %+v", solo)
 	}
 }

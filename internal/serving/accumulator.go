@@ -107,6 +107,25 @@ type Accumulator struct {
 	spanSet          bool
 	minArrival       float64
 	maxFinish        float64
+
+	// Batch occupancy (fed by ObserveBatch; zero when micro-batching is
+	// off): batches counts accelerator passes, sumBatch their total
+	// member count, maxBatch the largest flush.
+	batches, sumBatch, maxBatch int
+}
+
+// ObserveBatch records one micro-batch flush of n members (n = 1 for a
+// solo serve when batching is enabled). Callers fold it once per
+// accelerator pass, alongside the per-member Add/AddTimed calls.
+func (a *Accumulator) ObserveBatch(n int) {
+	if n <= 0 {
+		return
+	}
+	a.batches++
+	a.sumBatch += n
+	if n > a.maxBatch {
+		a.maxBatch = n
+	}
 }
 
 // Add folds one closed-loop outcome.
@@ -181,6 +200,11 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	a.sumE2E += b.sumE2E
 	a.sumQueue += b.sumQueue
 	a.e2e.merge(&b.e2e)
+	a.batches += b.batches
+	a.sumBatch += b.sumBatch
+	if b.maxBatch > a.maxBatch {
+		a.maxBatch = b.maxBatch
+	}
 	if b.spanSet {
 		if !a.spanSet || b.minArrival < a.minArrival {
 			a.minArrival = b.minArrival
@@ -250,6 +274,11 @@ func (a *Accumulator) Summary() Summary {
 		if span := a.maxFinish - a.minArrival; a.spanSet && span > 0 {
 			s.Goodput = float64(a.e2eMet) / span
 		}
+	}
+	if a.batches > 0 {
+		s.Batches = a.batches
+		s.AvgBatchSize = float64(a.sumBatch) / float64(a.batches)
+		s.MaxBatchSize = a.maxBatch
 	}
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sushi/internal/sched"
 )
@@ -21,6 +22,11 @@ type Cluster struct {
 	router Router
 	// mu serializes routing decisions (router state + reservation).
 	mu sync.Mutex
+	// batch is the live micro-batching policy; batchers (one per
+	// replica, non-nil only while batching is enabled) group concurrent
+	// Serve calls into shared accelerator passes.
+	batch    BatchPolicy
+	batchers []*liveBatcher
 }
 
 // NewCluster builds a cluster over the given systems. A nil router
@@ -41,6 +47,32 @@ func NewCluster(systems []*System, router Router) (*Cluster, error) {
 	}
 	return &Cluster{reps: reps, router: router}, nil
 }
+
+// EnableBatching turns on live-path micro-batching with the given
+// policy: concurrent Serve calls routed to the same replica within the
+// policy's window are grouped — by the SubNet they would be served —
+// into one batched accelerator pass that fetches the shared weights
+// once. Call before serving begins (it is not synchronized with
+// in-flight dispatch); a non-Enabled policy switches batching off.
+func (c *Cluster) EnableBatching(pol BatchPolicy) error {
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	c.batch = pol
+	if !pol.Enabled() {
+		c.batchers = nil
+		return nil
+	}
+	c.batchers = make([]*liveBatcher, len(c.reps))
+	for i, rep := range c.reps {
+		c.batchers[i] = newLiveBatcher(rep, pol)
+	}
+	return nil
+}
+
+// BatchPolicy returns the live micro-batching policy (zero value when
+// batching is off).
+func (c *Cluster) BatchPolicy() BatchPolicy { return c.batch }
 
 // Replicas exposes the cluster members (for views and direct serving).
 func (c *Cluster) Replicas() []*Replica { return c.reps }
@@ -64,9 +96,44 @@ func (c *Cluster) route(q sched.Query) *Replica {
 	return rep
 }
 
-// Serve routes one query to a replica and serves it there.
+// Serve routes one query to a replica and serves it there. With
+// micro-batching enabled (EnableBatching), the query first passes the
+// replica's batch former: concurrent callers landing on the same
+// replica within the batching window share one accelerator pass when
+// they resolve to the same SubNet. Context deadlines tighten the
+// latency budget at submit time (the ServeContext convention) and
+// cancellation abandons the wait — the batch former then skips the
+// query at flush.
 func (c *Cluster) Serve(ctx context.Context, q sched.Query) (Served, error) {
-	return c.route(q).serve(ctx, q)
+	rep := c.route(q)
+	if c.batchers == nil {
+		return rep.serve(ctx, q)
+	}
+	if err := ctx.Err(); err != nil {
+		rep.done()
+		return Served{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl).Seconds()
+		if remain <= 0 {
+			rep.done()
+			return Served{}, context.DeadlineExceeded
+		}
+		if q.MaxLatency <= 0 || remain < q.MaxLatency {
+			q.MaxLatency = remain
+		}
+	}
+	p := c.batchers[rep.ID()].submit(q)
+	select {
+	case out := <-p.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The flusher observes the cancellation and releases the
+		// reservation; if the flush already started, the result is
+		// simply discarded (done is buffered).
+		close(p.cancelled)
+		return Served{}, ctx.Err()
+	}
 }
 
 // ServeAll serves a closed-loop stream across the cluster: every query

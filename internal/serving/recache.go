@@ -186,6 +186,22 @@ func (rc *recacheState) advise(sys *System) (int, bool) {
 // The caller owns the replica lock.
 func (rc *recacheState) maybeRecache(sys *System, q sched.Query) (float64, bool) {
 	rc.observe(q)
+	return rc.adviseAndEnact(sys)
+}
+
+// maybeRecacheBatch folds a whole served micro-batch into the window and
+// runs the advisor ONCE: a batch flush charges at most one re-cache,
+// however many Cooldown boundaries its members span. The caller owns
+// the replica lock.
+func (rc *recacheState) maybeRecacheBatch(sys *System, qs []sched.Query) (float64, bool) {
+	for _, q := range qs {
+		rc.observe(q)
+	}
+	return rc.adviseAndEnact(sys)
+}
+
+// adviseAndEnact runs the advisor and, on advice, switches the cache.
+func (rc *recacheState) adviseAndEnact(sys *System) (float64, bool) {
 	col, ok := rc.advise(sys)
 	if !ok {
 		return 0, false

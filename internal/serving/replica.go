@@ -103,6 +103,24 @@ func (r *Replica) predicted(q sched.Query) (float64, bool) {
 	return d.PredictedLatency, d.Feasible
 }
 
+// ScheduledSubNet is the batch former's compatibility key: the table
+// row the scheduler would serve for q against the replica's last
+// published cache column (-1 when q cannot be scheduled at all).
+// Queries that resolve to the same row can share one batched
+// accelerator pass — they read the same weights. Lock-free like
+// AffinityScore, so batch formers may call it while the replica serves.
+func (r *Replica) ScheduledSubNet(q sched.Query) int {
+	snap := r.cache.Load()
+	if snap == nil {
+		return -1
+	}
+	d, err := r.sys.Scheduler().PeekAt(q, snap.col)
+	if err != nil {
+		return -1
+	}
+	return d.SubNet
+}
+
 // EnableRecache turns on the replica's cache-management layer with the
 // given policy (zero-valued fields select defaults): the replica starts
 // tracking its served query mix and re-caches when a different cache
@@ -220,6 +238,63 @@ func (r *Replica) Serve(ctx context.Context, q sched.Query) (Served, error) {
 	return r.serve(ctx, q)
 }
 
+// serveReserved serves one already-reserved query without a context —
+// the live batcher's solo path (deadline tightening happened at submit
+// time, before the query entered the batch former). It counts as a
+// flush of one toward the batch-occupancy stats.
+func (r *Replica) serveReserved(q sched.Query) (Served, error) {
+	defer r.depth.Add(-1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, err := r.sys.Serve(q)
+	if err != nil {
+		return Served{}, err
+	}
+	if r.rec != nil {
+		if cost, switched := r.rec.maybeRecache(r.sys, q); switched {
+			res.Recached = true
+			r.sys.chargeSwap(cost)
+		}
+	}
+	r.acc.Add(res)
+	r.acc.ObserveBatch(1)
+	if res.CacheSwapped || res.Recached {
+		r.publishCache()
+	}
+	return res, nil
+}
+
+// serveBatchReserved serves one already-reserved micro-batch on the
+// live path: one ServeBatch pass under the replica lock, at most one
+// window-driven re-cache after it (cost charged to the next query under
+// ChargeSwapLatency, the closed-loop convention), per-member outcomes
+// folded into the accumulator plus one batch-occupancy observation.
+func (r *Replica) serveBatchReserved(qs []sched.Query) ([]Served, error) {
+	defer r.depth.Add(-int64(len(qs)))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs, err := r.sys.ServeBatch(qs)
+	if err != nil {
+		return nil, err
+	}
+	recached := false
+	if r.rec != nil {
+		if cost, switched := r.rec.maybeRecacheBatch(r.sys, qs); switched {
+			recached = true
+			rs[len(rs)-1].Recached = true
+			r.sys.chargeSwap(cost)
+		}
+	}
+	for _, res := range rs {
+		r.acc.Add(res)
+	}
+	r.acc.ObserveBatch(len(qs))
+	if recached || rs[len(rs)-1].CacheSwapped {
+		r.publishCache()
+	}
+	return rs, nil
+}
+
 // Reserve marks one routed-but-unfinished query against the replica's
 // queue depth; Release undoes it. The simq engine uses the pair to
 // expose *virtual* queue depth to routers while it serializes service
@@ -269,4 +344,50 @@ func (r *Replica) ServeVirtual(q, offered sched.Query, degrade bool) (Served, er
 		r.publishCache()
 	}
 	return res, nil
+}
+
+// ServeBatchVirtual serves one micro-batch at a virtual instant on
+// behalf of the simq engine — the batched counterpart of ServeVirtual:
+// one accelerator pass through System.ServeBatch (weights fetched once,
+// members share the batch's total Latency), queue-depth and accumulator
+// bookkeeping left to the caller. offered carries the queries as they
+// arrived (before load-aware debiting and degrade rewrites) for the
+// cache-management layer's window; a flush charges AT MOST ONE re-cache
+// — the advisor runs once, after the whole batch. With degrade set,
+// every member is served by the fastest SubNet reachable under the
+// replica's current cache column (the batch former never mixes degraded
+// and regular queries).
+func (r *Replica) ServeBatchVirtual(qs, offered []sched.Query, degrade bool) ([]Served, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if degrade {
+		pol := sched.StrictLatency
+		budget := r.sys.fastestBudget()
+		rewritten := make([]sched.Query, len(qs))
+		for i, q := range qs {
+			q.MinAccuracy = 0
+			q.MaxLatency = budget
+			q.Policy = &pol
+			rewritten[i] = q
+		}
+		qs = rewritten
+	}
+	rs, err := r.sys.ServeBatch(qs)
+	if err != nil {
+		return nil, err
+	}
+	recached := false
+	if r.rec != nil {
+		if cost, switched := r.rec.maybeRecacheBatch(r.sys, offered); switched {
+			recached = true
+			// Marked on the last member, mirroring the CacheSwapped
+			// convention: the switch follows the batch.
+			rs[len(rs)-1].Recached = true
+			r.rec.pendingSec += cost
+		}
+	}
+	if recached || rs[len(rs)-1].CacheSwapped {
+		r.publishCache()
+	}
+	return rs, nil
 }

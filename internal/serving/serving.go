@@ -117,6 +117,11 @@ type Served struct {
 	// cost is charged separately: to virtual time by the simq engine, or
 	// to the next query under Options.ChargeSwapLatency on the live path).
 	Recached bool
+	// Batch is the micro-batch size this query was served in: n > 1 means
+	// the query shared one accelerator pass (weights fetched once) with
+	// n-1 other queries and Latency is the batch's total service time.
+	// 0 and 1 both mean a solo serve.
+	Batch int
 	// HitRatio is the Appendix A.4 metric: ||SN ∩ G||2 / ||SN||2.
 	HitRatio float64
 	// HitBytes is the weight traffic served from the PB.
@@ -344,6 +349,81 @@ func (s *System) Serve(q sched.Query) (Served, error) {
 			return Served{}, err
 		}
 		out.CacheSwapped = true
+		if s.opt.ChargeSwapLatency {
+			s.pendingSwapSec += float64(prevFillBytes) / s.opt.Accel.OffChipBW
+		}
+	}
+	return out, nil
+}
+
+// ServeBatch runs a micro-batch of queries through the stack as ONE
+// accelerator pass: SushiSched picks the SubNet the whole batch can
+// afford under the tightest member constraints (batched SushiAbs
+// lookup), SushiAccel serves all members together — weights fetched
+// once, per-item compute and activation traffic per member — and every
+// member's Served carries the batch's total Latency (members share
+// start and finish; there is no intra-batch ordering). Weight-traffic
+// aggregates (HitBytes) and off-chip energy are batch-level quantities
+// charged to the FIRST member so stream sums stay physical; HitRatio,
+// being a ratio, repeats on every member. A batch of one is exactly
+// Serve. Like Serve, a Q-boundary cache update is enacted after the
+// batch for subsequent queries (at most one enactment per batch — the
+// last boundary crossed wins).
+func (s *System) ServeBatch(qs []sched.Query) ([]Served, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("serving: empty batch")
+	}
+	if len(qs) == 1 {
+		r, err := s.Serve(qs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Served{r}, nil
+	}
+	d, err := s.schd.ScheduleBatch(qs)
+	if err != nil {
+		return nil, err
+	}
+	sn := s.table.SubNets[d.SubNet]
+	rep, err := s.sim.ServeBatch(sn, len(qs))
+	if err != nil {
+		return nil, err
+	}
+	lat := rep.Total()
+	if s.opt.ChargeSwapLatency {
+		lat += s.pendingSwapSec
+		s.pendingSwapSec = 0
+	}
+	var hitRatio float64
+	if cached := s.sim.Cached(); cached != nil {
+		hitRatio = supernet.Overlap(sn.Graph, cached)
+	}
+	out := make([]Served, len(qs))
+	for i, q := range qs {
+		out[i] = Served{
+			Query:       q,
+			SubNet:      sn.Name,
+			Row:         d.SubNet,
+			Latency:     lat,
+			Accuracy:    sn.Accuracy,
+			Feasible:    d.Feasible,
+			LatencyMet:  lat <= q.MaxLatency,
+			AccuracyMet: sn.Accuracy >= q.MinAccuracy,
+			HitRatio:    hitRatio,
+			Batch:       len(qs),
+		}
+	}
+	out[0].HitBytes = rep.HitBytes
+	out[0].OffChipEnergyJ = rep.OffChipEnergyJ
+	if d.CacheUpdate >= 0 {
+		g := s.table.Graphs[d.CacheUpdate]
+		prevFillBytes := s.sim.FillBytes(g)
+		if err := s.sim.SetCached(g); err != nil {
+			return nil, err
+		}
+		// The boundary-crossing member (the last one) carries the swap
+		// marker; the fill itself happens once, after the batch.
+		out[len(out)-1].CacheSwapped = true
 		if s.opt.ChargeSwapLatency {
 			s.pendingSwapSec += float64(prevFillBytes) / s.opt.Accel.OffChipBW
 		}

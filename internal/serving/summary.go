@@ -51,6 +51,15 @@ type Summary struct {
 	// Goodput is SLO-attaining completions per second of virtual time
 	// (the arrival-to-last-finish span).
 	Goodput float64
+
+	// Batch occupancy, populated only when the serving path micro-batches
+	// (Accumulator.ObserveBatch); all zero otherwise. Batches counts
+	// accelerator passes, AvgBatchSize the mean members per pass (1 means
+	// batching was on but every flush went out solo), MaxBatchSize the
+	// largest flush.
+	Batches      int
+	AvgBatchSize float64
+	MaxBatchSize int
 }
 
 // Summarize folds a served stream into a Summary.

@@ -2,11 +2,17 @@ package serving
 
 import "sushi/internal/sched"
 
-// Timed serving data types. The queueing semantics themselves — FIFO
-// arrival-order service, bounded queues, admission control, load-aware
-// budget debiting — live in exactly one place: the virtual-time
-// discrete-event engine in internal/simq. simq.ServeTimed is the
-// single-replica entry point that replaced System.ServeTimed.
+// Timed serving data types — the ONE authoritative note on where
+// open-loop queueing lives. This file defines only the data shapes
+// (TimedQuery in, TimedServed out, TimedOptions/TimedSummary); the
+// queueing semantics themselves — FIFO arrival-order service, bounded
+// queues, admission control, load-aware budget debiting, and the
+// micro-batch former (flush on full batch or window expiry) — live in
+// exactly one place: the virtual-time discrete-event engine in
+// internal/simq. Single-replica callers enter through simq.ServeTimed,
+// clusters through simq.New/FromCluster + Run (surfaced publicly as
+// sushi.System.ServeTimed and sushi.Cluster.Simulate). There is no
+// wall-clock queueing loop anywhere in this package.
 
 // TimedQuery is a query with an arrival time (seconds since stream start).
 type TimedQuery struct {
@@ -30,7 +36,11 @@ type TimedServed struct {
 	Dropped bool
 }
 
-// TimedOptions controls the queueing discipline.
+// TimedOptions is the single-replica (simq.ServeTimed) subset of the
+// engine's queueing discipline: an unbounded FIFO with optional budget
+// debiting and deadline drops. The full surface — bounded queues,
+// admission policies, routers, the micro-batch former's B and W — is
+// simq.Options; cluster callers use it directly.
 type TimedOptions struct {
 	// LoadAware shrinks each query's effective latency budget by the
 	// time it already waited (sched.Query.Debit), so the scheduler picks

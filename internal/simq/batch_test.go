@@ -1,0 +1,208 @@
+package simq
+
+import (
+	"math"
+	"testing"
+
+	"sushi/internal/serving"
+)
+
+// batchRun plays one Poisson overload stream through a fresh 2-replica
+// cluster with the given batch former.
+func batchRun(t *testing.T, b Batching, n int, rateFactor float64) *Result {
+	t.Helper()
+	reps := newReplicas(t, 2)
+	var budget float64
+	reps[0].Inspect(func(sys *serving.System) { budget = latHi(sys) * 1.1 })
+	capacity := float64(len(reps)) / budget
+	eng, err := New(reps, Options{
+		LoadAware: true,
+		Drop:      true,
+		Router:    serving.NewLeastLoaded(),
+		Batching:  b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SLO budget leaves room for a full batch (weights once + B
+	// items), so batching trades per-query latency for goodput inside
+	// the budget rather than past it.
+	qs := timedStream(t, n, capacity*rateFactor, budget*4)
+	res, err := eng.Run(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sameOutcomes compares two outcome streams field by field (the policy
+// pointer by value).
+func sameOutcomes(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("%s: outcome counts differ: %d vs %d", label, len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		x, y := a.Outcomes[i], b.Outcomes[i]
+		px, py := x.Query.Policy, y.Query.Policy
+		if (px == nil) != (py == nil) || (px != nil && *px != *py) {
+			t.Fatalf("%s: outcome %d policy differs", label, i)
+		}
+		x.Query.Policy, y.Query.Policy = nil, nil
+		if x != y {
+			t.Fatalf("%s: outcome %d differs:\n%+v\n%+v", label, i, x, y)
+		}
+	}
+	if a.Summary != b.Summary {
+		t.Errorf("%s: summaries differ:\n%+v\n%+v", label, a.Summary, b.Summary)
+	}
+}
+
+// TestBatchingDisabledBitIdentical is the refactor's safety property:
+// B=1 (whatever the window) and W=0 (whatever the batch size) must
+// reproduce the unbatched engine bit for bit, per seed — the flush-event
+// loop degenerates to the classic start-next event.
+func TestBatchingDisabledBitIdentical(t *testing.T) {
+	base := batchRun(t, Batching{}, 120, 2.5)
+	sameOutcomes(t, "B=1,W>0", base, batchRun(t, Batching{MaxBatch: 1, Window: 0.05}, 120, 2.5))
+	sameOutcomes(t, "B=8,W=0", base, batchRun(t, Batching{MaxBatch: 8, Window: 0}, 120, 2.5))
+	for _, o := range base.Outcomes {
+		if !o.Dropped && o.Batch != 1 {
+			t.Fatalf("unbatched engine reported batch size %d", o.Batch)
+		}
+	}
+	if base.Summary.Batches != 0 || base.Summary.AvgBatchSize != 0 {
+		t.Errorf("unbatched engine reported occupancy stats: %+v", base.Summary)
+	}
+}
+
+// TestBatchedDeterminism: identical seeds over fresh deployments give
+// bit-identical batched runs.
+func TestBatchedDeterminism(t *testing.T) {
+	b := Batching{MaxBatch: 4, Window: 0.01}
+	sameOutcomes(t, "batched", batchRun(t, b, 120, 2.5), batchRun(t, b, 120, 2.5))
+}
+
+// TestBatchedVirtualTimeExact is property (a) of the batching model:
+// every member of a flush shares Start and Finish, Finish - Start is
+// exactly the batch's service latency (every member's Served.Latency is
+// the batch total), the members of one flush agree on SubNet and batch
+// size, and the recorded size matches the actual group size.
+func TestBatchedVirtualTimeExact(t *testing.T) {
+	res := batchRun(t, Batching{MaxBatch: 8, Window: 0.02}, 160, 3)
+	type flushKey struct {
+		replica int
+		start   float64
+	}
+	groups := map[flushKey][]Outcome{}
+	for _, o := range res.Outcomes {
+		if o.Dropped {
+			continue
+		}
+		if got := o.Finish - o.Start; math.Abs(got-o.Latency) > 1e-12 {
+			t.Fatalf("query %d: Finish-Start %g != Latency %g", o.Query.ID, got, o.Latency)
+		}
+		if o.Batch < 1 || o.Batch > 8 {
+			t.Fatalf("query %d: batch size %d outside [1, 8]", o.Query.ID, o.Batch)
+		}
+		groups[flushKey{o.Replica, o.Start}] = append(groups[flushKey{o.Replica, o.Start}], o)
+	}
+	sawMulti := false
+	for k, g := range groups {
+		head := g[0]
+		if len(g) != head.Batch {
+			t.Fatalf("flush %+v: %d members but batch size %d", k, len(g), head.Batch)
+		}
+		if head.Batch > 1 {
+			sawMulti = true
+		}
+		recaches := 0
+		for _, o := range g {
+			if o.Finish != head.Finish || o.Batch != head.Batch {
+				t.Fatalf("flush %+v: members disagree on finish/batch", k)
+			}
+			if o.SubNet != head.SubNet {
+				t.Fatalf("flush %+v: mixed SubNets %q and %q in one pass", k, o.SubNet, head.SubNet)
+			}
+			if o.RecacheSec > 0 {
+				recaches++
+			}
+		}
+		if recaches > 1 {
+			t.Fatalf("flush %+v charged %d re-caches; at most one allowed", k, recaches)
+		}
+	}
+	if !sawMulti {
+		t.Fatal("3x overload with B=8 produced no multi-query batch")
+	}
+	if res.Summary.Batches == 0 || res.Summary.AvgBatchSize <= 1 || res.Summary.MaxBatchSize < 2 {
+		t.Errorf("occupancy stats implausible under overload: %+v", res.Summary)
+	}
+	// Occupancy consistency: members sum to served queries.
+	if got := int(res.Summary.AvgBatchSize*float64(res.Summary.Batches) + 0.5); got != res.Served {
+		t.Errorf("occupancy members %d != served %d", got, res.Served)
+	}
+}
+
+// TestBatchingImprovesGoodput is the acceptance criterion: at a fixed
+// offered load beyond unbatched capacity, micro-batching amortizes the
+// dominant weight traffic and goodput strictly increases with B > 1.
+func TestBatchingImprovesGoodput(t *testing.T) {
+	solo := batchRun(t, Batching{}, 160, 2.5)
+	for _, b := range []int{2, 4, 8} {
+		batched := batchRun(t, Batching{MaxBatch: b, Window: 0.02}, 160, 2.5)
+		t.Logf("B=%d: goodput %.1f qps (solo %.1f), p99 %.2f ms (solo %.2f), avg batch %.2f",
+			b, batched.Summary.Goodput, solo.Summary.Goodput,
+			batched.Summary.P99E2E*1e3, solo.Summary.P99E2E*1e3, batched.Summary.AvgBatchSize)
+		if batched.Summary.Goodput <= solo.Summary.Goodput {
+			t.Errorf("B=%d goodput %.2f qps not above unbatched %.2f qps",
+				b, batched.Summary.Goodput, solo.Summary.Goodput)
+		}
+	}
+}
+
+// TestBatchWindowBoundsFormerWait: no served query may wait on an IDLE
+// replica longer than the window — the former's deadline is hard. (A
+// busy replica can of course impose arbitrary queueing delay on top;
+// this is checked at light load where the replica idles between
+// flushes.)
+func TestBatchWindowBoundsFormerWait(t *testing.T) {
+	const window = 0.02
+	res := batchRun(t, Batching{MaxBatch: 8, Window: window}, 60, 0.3)
+	for _, o := range res.Outcomes {
+		if o.Dropped {
+			continue
+		}
+		// At 0.3x capacity the replica is idle when most queries arrive:
+		// their start must come within window (+ a possible in-service
+		// pass) of arrival.
+		var maxService float64
+		if o.Latency > maxService {
+			maxService = o.Latency
+		}
+		if o.QueueDelay > window+10*maxService {
+			t.Fatalf("query %d waited %.4fs with window %.4fs at light load",
+				o.Query.ID, o.QueueDelay, window)
+		}
+	}
+	if res.Summary.Batches == 0 {
+		t.Error("no flushes recorded")
+	}
+}
+
+// TestBatchingValidation: the engine rejects malformed batch formers.
+func TestBatchingValidation(t *testing.T) {
+	reps := newReplicas(t, 1)
+	if _, err := New(reps, Options{Batching: Batching{MaxBatch: -1}}); err == nil {
+		t.Error("negative batch size accepted")
+	}
+	if _, err := New(reps, Options{Batching: Batching{MaxBatch: 2, Window: math.NaN()}}); err == nil {
+		t.Error("NaN window accepted")
+	}
+	if _, err := New(reps, Options{Batching: Batching{MaxBatch: 2, Window: math.Inf(1)}}); err == nil {
+		t.Error("+Inf window accepted")
+	}
+	if _, err := New(reps, Options{Batching: Batching{MaxBatch: 2, Window: -1}}); err == nil {
+		t.Error("negative window accepted")
+	}
+}

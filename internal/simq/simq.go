@@ -15,10 +15,19 @@
 // the serving package's accumulators, extended with p50/p95/p99
 // end-to-end latency, SLO attainment, goodput and drop counts.
 //
-// ServeTimed is the single-replica entry point that subsumed the old
-// System.ServeTimed FIFO loop; Cluster-level callers use New/FromCluster
-// + Run (surfaced publicly as sushi.Cluster.Simulate and POST
-// /v1/simulate).
+// Since the micro-batching refactor the engine's service-starting event
+// is the batch FLUSH: an idle replica with queued queries either serves
+// immediately (batching off — a flush of one, the classic start-next
+// event) or forms a batch of up to Options.Batching.MaxBatch compatible
+// queries (same scheduled SubNet, policy and degrade status), flushing
+// on full batch or window expiry. One flush is one accelerator pass:
+// weights are fetched once and members share start and finish. With
+// MaxBatch <= 1 or Window <= 0 the loop is bit-identical per seed to
+// the unbatched engine.
+//
+// ServeTimed is the single-replica entry point; cluster-level callers
+// use New/FromCluster + Run (surfaced publicly as sushi.Cluster.Simulate
+// and POST /v1/simulate).
 package simq
 
 import (
@@ -76,6 +85,42 @@ func ParseAdmission(name string) (Admission, error) {
 	}
 }
 
+// Batching configures the engine's per-replica batch former: the
+// micro-batching knobs B and W of the SubGraph-stationary batching
+// model. An idle replica with a non-empty queue forms a batch of up to
+// MaxBatch compatible queries (same scheduled SubNet, same effective
+// policy, same degrade status — queries that would read the same
+// weights), flushing on the earlier of batch-full and window expiry
+// (Window virtual seconds after the head query's arrival). A flush is
+// ONE accelerator pass: weights fetched once, members share start and
+// finish. Batching is active only when MaxBatch > 1 AND Window > 0;
+// with MaxBatch <= 1 or Window <= 0 the engine is bit-identical per
+// seed to the unbatched event loop.
+type Batching struct {
+	// MaxBatch is B, the flush size (a full batch flushes immediately).
+	MaxBatch int
+	// Window is W in virtual seconds: the longest a forming batch waits
+	// for more members, measured from the head query's arrival.
+	Window float64
+}
+
+// Enabled reports whether the knobs actually batch.
+func (b Batching) Enabled() bool { return b.MaxBatch > 1 && b.Window > 0 }
+
+// ResolveBatching is the one inheritance rule between a cluster's live
+// batch policy and a simulated run's batch former, shared by
+// sushi.Cluster.Simulate and POST /v1/simulate: an override with any
+// knob set wins (so MaxBatch 1 forces an unbatched run on a batched
+// deployment); a fully zero override inherits the deployment's enabled
+// policy, its wall-clock window carried over numerically as virtual
+// seconds.
+func ResolveBatching(override Batching, pol serving.BatchPolicy) Batching {
+	if override.MaxBatch == 0 && override.Window == 0 && pol.Enabled() {
+		return Batching{MaxBatch: pol.MaxBatch, Window: pol.Window.Seconds()}
+	}
+	return override
+}
+
 // Options configures an Engine. All times inside the engine are
 // virtual seconds; a run is deterministic given deterministic arrival
 // seeds and routers.
@@ -97,6 +142,8 @@ type Options struct {
 	// a fresh round-robin. Use a fresh router per engine — sharing one
 	// with live dispatch would race and break reproducibility.
 	Router serving.Router
+	// Batching is the per-replica batch former (zero value: off).
+	Batching Batching
 }
 
 // Reason classifies why a query was dropped.
@@ -144,8 +191,13 @@ type Outcome struct {
 	// the window-driven re-cache this query's completion triggered, 0
 	// otherwise. The cost extends the replica's busy interval — the next
 	// query on the replica starts no earlier than Finish+RecacheSec —
-	// but is excluded from this query's own E2ELatency.
+	// but is excluded from this query's own E2ELatency. A batch flush
+	// charges at most one re-cache, carried by its last member.
 	RecacheSec float64
+	// Batch is the micro-batch size the query was served in (1 for solo
+	// service, 0 for dropped queries). Members of one flush share Start
+	// and Finish: the batch is one accelerator pass.
+	Batch int
 }
 
 // Result aggregates one open-loop run.
@@ -205,6 +257,12 @@ func New(reps []*serving.Replica, opt Options) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("simq: unknown admission policy %d", int(opt.Admission))
 	}
+	if opt.Batching.MaxBatch < 0 {
+		return nil, fmt.Errorf("simq: negative batch size %d", opt.Batching.MaxBatch)
+	}
+	if w := opt.Batching.Window; math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		return nil, fmt.Errorf("simq: invalid batching window %g", opt.Batching.Window)
+	}
 	router := opt.Router
 	if router == nil {
 		router = serving.NewRoundRobin()
@@ -244,6 +302,28 @@ type replicaState struct {
 	queue  []job
 	busy   bool
 	freeAt float64
+	// flushAt is the pending batch-window expiry — the virtual instant a
+	// forming (partial) batch flushes even if it never fills. +Inf when
+	// no flush timer is armed (replica busy, queue empty, or batching
+	// off).
+	flushAt float64
+	// inFlight counts the members of the pass currently occupying the
+	// replica (1 solo, up to B batched); their reservations release
+	// together at completion.
+	inFlight int
+}
+
+// batchKey is the engine's batch-former compatibility key: two queued
+// queries may share one accelerator pass only when they would be served
+// the same SubNet (same weights) under the same effective policy and
+// degrade status.
+type batchKey struct {
+	degraded bool
+	// policy is the per-query override (-1 = replica default).
+	policy int
+	// row is the scheduled SubNet's table row (-1 = unschedulable;
+	// degraded queries all collapse to the fastest SubNet, row ignored).
+	row int
 }
 
 // Stream pairs a query stream with arrival times (seconds since stream
@@ -283,7 +363,15 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 		Router:         e.router.Name(),
 	}
 	states := make([]replicaState, len(e.reps))
+	for i := range states {
+		states[i].flushAt = math.Inf(1)
+	}
 	accs := make([]serving.Accumulator, len(e.reps))
+	batching := e.opt.Batching.Enabled()
+	maxB := e.opt.Batching.MaxBatch
+	if !batching {
+		maxB = 1
+	}
 
 	drop := func(ri int, j job, now float64, why Reason) {
 		wait := now - j.arrival
@@ -300,52 +388,147 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 		res.Outcomes[j.idx] = o
 	}
 
-	// startNext pops the replica's queue until a query enters service or
-	// the queue drains; deadline-expired queries drop on the way.
-	startNext := func(ri int, now float64) error {
+	// keyFor computes the batch-former compatibility key for a queued
+	// query as it would be served now (after load-aware debiting — that
+	// is the query the scheduler will actually see).
+	keyFor := func(ri int, j job, wait float64) batchKey {
+		k := batchKey{degraded: j.degraded, policy: -1, row: -1}
+		if j.q.Policy != nil {
+			k.policy = int(*j.q.Policy)
+		}
+		if j.degraded {
+			// Degraded queries all collapse to the fastest SubNet under
+			// the current column; any two are compatible.
+			return k
+		}
+		q := j.q
+		if e.opt.LoadAware {
+			q = q.Debit(wait)
+		}
+		k.row = e.reps[ri].ScheduledSubNet(q)
+		return k
+	}
+
+	// flush is the engine's one service-starting event: while the
+	// replica is idle and queries are queued, it either arms the batch
+	// window (partial batch, window not expired) or pops a batch —
+	// deadline-expired queries dropping on the way — and starts ONE
+	// accelerator pass for it. With batching off the batch is always a
+	// single query and the flush degenerates to the classic
+	// start-next-in-FIFO-order event, bit-identical to the pre-batching
+	// engine.
+	flush := func(ri int, now float64) error {
 		st := &states[ri]
+		st.flushAt = math.Inf(1)
 		for !st.busy && len(st.queue) > 0 {
-			j := st.queue[0]
-			st.queue = st.queue[1:]
-			wait := now - j.arrival
-			if e.opt.Drop && j.budget > 0 && j.budget-wait <= 0 {
-				e.reps[ri].Release()
-				drop(ri, j, now, ReasonDeadline)
+			// A partial batch may keep waiting for the window to fill —
+			// anchored at the head query's arrival, so no query waits on
+			// the former for more than Window.
+			if batching && len(st.queue) < maxB {
+				if deadline := st.queue[0].arrival + e.opt.Batching.Window; now < deadline {
+					st.flushAt = deadline
+					return nil
+				}
+			}
+			// Pop the batch: the longest compatible prefix, up to B.
+			// Deadline-expired queries drop as they surface, exactly as
+			// the unbatched loop dropped them at service start.
+			var batch []job
+			var headKey batchKey
+			for len(batch) < maxB && len(st.queue) > 0 {
+				j := st.queue[0]
+				wait := now - j.arrival
+				if e.opt.Drop && j.budget > 0 && j.budget-wait <= 0 {
+					st.queue = st.queue[1:]
+					e.reps[ri].Release()
+					drop(ri, j, now, ReasonDeadline)
+					continue
+				}
+				if batching {
+					key := keyFor(ri, j, wait)
+					if len(batch) == 0 {
+						headKey = key
+					} else if key != headKey {
+						break
+					}
+				}
+				st.queue = st.queue[1:]
+				batch = append(batch, j)
+			}
+			if len(batch) == 0 {
+				// Drops consumed the head; re-evaluate the window against
+				// the new head.
 				continue
 			}
-			q := j.q
-			if e.opt.LoadAware {
-				q = q.Debit(wait)
+
+			var (
+				served  []serving.Served
+				recache float64
+				err     error
+			)
+			if len(batch) == 1 {
+				// The solo path is the pre-batching serve, byte for byte.
+				j := batch[0]
+				q := j.q
+				if e.opt.LoadAware {
+					q = q.Debit(now - j.arrival)
+				}
+				var one serving.Served
+				one, err = e.reps[ri].ServeVirtual(q, j.q, j.degraded)
+				served = []serving.Served{one}
+			} else {
+				qs := make([]sched.Query, len(batch))
+				offered := make([]sched.Query, len(batch))
+				for i, j := range batch {
+					q := j.q
+					if e.opt.LoadAware {
+						q = q.Debit(now - j.arrival)
+					}
+					qs[i], offered[i] = q, j.q
+				}
+				served, err = e.reps[ri].ServeBatchVirtual(qs, offered, batch[0].degraded)
 			}
-			served, err := e.reps[ri].ServeVirtual(q, j.q, j.degraded)
 			if err != nil {
-				e.reps[ri].Release()
+				for range batch {
+					e.reps[ri].Release()
+				}
 				return err
 			}
-			// A window-driven re-cache enacted after this serve occupies
+			// A window-driven re-cache enacted after this flush occupies
 			// the accelerator for the PB fill: the switch cost extends the
-			// replica's busy interval in virtual time (the next query
-			// waits) without inflating this query's own E2E latency.
-			recache := e.reps[ri].TakeRecacheCost()
-			finish := now + served.Latency
-			e2e := finish - j.arrival
-			// SLO attainment for open-loop serving judges end-to-end
-			// time against the original budget.
-			served.LatencyMet = j.budget <= 0 || e2e <= j.budget
-			o := Outcome{
-				TimedServed: serving.TimedServed{
-					Served:  served,
-					Arrival: j.arrival, Start: now, Finish: finish,
-					QueueDelay: wait, E2ELatency: e2e,
-				},
-				Replica:    ri,
-				Degraded:   j.degraded,
-				RecacheSec: recache,
+			// replica's busy interval in virtual time (the next flush
+			// waits) without inflating any member's own E2E latency. A
+			// flush charges at most one re-cache.
+			recache = e.reps[ri].TakeRecacheCost()
+			// Every member shares the pass: one start, one finish.
+			finish := now + served[0].Latency
+			for i, j := range batch {
+				s := served[i]
+				e2e := finish - j.arrival
+				// SLO attainment for open-loop serving judges end-to-end
+				// time against the original budget.
+				s.LatencyMet = j.budget <= 0 || e2e <= j.budget
+				o := Outcome{
+					TimedServed: serving.TimedServed{
+						Served:  s,
+						Arrival: j.arrival, Start: now, Finish: finish,
+						QueueDelay: now - j.arrival, E2ELatency: e2e,
+					},
+					Replica:  ri,
+					Degraded: j.degraded,
+					Batch:    len(batch),
+				}
+				if i == len(batch)-1 {
+					o.RecacheSec = recache
+				}
+				accs[ri].AddTimed(o.TimedServed)
+				res.Outcomes[j.idx] = o
+				res.ReplicaQueries[ri]++
 			}
-			accs[ri].AddTimed(o.TimedServed)
-			res.Outcomes[j.idx] = o
-			res.ReplicaQueries[ri]++
-			st.busy, st.freeAt = true, finish+recache
+			if batching {
+				accs[ri].ObserveBatch(len(batch))
+			}
+			st.busy, st.freeAt, st.inFlight = true, finish+recache, len(batch)
 		}
 		return nil
 	}
@@ -360,20 +543,42 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 				cr, ct = i, states[i].freeAt
 			}
 		}
+		// Next batch-window expiry across idle replicas with a forming
+		// partial batch.
+		fr, ft := -1, math.Inf(1)
+		for i := range states {
+			if !states[i].busy && states[i].flushAt < ft {
+				fr, ft = i, states[i].flushAt
+			}
+		}
 		at := math.Inf(1)
 		if ai < len(ordered) {
 			at = ordered[ai].Arrival
 		}
-		if cr < 0 && math.IsInf(at, 1) {
+		if cr < 0 && fr < 0 && math.IsInf(at, 1) {
 			break
 		}
-		if cr >= 0 && ct <= at {
-			// Completions fire before arrivals at the same instant, so a
-			// query arriving exactly as the server frees starts with
-			// zero wait — matching the sequential FIFO semantics.
-			states[cr].busy = false
-			e.reps[cr].Release()
-			if err := startNext(cr, ct); err != nil {
+		if cr >= 0 && ct <= at && ct <= ft {
+			// Completions fire before window expiries and arrivals at the
+			// same instant, so a query arriving exactly as the server
+			// frees starts with zero wait — matching the sequential FIFO
+			// semantics — and a batch whose window closes as the server
+			// frees flushes with the post-completion queue.
+			st := &states[cr]
+			st.busy = false
+			for ; st.inFlight > 0; st.inFlight-- {
+				e.reps[cr].Release()
+			}
+			if err := flush(cr, ct); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if fr >= 0 && ft <= at {
+			// Window expiry before arrivals at the same instant: the
+			// partial batch flushes; a coincident arrival joins the NEXT
+			// batch (the window is a hard deadline).
+			if err := flush(fr, ft); err != nil {
 				return nil, err
 			}
 			continue
@@ -405,7 +610,7 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 		e.reps[ri].Reserve()
 		st.queue = append(st.queue, j)
 		if !st.busy {
-			if err := startNext(ri, tq.Arrival); err != nil {
+			if err := flush(ri, tq.Arrival); err != nil {
 				return nil, err
 			}
 		}
@@ -451,9 +656,9 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 }
 
 // ServeTimed runs a timed stream through a single system in arrival
-// order — the thin wrapper that replaced System.ServeTimed; FIFO,
-// non-preemptive, unbounded queue, with the TimedOptions disciplines
-// mapped onto the engine.
+// order — the single-replica entry point: FIFO, non-preemptive,
+// unbounded queue, unbatched, with the TimedOptions disciplines mapped
+// onto the engine.
 func ServeTimed(sys *serving.System, qs []serving.TimedQuery, opt serving.TimedOptions) ([]serving.TimedServed, error) {
 	eng, err := NewSingle(sys, Options{LoadAware: opt.LoadAware, Drop: opt.Drop})
 	if err != nil {

@@ -38,6 +38,14 @@
 // query mix best, with the switch cost modeled in virtual time by
 // Cluster.Simulate.
 //
+// WithBatching turns on SubGraph-stationary micro-batching, the
+// throughput lever the paper's weight-traffic analysis implies: up to B
+// queries that resolve to the same scheduled SubNet share one
+// accelerator pass — the dominant weight fetch is paid once, each
+// member only its own compute and activation traffic — waiting at most
+// W for the batch to fill. The same B/W pair drives the live Serve path
+// (wall clock) and Cluster.Simulate's virtual batch former.
+//
 // The deeper layers are available for direct use in advanced scenarios:
 // the experiment harness regenerating every figure and table of the paper
 // lives behind Experiment; the cmd/sushi-bench tool wraps it.
@@ -282,6 +290,19 @@ func ExperimentCSV(id string) (string, error) {
 	return b.String(), nil
 }
 
+// ExperimentWithMetrics regenerates an experiment and returns its
+// rendered text together with its headline metrics in machine-readable
+// form (canonical keys like "goodput_qps" and "p99_e2e_ms"; nil for
+// experiments without a scalar headline) — the hook behind sushi-bench
+// -json, which records the bench trajectory as JSON instead of prose.
+func ExperimentWithMetrics(id string) (string, map[string]float64, error) {
+	res, err := runExperiment(id)
+	if err != nil {
+		return "", nil, err
+	}
+	return res.String(), res.Metrics, nil
+}
+
 // experimentEntry couples an experiment id with its runner and default
 // workload. Experiments and runExperiment both read experimentRegistry,
 // so the advertised list and the dispatch can never diverge (the old
@@ -339,6 +360,11 @@ var experimentRegistry = []experimentEntry{
 	// re-caching under identical seeded arrivals (Table 2 / §5.4.2 at
 	// cluster scale).
 	{id: "hetero", run: func(w core.Workload) (*core.Result, error) { return core.Hetero(w, 0) }},
+	// batchsweep is the micro-batching payoff curve: goodput/p99 vs the
+	// batch former's B x W grid at fixed Poisson offered load beyond
+	// unbatched capacity (weights fetched once per batch).
+	{id: "batchsweep", workload: core.MobileNetV3,
+		run: func(w core.Workload) (*core.Result, error) { return core.BatchSweep(w, 0) }},
 }
 
 // Experiments lists the available experiment ids, in registry order.
