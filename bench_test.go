@@ -634,3 +634,60 @@ func BenchmarkHeteroSimulate(b *testing.B) {
 	b.ReportMetric(float64(recaches), "recaches/run")
 	b.ReportMetric(float64(queries), "queries/run")
 }
+
+// BenchmarkMultiTenantSimulate drives the shared two-model fleet with
+// an anti-correlated diurnal mix through the virtual-time engine — the
+// consolidation configuration of the multitenant experiment. Fresh
+// deployments per iteration keep runs identical (partitioning and
+// cache updates mutate accelerator state).
+func BenchmarkMultiTenantSimulate(b *testing.B) {
+	const queries = 400
+	budgets := map[string]float64{"resnet50": 80e-3, "mobilenetv3": 9e-3}
+	mix := Mix{}
+	for i, model := range []string{"resnet50", "mobilenetv3"} {
+		mix.Components = append(mix.Components, MixComponent{
+			Model: model,
+			Process: Diurnal{
+				BaseRate:  1.7 * (2 / (budgets[model] / 1.5)) / 2,
+				Amplitude: 1,
+				Period:    1.2,
+				Phase:     float64(i) * math.Pi,
+			},
+		})
+	}
+	times, labels, err := mix.Labeled(queries, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]TimedQuery, queries)
+	for i := range qs {
+		qs[i] = TimedQuery{
+			Query:   Query{ID: i, Model: labels[i], MaxLatency: budgets[labels[i]]},
+			Arrival: times[i],
+		}
+	}
+	var goodput float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := NewCluster(Options{Policy: StrictLatency},
+			WithModels(ResNet50, MobileNetV3),
+			WithReplicas(4),
+			WithPartition(PartitionPolicy{Mode: PartitionTraffic}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := c.Simulate(qs, SimOptions{
+			QueueCap: 3, Admission: AdmitReject, LoadAware: true, Drop: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Served == 0 {
+			b.Fatal("nothing served")
+		}
+		goodput = res.Summary.Goodput
+	}
+	b.ReportMetric(goodput, "goodput-qps")
+	b.ReportMetric(float64(queries), "queries/run")
+}

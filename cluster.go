@@ -101,6 +101,58 @@ func WithBatching(b int, window time.Duration) ClusterOption {
 	}
 }
 
+// PartitionPolicy configures how a multi-tenant fleet splits each
+// replica's shared Persistent Buffer between co-hosted models (see
+// WithPartition): Mode picks static vs traffic-weighted, Window the
+// queries between traffic rebalances.
+type PartitionPolicy = serving.PartitionPolicy
+
+// PartitionMode names a shared-PB splitting policy.
+type PartitionMode = serving.PartitionMode
+
+// Partition modes for WithPartition.
+const (
+	// PartitionStatic fixes the equal boot-time split (PB/M per model).
+	PartitionStatic = serving.PartitionStatic
+	// PartitionTraffic re-apportions PB shares to observed per-model
+	// traffic — a hot model steals cache from a cold one, enacted
+	// through the same cache-switch machinery as WithRecache.
+	PartitionTraffic = serving.PartitionTraffic
+)
+
+// WithModels makes the fleet multi-tenant: every replica co-hosts one
+// full serving stack per model — its own scheduler and latency-table
+// family per (model, hardware config) pair — behind a shared
+// Persistent Buffer the tenants partition. The weight-shared SuperNet
+// makes the PB a model-agnostic resource, so consolidating families
+// onto one fleet beats static hardware partitioning whenever their
+// load peaks are not simultaneous:
+//
+//	c, err := sushi.NewCluster(sushi.Options{},
+//		sushi.WithModels(sushi.ResNet50, sushi.MobileNetV3),
+//		sushi.WithReplicas(4),
+//		sushi.WithPartition(sushi.PartitionPolicy{Mode: sushi.PartitionTraffic}))
+//
+// Queries pick their model via Query.Model ("resnet50", ...); an empty
+// Model resolves to the first listed model. Without WithModels the
+// deployment is single-model (Options.Workload) and bit-identical per
+// seed to pre-multi-tenant behaviour.
+func WithModels(models ...Workload) ClusterOption {
+	return func(o *core.ClusterOptions) { o.Models = models }
+}
+
+// WithPartition selects the shared-PB cache-partitioning policy of a
+// WithModels fleet (default: static equal split). Under
+// PartitionTraffic the partitioner re-apportions PB half-slots to the
+// observed per-model traffic every pol.Window served queries: shrunk
+// models are forced onto smaller cached SubGraphs, grown models take
+// bigger ones, with every switch's fill cost modeled exactly like a
+// WithRecache switch (virtual busy time in Cluster.Simulate, next-query
+// charge on the live path).
+func WithPartition(pol PartitionPolicy) ClusterOption {
+	return func(o *core.ClusterOptions) { o.Partition = &pol }
+}
+
 // WithRecache enables the window-driven cache-management layer on every
 // replica: caches become mutable at runtime, switching to the latency
 // table column that would have served the replica's recent query mix
@@ -181,6 +233,21 @@ func (c *Cluster) Size() int { return c.d.Cluster.Size() }
 
 // Router names the dispatch policy.
 func (c *Cluster) Router() string { return c.d.Cluster.RouterName() }
+
+// Models lists the co-hosted model ids in tenant order. Single-model
+// deployments report one empty id.
+func (c *Cluster) Models() []string { return c.d.Cluster.Models() }
+
+// FrontierOf lists the servable SubNets of one co-hosted model ("" =
+// the default model); ok is false for models the fleet does not host.
+func (c *Cluster) FrontierOf(model string) (frontier []SubNetInfo, ok bool) {
+	for i, md := range c.d.Models {
+		if md.Model == model || (model == "" && i == 0) {
+			return core.FrontierView(md.Frontier), true
+		}
+	}
+	return nil, false
+}
 
 // Frontier lists the servable SubNets (shared by every replica).
 func (c *Cluster) Frontier() []SubNetInfo {

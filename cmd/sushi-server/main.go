@@ -16,6 +16,7 @@
 //	             [-q period] [-replicas n] [-router kind] [-seed n]
 //	             [-accels preset,preset,...] [-recache]
 //	             [-batch n] [-batch-window dur]
+//	             [-models workload,workload,...] [-partition static|traffic]
 //
 // Router kinds: round-robin (default), least-loaded, affinity, fastest,
 // random. The -accels flag boots a heterogeneous fleet, one preset per
@@ -25,7 +26,12 @@
 // queries per replica share one accelerator pass (weights fetched
 // once), waiting at most -batch-window (default 2ms) for the batch to
 // fill; the same B/W pair is the default batch former for
-// POST /v1/simulate.
+// POST /v1/simulate. -models boots a MULTI-TENANT fleet (mirroring the
+// -accels pattern): every replica co-hosts one scheduler + latency
+// table per listed model behind a shared Persistent Buffer, queries
+// pick their model via the "model" request field, and -partition
+// selects the shared-PB split (static equal shares, or traffic-weighted
+// stealing).
 package main
 
 import (
@@ -60,6 +66,10 @@ func main() {
 			"micro-batch size B: group up to B concurrent same-SubNet queries per replica into one accelerator pass (0/1 = off)")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond,
 			"longest a forming micro-batch waits to fill (wall clock; virtual seconds for /v1/simulate)")
+		models = flag.String("models", "",
+			"comma-separated model families every replica co-hosts (resnet50, mobilenetv3); overrides -w")
+		partition = flag.String("partition", "static",
+			"shared-PB cache partitioning for -models fleets: static or traffic")
 	)
 	flag.Parse()
 
@@ -90,6 +100,18 @@ func main() {
 	if *batch > 1 {
 		copt.Batch = &serving.BatchPolicy{MaxBatch: *batch, Window: *batchWindow}
 	}
+	if *models != "" {
+		for _, name := range strings.Split(*models, ",") {
+			copt.Models = append(copt.Models, core.Workload(strings.TrimSpace(name)))
+		}
+		mode, err := serving.ParsePartitionMode(*partition)
+		if err != nil {
+			log.Fatalf("sushi-server: -partition: %v", err)
+		}
+		if len(copt.Models) > 1 {
+			copt.Partition = &serving.PartitionPolicy{Mode: mode}
+		}
+	}
 	dep, err := core.DeployCluster(opt, copt)
 	if err != nil {
 		log.Fatalf("sushi-server: %v", err)
@@ -98,7 +120,15 @@ func main() {
 	if pol := dep.Cluster.BatchPolicy(); pol.Enabled() {
 		batching = fmt.Sprintf("batch B=%d W=%v", pol.MaxBatch, pol.Window)
 	}
+	workloads := *wl
+	if len(dep.Models) > 1 {
+		names := make([]string, len(dep.Models))
+		for i, md := range dep.Models {
+			names[i] = md.Model
+		}
+		workloads = fmt.Sprintf("%s (%s partition)", strings.Join(names, "+"), *partition)
+	}
 	fmt.Printf("sushi-server: %s (%s policy) on %s, %d replicas (%s router, %s), %d servable SubNets\n",
-		*wl, *policy, *addr, dep.Cluster.Size(), dep.Cluster.RouterName(), batching, len(dep.Frontier))
+		workloads, *policy, *addr, dep.Cluster.Size(), dep.Cluster.RouterName(), batching, len(dep.Frontier))
 	log.Fatal(http.ListenAndServe(*addr, server.New(dep)))
 }

@@ -1,0 +1,136 @@
+package sushi_test
+
+// Bit-identity pin for the multi-tenant refactor (PR 5), in the spirit
+// of PR 4's B=1 identity: single-model deployments must reproduce the
+// pre-refactor engine bit for bit, per seed. The digests below were
+// captured on the pre-refactor tree (commit ffd98e0) over two canonical
+// configurations that together exercise the whole single-model stack —
+// routing, admission control, load-aware debiting, drops, degradation,
+// heterogeneous tables, re-caching and the micro-batch former. The
+// digest deliberately excludes the dropped queries' Served.Query echo
+// (zero before this PR; populated now so per-model drop accounting has
+// a model id) — everything that determines timing, placement and
+// service is covered.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"time"
+
+	"sushi"
+)
+
+// outcomeDigest hashes every behavioural field of a simulated run.
+func outcomeDigest(res *sushi.SimResult) string {
+	h := sha256.New()
+	for i, o := range res.Outcomes {
+		fmt.Fprintf(h, "%d|%d|%d|%t|%d|%.12e|%.12e|%.12e|%.12e|%t\n",
+			i, o.Replica, int(o.Reason), o.Degraded, o.Batch,
+			o.Arrival, o.Start, o.Finish, o.RecacheSec, o.Dropped)
+		if !o.Dropped {
+			fmt.Fprintf(h, "%s|%d|%.12e|%.12e|%t|%t|%t|%t|%.12e|%d|%.12e\n",
+				o.SubNet, o.Row, o.Latency, o.Accuracy,
+				o.Feasible, o.LatencyMet, o.CacheSwapped, o.Recached,
+				o.HitRatio, o.HitBytes, o.OffChipEnergyJ)
+		}
+	}
+	fmt.Fprintf(h, "served=%d dropped=%d degraded=%d recaches=%d\n",
+		res.Served, res.Dropped, res.Degraded, res.Recaches)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// identityRuns are the pinned configurations. Each builds a FRESH
+// deployment (runs mutate cache state) and simulates a seeded stream.
+var identityRuns = []struct {
+	name   string
+	golden string
+	run    func(t *testing.T) *sushi.SimResult
+}{
+	{
+		name:   "homogeneous-mbv3-degrade",
+		golden: "0e71fc8a2c8c10705feab058cdd5d4ef90b76d5048120204e6a2a64823e752fa",
+		run: func(t *testing.T) *sushi.SimResult {
+			c, err := sushi.NewCluster(sushi.Options{Workload: sushi.MobileNetV3},
+				sushi.WithReplicas(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs, err := sushi.UniformWorkload(300,
+				sushi.Range{Lo: 60, Hi: 80}, sushi.Range{Lo: 5e-3, Hi: 50e-3}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arr, err := (sushi.OnOff{OnRate: 900, OffRate: 120, MeanOn: 0.12, MeanOff: 0.12}).Times(300, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := sushi.TimedStream(qs, arr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Simulate(stream, sushi.SimOptions{
+				QueueCap:  4,
+				Admission: sushi.AdmitDegrade,
+				LoadAware: true,
+				Drop:      true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+	},
+	{
+		name:   "hetero-rn50-recache-batched",
+		golden: "5b4ed29d7a561e3a6a52280ac868ca53b38c1111d53f06086ee0e8a6a4f3114b",
+		run: func(t *testing.T) *sushi.SimResult {
+			c, err := sushi.NewCluster(sushi.Options{Workload: sushi.ResNet50},
+				sushi.WithHardware(sushi.ZCU104(), sushi.ZCU104(), sushi.AlveoU50(), sushi.AlveoU50()),
+				sushi.WithRouter(sushi.Fastest),
+				sushi.WithRecache(sushi.RecachePolicy{Window: 12, MinGain: 0.02, Cooldown: 12}),
+				sushi.WithBatching(4, 10*time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs, err := sushi.DriftingWorkload(300,
+				sushi.Range{}, sushi.Range{},
+				sushi.Range{Lo: 40e-3, Hi: 60e-3}, sushi.Range{Lo: 5e-3, Hi: 15e-3}, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arr, err := sushi.PoissonArrivals(300, 250, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := sushi.TimedStream(qs, arr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Simulate(stream, sushi.SimOptions{
+				QueueCap:  6,
+				Admission: sushi.AdmitShedOldest,
+				LoadAware: true,
+				Drop:      true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+	},
+}
+
+// TestSingleModelBitIdentical is the refactor's safety property: a
+// deployment that never names a model (no WithModels) must reproduce
+// the pre-refactor outcomes bit for bit, per seed.
+func TestSingleModelBitIdentical(t *testing.T) {
+	for _, ir := range identityRuns {
+		t.Run(ir.name, func(t *testing.T) {
+			got := outcomeDigest(ir.run(t))
+			if got != ir.golden {
+				t.Errorf("single-model run diverged from the pre-refactor pin:\n  got    %s\n  golden %s", got, ir.golden)
+			}
+		})
+	}
+}

@@ -54,6 +54,20 @@ type ClusterOptions struct {
 	// defaults its virtual batch former to the same B and W (Window
 	// reinterpreted as virtual seconds via Seconds()).
 	Batch *serving.BatchPolicy
+	// Models is the multi-tenant axis: the SuperNet families every
+	// replica co-hosts, in tenant order (entry 0 is the default model
+	// empty Query.Model resolves to). Each (model, distinct hardware
+	// config) pair gets its own SuperNet and latency-table family; each
+	// replica holds one scheduler per model behind a shared Persistent
+	// Buffer the tenants partition. Empty keeps the single-model
+	// behaviour of DeployOptions.Workload — bit-identical per seed to
+	// pre-multi-tenant deployments.
+	Models []Workload
+	// Partition picks the shared-PB cache-partitioning policy for
+	// multi-model fleets: nil (or the zero policy) is the static equal
+	// split; PartitionTraffic lets a hot model steal PB half-slots from
+	// a cold one at runtime. Rejected without at least two Models.
+	Partition *serving.PartitionPolicy
 }
 
 // NewRouter constructs the named routing policy.
@@ -78,15 +92,32 @@ func NewRouter(name string, seed int64) (serving.Router, error) {
 	}
 }
 
-// ClusterDeployment bundles a SuperNet, its serving frontier and a
-// running replica cluster — the multi-accelerator counterpart of
-// Deployment.
-type ClusterDeployment struct {
-	// Super is the weight-shared network (one copy, shared: SubGraph
-	// weights are identical across replicas).
+// ModelDeployment is one co-hosted model of a multi-tenant cluster:
+// its id, weight-shared SuperNet and serving frontier.
+type ModelDeployment struct {
+	// Model is the tenant's model id ("resnet50", ...).
+	Model string
+	// Super is the model's weight-shared network (one copy, shared
+	// across replicas).
 	Super *supernet.SuperNet
-	// Frontier is the serving set X.
+	// Frontier is the model's serving set X.
 	Frontier []*supernet.SubNet
+}
+
+// ClusterDeployment bundles the co-hosted models' SuperNets, their
+// serving frontiers and a running replica cluster — the
+// multi-accelerator counterpart of Deployment.
+type ClusterDeployment struct {
+	// Super is the DEFAULT model's weight-shared network (one copy,
+	// shared: SubGraph weights are identical across replicas). For the
+	// full multi-tenant list see Models.
+	Super *supernet.SuperNet
+	// Frontier is the default model's serving set X.
+	Frontier []*supernet.SubNet
+	// Models lists every co-hosted model in tenant order; entry 0 is
+	// the default. Single-model deployments hold one entry with an
+	// empty Model id.
+	Models []ModelDeployment
 	// Cluster dispatches queries across the replicas.
 	Cluster *serving.Cluster
 }
@@ -132,19 +163,32 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 			return nil, &OptionError{Field: "Batch", Value: copt.Batch.MaxBatch, Reason: err.Error()}
 		}
 	}
+	seen := make(map[Workload]bool, len(copt.Models))
+	for i, m := range copt.Models {
+		if _, err := BuildSuperNet(m); err != nil {
+			return nil, &OptionError{Field: "Models", Value: string(m),
+				Reason: fmt.Sprintf("model %d: must be %q or %q", i, ResNet50, MobileNetV3)}
+		}
+		if seen[m] {
+			return nil, &OptionError{Field: "Models", Value: string(m),
+				Reason: "models must be distinct (each tenant boots one SuperNet per hardware config)"}
+		}
+		seen[m] = true
+	}
+	if copt.Partition != nil {
+		if err := copt.Partition.Validate(); err != nil {
+			return nil, &OptionError{Field: "Partition", Value: int(copt.Partition.Mode), Reason: err.Error()}
+		}
+		if len(copt.Models) < 2 {
+			return nil, &OptionError{Field: "Partition", Value: copt.Partition.Mode.String(),
+				Reason: "cache partitioning needs at least two Models (a single tenant owns the whole PB)"}
+		}
+	}
 	router, err := NewRouter(copt.Router, copt.RouterSeed)
 	if err != nil {
 		return nil, err
 	}
 	if err := opt.normalize(); err != nil {
-		return nil, err
-	}
-	super, err := BuildSuperNet(opt.Workload)
-	if err != nil {
-		return nil, err
-	}
-	frontier, err := super.Frontier()
-	if err != nil {
 		return nil, err
 	}
 	cfgs := copt.Accels
@@ -155,13 +199,40 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 			cfgs[i] = base
 		}
 	}
-	systems, err := BootHeteroSystems(super, frontier, opt.servingOptions(opt.accelConfig()), cfgs)
-	if err != nil {
-		return nil, err
-	}
-	cluster, err := serving.NewCluster(systems, router)
-	if err != nil {
-		return nil, err
+	var (
+		cluster *serving.Cluster
+		models  []ModelDeployment
+	)
+	if len(copt.Models) == 0 {
+		// Single-model path: unchanged, bit-identical per seed to
+		// pre-multi-tenant deployments.
+		super, err := BuildSuperNet(opt.Workload)
+		if err != nil {
+			return nil, err
+		}
+		frontier, err := super.Frontier()
+		if err != nil {
+			return nil, err
+		}
+		systems, err := BootHeteroSystems(super, frontier, opt.servingOptions(opt.accelConfig()), cfgs)
+		if err != nil {
+			return nil, err
+		}
+		cluster, err = serving.NewCluster(systems, router)
+		if err != nil {
+			return nil, err
+		}
+		models = []ModelDeployment{{Model: "", Super: super, Frontier: frontier}}
+	} else {
+		reps, deployed, err := bootTenantReplicas(copt.Models, opt, cfgs, copt.Partition)
+		if err != nil {
+			return nil, err
+		}
+		cluster, err = serving.NewClusterFromReplicas(reps, router)
+		if err != nil {
+			return nil, err
+		}
+		models = deployed
 	}
 	if copt.Recache != nil {
 		for _, rep := range cluster.Replicas() {
@@ -173,7 +244,140 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 			return nil, err
 		}
 	}
-	return &ClusterDeployment{Super: super, Frontier: frontier, Cluster: cluster}, nil
+	return &ClusterDeployment{
+		Super:    models[0].Super,
+		Frontier: models[0].Frontier,
+		Models:   models,
+		Cluster:  cluster,
+	}, nil
+}
+
+// TenantBudgets is the candidate budget ladder for one model of an
+// M-tenant fleet sharing a pbBytes Persistent Buffer: half-slot
+// (PB/2M) multiples k = 1..M+1 — every share the partitioner can
+// apportion (floor one half-slot, cap M+1) has a matching candidate
+// level, so shrunk tenants always find a fitting column and grown
+// tenants a bigger one.
+func TenantBudgets(pbBytes int64, m int) []int64 {
+	halfSlot := pbBytes / int64(2*m)
+	out := make([]int64, m+1)
+	for k := 1; k <= m+1; k++ {
+		out[k-1] = int64(k) * halfSlot
+	}
+	return out
+}
+
+// bootTenantColumn picks the boot cache column for the idx-th replica
+// of a (model, hardware) group: the idx-th column whose SubGraph fits
+// the tenant's boot-time PB share — the multi-tenant reading of the
+// bootColumn invariant (distinct cached SubGraphs per replica, typed
+// OptionError naming the offending model/hardware pair when the GROUP
+// outgrows the fitting columns — only same-hardware replicas compete
+// for a table's columns, so the count reported is the group's, not the
+// fleet's; NoPB exempt).
+func bootTenantColumn(mode serving.Mode, table *latencytable.Table, idx int, hw, model string, share int64) (int, error) {
+	if mode == serving.NoPB {
+		return 0, nil
+	}
+	fit := 0
+	for j := 0; j < table.Cols(); j++ {
+		if share > 0 && table.Graphs[j].Bytes() > share {
+			continue
+		}
+		if fit == idx {
+			return j, nil
+		}
+		fit++
+	}
+	return 0, &OptionError{Field: "Models", Value: model,
+		Reason: fmt.Sprintf("model %q on %q: %d same-hardware replicas exceed its %d boot-share cache columns (raise Candidates or shrink the fleet)",
+			model, hw, idx+1, fit)}
+}
+
+// bootTenantReplicas assembles the multi-tenant fleet: ONE latency
+// table per (model, distinct hardware config) pair — same-hardware
+// replicas share each model's table — with candidate sets spanning the
+// partition ladder, one System per (replica, model) booted on a
+// distinct fitting column, and the shared-PB partitioner armed on
+// every replica (PB-backed modes only).
+func bootTenantReplicas(workloads []Workload, opt DeployOptions, cfgs []accel.Config, part *serving.PartitionPolicy) ([]*serving.Replica, []ModelDeployment, error) {
+	m := len(workloads)
+	models := make([]ModelDeployment, m)
+	for i, w := range workloads {
+		super, err := BuildSuperNet(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		frontier, err := super.Frontier()
+		if err != nil {
+			return nil, nil, err
+		}
+		models[i] = ModelDeployment{Model: string(w), Super: super, Frontier: frontier}
+	}
+	sopt := opt.servingOptions(opt.accelConfig())
+	type group struct {
+		tables []*latencytable.Table
+		count  int
+	}
+	groups := make(map[accel.Config]*group)
+	reps := make([]*serving.Replica, len(cfgs))
+	for i, cfg := range cfgs {
+		g := groups[cfg]
+		if g == nil {
+			g = &group{tables: make([]*latencytable.Table, m)}
+			for mi, md := range models {
+				o := sopt
+				o.Accel = cfg
+				o.Table = nil
+				var budgets []int64
+				if m > 1 && o.Mode != serving.NoPB {
+					budgets = TenantBudgets(cfg.PBBytes, m)
+				}
+				table, _, err := serving.BuildTenantTable(md.Super, md.Frontier, o, budgets)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: model %q on %q: %w", md.Model, cfg.Name, err)
+				}
+				g.tables[mi] = table
+			}
+			groups[cfg] = g
+		}
+		tenants := make([]serving.Tenant, m)
+		bootShare := int64(0)
+		if m > 1 {
+			bootShare = 2 * (cfg.PBBytes / int64(2*m))
+		}
+		for mi, md := range models {
+			col, err := bootTenantColumn(sopt.Mode, g.tables[mi], g.count, cfg.Name, md.Model, bootShare)
+			if err != nil {
+				return nil, nil, err
+			}
+			o := sopt
+			o.Accel = cfg
+			o.Table = g.tables[mi]
+			o.StaticColumn = col
+			sys, err := serving.New(md.Super, md.Frontier, o)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: model %q on %q: %w", md.Model, cfg.Name, err)
+			}
+			tenants[mi] = serving.Tenant{Model: md.Model, Sys: sys}
+		}
+		rep, err := serving.NewMultiReplica(i, tenants)
+		if err != nil {
+			return nil, nil, err
+		}
+		if m > 1 && sopt.Mode != serving.NoPB && cfg.PBBytes > 0 {
+			pol := serving.PartitionPolicy{}
+			if part != nil {
+				pol = *part
+			}
+			if err := rep.EnablePartition(pol, cfg.PBBytes); err != nil {
+				return nil, nil, err
+			}
+		}
+		reps[i] = rep
+		g.count++
+	}
+	return reps, models, nil
 }
 
 // bootColumn is the single home of the boot-cache invariant shared by

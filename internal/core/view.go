@@ -132,7 +132,38 @@ type ReplicaView struct {
 	Batches      int     `json:"batches"`
 	AvgBatchSize float64 `json:"avg_batch_size"`
 	MaxBatchSize int     `json:"max_batch_size"`
-	// Cache is the replica's Persistent Buffer state.
+	// Cache is the replica's Persistent Buffer state (the default
+	// tenant's slice on multi-tenant replicas; see Models).
+	Cache CacheView `json:"cache"`
+	// Models breaks a multi-tenant replica down per co-hosted model —
+	// per-model scheduler cache column, PB share, served aggregates and
+	// tail latency. Empty on single-model replicas.
+	Models []ModelReplicaView `json:"models,omitempty"`
+}
+
+// ModelReplicaView is one model's slice of a multi-tenant replica: its
+// scheduler's cache state, its share of the shared Persistent Buffer,
+// and its served aggregates (the per-model p99/SLO surface of
+// GET /v1/replicas).
+type ModelReplicaView struct {
+	// Model is the tenant's model id.
+	Model string `json:"model"`
+	// Queries is the number of queries this replica served for the
+	// model; Dropped the open-loop drops charged to it.
+	Queries int `json:"queries"`
+	Dropped int `json:"dropped"`
+	// AvgLatencyMS and P99LatencyMS summarize the model's service
+	// latencies on this replica; P99E2EMS and SLO its open-loop tail
+	// and attainment (0 for purely closed-loop streams).
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	P99LatencyMS float64 `json:"p99_latency_ms"`
+	P99E2EMS     float64 `json:"p99_e2e_ms"`
+	SLO          float64 `json:"slo"`
+	// CacheColumn is the model's scheduler cache belief; PBShareKB its
+	// current share of the replica's Persistent Buffer (0 = uncapped).
+	CacheColumn int   `json:"cache_column"`
+	PBShareKB   int64 `json:"pb_share_kb"`
+	// Cache is the model's cached SubGraph slice of the PB.
 	Cache CacheView `json:"cache"`
 }
 
@@ -153,10 +184,39 @@ func ReplicaViews(c *serving.Cluster) []ReplicaView {
 		v.MaxBatchSize = sum.MaxBatchSize
 		switches, sec := rep.RecacheStats()
 		v.Recaches, v.RecacheMS = switches, sec*1e3
-		rep.Inspect(func(sys *serving.System) {
-			v.Accel = NewAccelView(sys.Simulator().Config())
-			v.CacheColumn = sys.Scheduler().CacheColumn()
-			v.Cache = NewCacheView(sys)
+		perModel := make(map[string]serving.ModelSummary, len(sum.PerModel))
+		for _, ms := range sum.PerModel {
+			perModel[ms.Model] = ms
+		}
+		multi := len(rep.Models()) > 1 || rep.Models()[0] != ""
+		first := true
+		rep.InspectTenants(func(model string, share int64, sys *serving.System) {
+			if first {
+				// Top-level fields mirror the default tenant, keeping the
+				// single-model view shape stable.
+				v.Accel = NewAccelView(sys.Simulator().Config())
+				v.CacheColumn = sys.Scheduler().CacheColumn()
+				v.Cache = NewCacheView(sys)
+				first = false
+			}
+			if !multi {
+				return
+			}
+			mv := ModelReplicaView{
+				Model:       model,
+				CacheColumn: sys.Scheduler().CacheColumn(),
+				PBShareKB:   share >> 10,
+				Cache:       NewCacheView(sys),
+			}
+			if ms, ok := perModel[model]; ok {
+				mv.Queries = ms.Queries
+				mv.Dropped = ms.Dropped
+				mv.AvgLatencyMS = ms.AvgLatency * 1e3
+				mv.P99LatencyMS = ms.P99Latency * 1e3
+				mv.P99E2EMS = ms.P99E2E * 1e3
+				mv.SLO = ms.E2ESLO
+			}
+			v.Models = append(v.Models, mv)
 		})
 		out = append(out, v)
 	}

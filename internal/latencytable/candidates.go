@@ -128,7 +128,7 @@ func Candidates(s *supernet.SuperNet, frontier []*supernet.SubNet, opt Candidate
 		if len(out) >= opt.Count || g.Count() == 0 {
 			return
 		}
-		key := fingerprint(g)
+		key := Fingerprint(g)
 		if seen[key] {
 			return
 		}
@@ -184,8 +184,11 @@ func Candidates(s *supernet.SuperNet, frontier []*supernet.SubNet, opt Candidate
 	return out, nil
 }
 
-// fingerprint returns a content hash key of a SubGraph's cell set.
-func fingerprint(g *supernet.SubGraph) string {
+// Fingerprint returns a content hash key of a SubGraph's cell set —
+// the deduplication key Candidates uses internally, exported so
+// callers assembling candidate sets from multiple budget levels
+// (serving.BuildTenantTable) dedupe with the SAME key.
+func Fingerprint(g *supernet.SubGraph) string {
 	// FNV-1a over the cell id stream.
 	var h uint64 = 14695981039346656037
 	for _, id := range g.Cells() {

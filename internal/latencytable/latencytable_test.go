@@ -89,7 +89,7 @@ func TestCandidatesRespectBudget(t *testing.T) {
 	// Candidates must be distinct as sets.
 	for i := 0; i < len(cands); i++ {
 		for j := i + 1; j < len(cands); j++ {
-			if fingerprint(cands[i]) == fingerprint(cands[j]) {
+			if Fingerprint(cands[i]) == Fingerprint(cands[j]) {
 				t.Errorf("candidates %s and %s are identical", cands[i].Name(), cands[j].Name())
 			}
 		}
@@ -111,7 +111,7 @@ func TestCandidatesDeterministic(t *testing.T) {
 		t.Fatalf("non-deterministic candidate count %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if fingerprint(a[i]) != fingerprint(b[i]) {
+		if Fingerprint(a[i]) != Fingerprint(b[i]) {
 			t.Fatalf("candidate %d differs across runs", i)
 		}
 	}

@@ -149,14 +149,36 @@ func (t *Table) LookupBatch(i, j, n int) float64 {
 // vector is closest (Euclidean) to v — Algorithm 1's
 // argmin_j Dist(G_j, AvgNet) step.
 func (t *Table) NearestGraph(v []float64) int {
-	best, bestD := 0, -1.0
+	return t.NearestGraphWithin(v, 0)
+}
+
+// NearestGraphWithin is NearestGraph restricted to columns whose
+// SubGraph fits maxBytes — the multi-tenant form of the argmin: a
+// tenant of a partitioned Persistent Buffer may only cache within its
+// share. A non-positive maxBytes considers every column; if no column
+// fits, the smallest SubGraph wins (the least over-budget fallback, so
+// a caller always gets a valid column).
+func (t *Table) NearestGraphWithin(v []float64, maxBytes int64) int {
+	best, bestD := -1, -1.0
 	for j := range t.Graphs {
+		if maxBytes > 0 && t.Graphs[j].Bytes() > maxBytes {
+			continue
+		}
 		d := supernet.Distance(t.vectors[j], v)
 		if bestD < 0 || d < bestD {
 			best, bestD = j, d
 		}
 	}
-	return best
+	if best >= 0 {
+		return best
+	}
+	smallest := 0
+	for j := 1; j < len(t.Graphs); j++ {
+		if t.Graphs[j].Bytes() < t.Graphs[smallest].Bytes() {
+			smallest = j
+		}
+	}
+	return smallest
 }
 
 // Truncate returns a copy of the table keeping only the first cols

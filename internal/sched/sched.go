@@ -48,6 +48,13 @@ func (p Policy) String() string {
 type Query struct {
 	// ID is the sequence number.
 	ID int
+	// Model names the SuperNet family the query targets on a
+	// multi-tenant deployment ("resnet50", "mobilenetv3", ...). Empty
+	// resolves to the deployment's default model, so single-model
+	// callers never set it. The serving layer normalizes the field to a
+	// canonical model id at dispatch; the scheduler itself is per-model
+	// and ignores it.
+	Model string
 	// MinAccuracy is A_t in top-1 percent.
 	MinAccuracy float64
 	// MaxLatency is L_t in seconds.
@@ -121,6 +128,10 @@ type Scheduler struct {
 	opt   Options
 	// cacheCol is the column the scheduler believes is cached.
 	cacheCol int
+	// cacheBudget caps Q-periodic cache updates to columns whose
+	// SubGraph fits this many bytes (0 = uncapped) — the tenant's share
+	// of a partitioned Persistent Buffer.
+	cacheBudget int64
 	// window holds the vector encodings of the last Q served SubNets;
 	// avg is their running mean (AvgNet in Fig. 6).
 	window [][]float64
@@ -168,6 +179,18 @@ func (s *Scheduler) SetColumn(col int) error {
 	}
 	s.cacheCol = col
 	return nil
+}
+
+// SetCacheBudget caps the scheduler's Q-periodic cache updates to
+// columns whose SubGraph fits maxBytes (0 removes the cap) — the hook
+// the serving layer's shared-PB partitioner uses so Algorithm 1 never
+// caches beyond the tenant's current share. Like every other mutating
+// method it must be serialized with Schedule.
+func (s *Scheduler) SetCacheBudget(maxBytes int64) {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	s.cacheBudget = maxBytes
 }
 
 // Served returns the number of scheduled queries so far.
@@ -246,7 +269,7 @@ func (s *Scheduler) Schedule(q Query) (Decision, error) {
 	s.observe(idx)
 	s.served++
 	if s.opt.StateAware && s.served%s.opt.Q == 0 {
-		newCol := s.table.NearestGraph(s.avg)
+		newCol := s.table.NearestGraphWithin(s.avg, s.cacheBudget)
 		if newCol != s.cacheCol {
 			s.cacheCol = newCol
 			d.CacheUpdate = newCol
@@ -338,7 +361,7 @@ func (s *Scheduler) ScheduleBatch(qs []Query) (Decision, error) {
 		s.observe(idx)
 		s.served++
 		if s.opt.StateAware && s.served%s.opt.Q == 0 {
-			newCol := s.table.NearestGraph(s.avg)
+			newCol := s.table.NearestGraphWithin(s.avg, s.cacheBudget)
 			if newCol != s.cacheCol {
 				s.cacheCol = newCol
 				d.CacheUpdate = newCol

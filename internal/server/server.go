@@ -10,18 +10,23 @@
 //
 // Surface:
 //
-//	POST /v1/serve        one query; per-request policy and deadline_ms
+//	POST /v1/serve        one query; per-request model, policy and
+//	                      deadline_ms (multi-tenant deployments route by
+//	                      the model field; unknown models are 400s)
 //	POST /v1/serve/batch  NDJSON stream of queries in, NDJSON out
 //	POST /v1/simulate     open-loop virtual-time simulation (simq engine;
 //	                      max_batch/batch_window_ms drive the micro-batch
-//	                      former)
+//	                      former; model labels generated queries and
+//	                      per-point trace models replay a multi-tenant
+//	                      production log; per_model slices in the reply)
 //	GET  /v1/replicas     per-replica hardware, cache state (column +
 //	                      re-cache stats), queue depth, hit ratio, batch
-//	                      occupancy
-//	GET  /v1/frontier     servable SubNets
+//	                      occupancy, per-model tenant slices (cache
+//	                      column, PB share, p99/SLO)
+//	GET  /v1/frontier     servable SubNets (default model)
 //	GET  /v1/cache        replica 0's Persistent Buffer state
-//	GET  /v1/stats        cluster-wide aggregates
-//	GET  /healthz
+//	GET  /v1/stats        cluster-wide aggregates incl. per-model slices
+//	GET  /healthz         status, replicas, router, hosted models
 package server
 
 import (
@@ -82,6 +87,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // ServeRequest is the /v1/serve request body (one NDJSON line of
 // /v1/serve/batch). Unknown fields are rejected.
 type ServeRequest struct {
+	// Model names the target model on multi-tenant deployments
+	// ("resnet50", "mobilenetv3"). Empty resolves to the default model;
+	// an unknown model is a 400.
+	Model string `json:"model"`
 	// MinAccuracy is the accuracy floor in top-1 percent.
 	MinAccuracy float64 `json:"min_accuracy"`
 	// MaxLatencyMS is the latency budget in milliseconds.
@@ -126,6 +135,7 @@ func (req ServeRequest) query(id int) (sched.Query, error) {
 	}
 	q := sched.Query{
 		ID:          id,
+		Model:       req.Model,
 		MinAccuracy: req.MinAccuracy,
 		MaxLatency:  req.MaxLatencyMS * 1e-3,
 	}
@@ -146,6 +156,7 @@ func (req ServeRequest) query(id int) (sched.Query, error) {
 // /v1/serve/batch).
 type ServeResponse struct {
 	ID           int     `json:"id"`
+	Model        string  `json:"model,omitempty"`
 	SubNet       string  `json:"subnet"`
 	Accuracy     float64 `json:"accuracy"`
 	LatencyMS    float64 `json:"latency_ms"`
@@ -159,6 +170,7 @@ type ServeResponse struct {
 func serveResponse(id int, res serving.Served) ServeResponse {
 	return ServeResponse{
 		ID:           id,
+		Model:        res.Query.Model,
 		SubNet:       res.SubNet,
 		Accuracy:     res.Accuracy,
 		LatencyMS:    res.Latency * 1e3,
@@ -247,6 +259,10 @@ func (s *Server) handleServeBatch(w http.ResponseWriter, r *http.Request) {
 type TracePoint struct {
 	// ArrivalS is seconds since stream start (non-decreasing).
 	ArrivalS float64 `json:"arrival_s"`
+	// Model names the query's target model on multi-tenant deployments
+	// (empty = the request's Model, then the default model) — a trace
+	// with per-point models is the HTTP form of a workload.Mix.
+	Model string `json:"model"`
 	// MinAccuracy and MaxLatencyMS are the constraint pair it carried.
 	MinAccuracy  float64 `json:"min_accuracy"`
 	MaxLatencyMS float64 `json:"max_latency_ms"`
@@ -276,6 +292,10 @@ type SimulateRequest struct {
 	// Trace replays recorded (arrival, A_t, L_t) tuples (process
 	// "trace"); generated-process constraints below are ignored.
 	Trace []TracePoint `json:"trace"`
+	// Model names the target model for every generated query (and for
+	// trace points without their own model) on multi-tenant
+	// deployments. Empty resolves to the default model.
+	Model string `json:"model"`
 	// MinAccuracy and MaxLatencyMS annotate every generated query.
 	MinAccuracy  float64 `json:"min_accuracy"`
 	MaxLatencyMS float64 `json:"max_latency_ms"`
@@ -330,8 +350,13 @@ func (req SimulateRequest) stream() ([]serving.TimedQuery, error) {
 		}
 		tr := workload.Trace{Entries: make([]workload.TraceEntry, len(req.Trace))}
 		for i, p := range req.Trace {
+			model := p.Model
+			if model == "" {
+				model = req.Model
+			}
 			tr.Entries[i] = workload.TraceEntry{
 				Arrival:     p.ArrivalS,
+				Model:       model,
 				MinAccuracy: p.MinAccuracy,
 				MaxLatency:  p.MaxLatencyMS * 1e-3,
 			}
@@ -385,6 +410,7 @@ func (req SimulateRequest) stream() ([]serving.TimedQuery, error) {
 		qs[i] = serving.TimedQuery{
 			Query: sched.Query{
 				ID:          i,
+				Model:       req.Model,
 				MinAccuracy: req.MinAccuracy,
 				MaxLatency:  req.MaxLatencyMS * 1e-3,
 			},
@@ -420,6 +446,42 @@ type SimulateResponse struct {
 	Batches      int     `json:"batches"`
 	AvgBatchSize float64 `json:"avg_batch_size"`
 	MaxBatchSize int     `json:"max_batch_size"`
+	// PerModel breaks the run down by model id on multi-tenant
+	// deployments (absent otherwise).
+	PerModel []ModelSimView `json:"per_model,omitempty"`
+}
+
+// ModelSimView is one model's slice of a multi-tenant /v1/simulate or
+// /v1/stats response: per-model volume, tail latency and SLO.
+type ModelSimView struct {
+	Model       string  `json:"model"`
+	Queries     int     `json:"queries"`
+	Served      int     `json:"served"`
+	Dropped     int     `json:"dropped"`
+	GoodputQPS  float64 `json:"goodput_qps"`
+	P99E2EMS    float64 `json:"p99_e2e_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	SLO         float64 `json:"slo"`
+	AvgAccuracy float64 `json:"avg_accuracy"`
+}
+
+// modelSimViews renders a summary's per-model slices.
+func modelSimViews(sum serving.Summary) []ModelSimView {
+	out := make([]ModelSimView, 0, len(sum.PerModel))
+	for _, ms := range sum.PerModel {
+		out = append(out, ModelSimView{
+			Model:       ms.Model,
+			Queries:     ms.Queries,
+			Served:      ms.Queries - ms.Dropped,
+			Dropped:     ms.Dropped,
+			GoodputQPS:  ms.Goodput,
+			P99E2EMS:    ms.P99E2E * 1e3,
+			P99MS:       ms.P99Latency * 1e3,
+			SLO:         ms.E2ESLO,
+			AvgAccuracy: ms.AvgAccuracy,
+		})
+	}
+	return out
 }
 
 // handleSimulate runs an open-loop virtual-time simulation on the
@@ -507,6 +569,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Batches:        sum.Batches,
 		AvgBatchSize:   sum.AvgBatchSize,
 		MaxBatchSize:   sum.MaxBatchSize,
+		PerModel:       modelSimViews(sum),
 	})
 }
 
@@ -543,6 +606,9 @@ type StatsResponse struct {
 	AccuracySLO  float64 `json:"accuracy_slo"`
 	AvgHitRatio  float64 `json:"avg_hit_ratio"`
 	CacheSwaps   int     `json:"cache_swaps"`
+	// PerModel breaks the aggregates down by model id on multi-tenant
+	// deployments (absent otherwise).
+	PerModel []ModelSimView `json:"per_model,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -558,15 +624,29 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		AccuracySLO:  sum.AccuracySLO,
 		AvgHitRatio:  sum.AvgHitRatio,
 		CacheSwaps:   sum.CacheSwaps,
+		PerModel:     modelSimViews(sum),
 	})
 }
 
+// models lists the deployment's model ids (empty on single-model).
+func (s *Server) models() []string {
+	ms := s.dep.Cluster.Models()
+	if len(ms) == 1 && ms[0] == "" {
+		return nil
+	}
+	return ms
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"replicas": s.dep.Cluster.Size(),
 		"router":   s.dep.Cluster.RouterName(),
-	})
+	}
+	if ms := s.models(); ms != nil {
+		body["models"] = ms
+	}
+	writeJSON(w, body)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -578,11 +658,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// serveError maps a serve-path failure to a status code: deadline
-// expiry is 504, a client abort is 499 (nginx convention — nobody reads
-// the body, but logs should not blame the upstream), anything else 500.
+// serveError maps a serve-path failure to a status code: an unknown
+// model is the client's mistake (400), deadline expiry is 504, a
+// client abort is 499 (nginx convention — nobody reads the body, but
+// logs should not blame the upstream), anything else 500.
 func serveError(w http.ResponseWriter, err error) {
+	var unknownModel *serving.UnknownModelError
 	switch {
+	case errors.As(err, &unknownModel):
+		httpError(w, http.StatusBadRequest, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusGatewayTimeout, "deadline exceeded before the query was served")
 	case errors.Is(err, context.Canceled):

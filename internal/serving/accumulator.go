@@ -2,6 +2,13 @@ package serving
 
 import "sort"
 
+// modelKey extracts the accumulator bucket key of an outcome: the
+// served query's model id. Empty on single-model deployments (the
+// replica normalizes queries to the tenant's canonical model id at
+// dispatch, which is "" there), so pre-multi-tenant streams never
+// allocate buckets.
+func modelKey(r Served) string { return r.Query.Model }
+
 // maxLatencySamples caps each per-accumulator latency reservoir. Streams
 // up to the cap yield exact percentiles; beyond it, reservoir sampling
 // keeps memory and read cost bounded for long-running servers at the
@@ -112,6 +119,25 @@ type Accumulator struct {
 	// off): batches counts accelerator passes, sumBatch their total
 	// member count, maxBatch the largest flush.
 	batches, sumBatch, maxBatch int
+
+	// perModel buckets the same aggregates by model id on multi-tenant
+	// streams (lazily allocated; nil for single-model streams, whose
+	// queries carry an empty model id). Children never have children.
+	perModel map[string]*Accumulator
+}
+
+// modelBucket returns (allocating on first use) the child accumulator
+// for a model id.
+func (a *Accumulator) modelBucket(model string) *Accumulator {
+	if a.perModel == nil {
+		a.perModel = make(map[string]*Accumulator)
+	}
+	b := a.perModel[model]
+	if b == nil {
+		b = &Accumulator{}
+		a.perModel[model] = b
+	}
+	return b
 }
 
 // ObserveBatch records one micro-batch flush of n members (n = 1 for a
@@ -128,8 +154,17 @@ func (a *Accumulator) ObserveBatch(n int) {
 	}
 }
 
-// Add folds one closed-loop outcome.
+// Add folds one closed-loop outcome (into the cluster-wide aggregates
+// and, when the query carries a model id, the model's bucket).
 func (a *Accumulator) Add(r Served) {
+	a.addServed(r)
+	if m := modelKey(r); m != "" {
+		a.modelBucket(m).addServed(r)
+	}
+}
+
+// addServed folds one outcome into THIS accumulator only.
+func (a *Accumulator) addServed(r Served) {
 	a.queries++
 	a.sumLat += r.Latency
 	a.sumAcc += r.Accuracy
@@ -158,12 +193,23 @@ func (a *Accumulator) Add(r Served) {
 // queries (their LatencyMet is already end-to-end, judged by the
 // engine), plus queueing telemetry — E2E latency reservoir, queue
 // delay, drops, and the arrival/finish span goodput is computed over.
+// Outcomes carrying a model id (the engine populates the Served.Query
+// echo even for drops) also fold into the model's bucket, so per-model
+// SLO and tail latency stay honest about drops.
 func (a *Accumulator) AddTimed(r TimedServed) {
+	a.addTimed(r)
+	if m := modelKey(r.Served); m != "" {
+		a.modelBucket(m).addTimed(r)
+	}
+}
+
+// addTimed folds one timed outcome into THIS accumulator only.
+func (a *Accumulator) addTimed(r TimedServed) {
 	if r.Dropped {
 		a.queries++
 		a.dropped++
 	} else {
-		a.Add(r.Served)
+		a.addServed(r.Served)
 		if r.LatencyMet {
 			a.e2eMet++
 		}
@@ -180,8 +226,17 @@ func (a *Accumulator) AddTimed(r TimedServed) {
 	a.spanSet = true
 }
 
-// Merge folds another accumulator's content into a.
+// Merge folds another accumulator's content into a (model buckets
+// merge by key).
 func (a *Accumulator) Merge(b *Accumulator) {
+	a.merge(b)
+	for m, bc := range b.perModel {
+		a.modelBucket(m).merge(bc)
+	}
+}
+
+// merge folds b's own aggregates (not its model buckets) into a.
+func (a *Accumulator) merge(b *Accumulator) {
 	a.queries += b.queries
 	a.sumLat += b.sumLat
 	a.sumAcc += b.sumAcc
@@ -221,6 +276,12 @@ func (a *Accumulator) Snapshot() *Accumulator {
 	cp := *a
 	cp.lats = a.lats.snapshot()
 	cp.e2e = a.e2e.snapshot()
+	if a.perModel != nil {
+		cp.perModel = make(map[string]*Accumulator, len(a.perModel))
+		for m, b := range a.perModel {
+			cp.perModel[m] = b.Snapshot()
+		}
+	}
 	return &cp
 }
 
@@ -279,6 +340,17 @@ func (a *Accumulator) Summary() Summary {
 		s.Batches = a.batches
 		s.AvgBatchSize = float64(a.sumBatch) / float64(a.batches)
 		s.MaxBatchSize = a.maxBatch
+	}
+	if len(a.perModel) > 0 {
+		models := make([]string, 0, len(a.perModel))
+		for m := range a.perModel {
+			models = append(models, m)
+		}
+		sort.Strings(models)
+		s.PerModel = make([]ModelSummary, 0, len(models))
+		for _, m := range models {
+			s.PerModel = append(s.PerModel, ModelSummary{Model: m, Summary: a.perModel[m].Summary()})
+		}
 	}
 	return s
 }

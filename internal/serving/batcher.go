@@ -138,10 +138,14 @@ func (b *liveBatcher) timerFlush(gen uint64) {
 }
 
 // liveKey is the live former's compatibility key: queries share one
-// batched pass only when they resolve to the same SubNet row under the
-// same effective policy (mixing policies would make ScheduleBatch
+// batched pass only when they target the same model and resolve to the
+// same SubNet row under the same effective policy (different models
+// read different weights; mixing policies would make ScheduleBatch
 // reject the whole group).
 type liveKey struct {
+	// model is the query's canonical model id ("" on single-model
+	// deployments; the cluster normalizes before submit).
+	model string
 	// row is the scheduled SubNet's table row (-1 = unschedulable,
 	// served solo so the error path stays per-query).
 	row int
@@ -168,7 +172,7 @@ func (b *liveBatcher) flush(batch []*pendingServe) {
 			continue
 		default:
 		}
-		key := liveKey{row: b.rep.ScheduledSubNet(p.q), policy: -1}
+		key := liveKey{model: p.q.Model, row: b.rep.ScheduledSubNet(p.q), policy: -1}
 		if p.q.Policy != nil {
 			key.policy = int(*p.q.Policy)
 		}

@@ -29,14 +29,11 @@ type Cluster struct {
 	batchers []*liveBatcher
 }
 
-// NewCluster builds a cluster over the given systems. A nil router
-// defaults to round-robin.
+// NewCluster builds a single-model cluster over the given systems. A
+// nil router defaults to round-robin.
 func NewCluster(systems []*System, router Router) (*Cluster, error) {
 	if len(systems) == 0 {
 		return nil, fmt.Errorf("serving: cluster needs at least one replica")
-	}
-	if router == nil {
-		router = NewRoundRobin()
 	}
 	reps := make([]*Replica, len(systems))
 	for i, sys := range systems {
@@ -45,7 +42,57 @@ func NewCluster(systems []*System, router Router) (*Cluster, error) {
 		}
 		reps[i] = NewReplica(i, sys)
 	}
+	return NewClusterFromReplicas(reps, router)
+}
+
+// NewClusterFromReplicas builds a cluster over pre-constructed replicas
+// — the multi-tenant entry point (core.DeployCluster assembles one
+// multi-model Replica per fleet slot and wires them here). Every
+// replica must host the same model set, in the same tenant order, so
+// routing and model normalization agree fleet-wide. A nil router
+// defaults to round-robin.
+func NewClusterFromReplicas(reps []*Replica, router Router) (*Cluster, error) {
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("serving: cluster needs at least one replica")
+	}
+	if router == nil {
+		router = NewRoundRobin()
+	}
+	for i, rep := range reps {
+		if rep == nil {
+			return nil, fmt.Errorf("serving: nil replica %d", i)
+		}
+	}
+	models := reps[0].Models()
+	for i, rep := range reps {
+		got := rep.Models()
+		if len(got) != len(models) {
+			return nil, fmt.Errorf("serving: replica %d hosts %v, replica 0 hosts %v", i, got, models)
+		}
+		for j := range got {
+			if got[j] != models[j] {
+				return nil, fmt.Errorf("serving: replica %d hosts %v, replica 0 hosts %v", i, got, models)
+			}
+		}
+	}
 	return &Cluster{reps: reps, router: router}, nil
+}
+
+// Models lists the cluster's co-hosted model ids in tenant order (a
+// single [""] for single-model deployments).
+func (c *Cluster) Models() []string { return c.reps[0].Models() }
+
+// normalize resolves a query's model id to the fleet's canonical form
+// ("" stays "" on single-model clusters) or rejects an unknown model
+// with a typed UnknownModelError — before routing, so model-aware
+// routers always score the right tenant.
+func (c *Cluster) normalize(q sched.Query) (sched.Query, error) {
+	m, ok := c.reps[0].CanonicalModel(q.Model)
+	if !ok {
+		return q, &UnknownModelError{Model: q.Model, Have: c.reps[0].Models()}
+	}
+	q.Model = m
+	return q, nil
 }
 
 // EnableBatching turns on live-path micro-batching with the given
@@ -105,6 +152,10 @@ func (c *Cluster) route(q sched.Query) *Replica {
 // cancellation abandons the wait — the batch former then skips the
 // query at flush.
 func (c *Cluster) Serve(ctx context.Context, q sched.Query) (Served, error) {
+	q, err := c.normalize(q)
+	if err != nil {
+		return Served{}, err
+	}
 	rep := c.route(q)
 	if c.batchers == nil {
 		return rep.serve(ctx, q)
@@ -148,6 +199,17 @@ func (c *Cluster) ServeAll(ctx context.Context, qs []sched.Query) ([]Served, err
 		idx int
 		q   sched.Query
 	}
+	// Validate (and normalize) the whole batch before any query executes
+	// — no accelerator state mutates for work the caller will discard.
+	normalized := make([]sched.Query, len(qs))
+	for i, q := range qs {
+		nq, err := c.normalize(q)
+		if err != nil {
+			return make([]Served, len(qs)), err
+		}
+		normalized[i] = nq
+	}
+	qs = normalized
 	groups := make([][]item, len(c.reps))
 	c.mu.Lock()
 	for i, q := range qs {
@@ -249,6 +311,18 @@ func (c *Cluster) ServeStream(ctx context.Context, in <-chan sched.Query) <-chan
 				if !ok {
 					return
 				}
+				nq, err := c.normalize(q)
+				if err != nil {
+					// An unknown model is a per-query failure on the open
+					// stream: report it and keep serving the rest.
+					select {
+					case out <- Result{Err: err, Replica: -1}:
+					case <-ctx.Done():
+						return
+					}
+					continue
+				}
+				q = nq
 				rep := c.route(q)
 				select {
 				case queues[rep.ID()] <- q:

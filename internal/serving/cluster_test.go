@@ -3,6 +3,7 @@ package serving
 import (
 	"context"
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -132,7 +133,7 @@ func TestClusterDeterministicUnderSeededRouter(t *testing.T) {
 	}
 	a, b := run(), run()
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Errorf("replica %d summaries diverge:\n%v\n%v", i, a[i], b[i])
 		}
 	}
@@ -376,7 +377,7 @@ func TestAccumulatorReservoirBounded(t *testing.T) {
 		t.Fatalf("reservoir holds %d samples, want cap %d", len(a.lats.xs), maxLatencySamples)
 	}
 	sa, sb := a.Summary(), b.Summary()
-	if sa != sb {
+	if !reflect.DeepEqual(sa, sb) {
 		t.Error("identical add orders produced different summaries (reservoir not deterministic)")
 	}
 	if sa.Queries != 3*maxLatencySamples || sa.LatencySLO != 1 {

@@ -125,11 +125,14 @@ func (s windowScore) better(o windowScore) bool {
 // state touched) and returns the column to switch to, if any: the
 // best-scoring column when it differs from the current one and either
 // serves strictly more window queries feasibly or cuts total predicted
-// latency by at least MinGain. It runs at most once per Cooldown
-// observed queries — the caller resets sinceEval after every full
-// evaluation, so a stable workload pays the O(Window x columns) replay
-// once per Cooldown, not per query. The caller owns the replica lock.
-func (rc *recacheState) advise(sys *System) (int, bool) {
+// latency by at least MinGain. A positive limit caps the candidate set
+// to columns whose SubGraph fits limit bytes — the tenant's share of a
+// partitioned Persistent Buffer; 0 considers every column (the
+// single-model behaviour). It runs at most once per Cooldown observed
+// queries — the caller resets sinceEval after every full evaluation,
+// so a stable workload pays the O(Window x columns) replay once per
+// Cooldown, not per query. The caller owns the replica lock.
+func (rc *recacheState) advise(sys *System, limit int64) (int, bool) {
 	if rc.filled < rc.pol.Window || rc.sinceEval < rc.pol.Cooldown {
 		return 0, false
 	}
@@ -162,6 +165,9 @@ func (rc *recacheState) advise(sys *System) (int, bool) {
 		if j == cur {
 			continue
 		}
+		if limit > 0 && tab.Graphs[j].Bytes() > limit {
+			continue
+		}
 		s, ok := score(j)
 		if !ok {
 			continue
@@ -181,28 +187,29 @@ func (rc *recacheState) advise(sys *System) (int, bool) {
 }
 
 // maybeRecache records the served query and, when the advisor finds a
-// better column, enacts the switch through System.Recache. It returns
-// the modeled switch cost in seconds and whether a switch happened.
-// The caller owns the replica lock.
-func (rc *recacheState) maybeRecache(sys *System, q sched.Query) (float64, bool) {
+// better column within limit bytes (0 = uncapped), enacts the switch
+// through System.Recache. It returns the modeled switch cost in
+// seconds and whether a switch happened. The caller owns the replica
+// lock.
+func (rc *recacheState) maybeRecache(sys *System, q sched.Query, limit int64) (float64, bool) {
 	rc.observe(q)
-	return rc.adviseAndEnact(sys)
+	return rc.adviseAndEnact(sys, limit)
 }
 
 // maybeRecacheBatch folds a whole served micro-batch into the window and
 // runs the advisor ONCE: a batch flush charges at most one re-cache,
 // however many Cooldown boundaries its members span. The caller owns
 // the replica lock.
-func (rc *recacheState) maybeRecacheBatch(sys *System, qs []sched.Query) (float64, bool) {
+func (rc *recacheState) maybeRecacheBatch(sys *System, qs []sched.Query, limit int64) (float64, bool) {
 	for _, q := range qs {
 		rc.observe(q)
 	}
-	return rc.adviseAndEnact(sys)
+	return rc.adviseAndEnact(sys, limit)
 }
 
 // adviseAndEnact runs the advisor and, on advice, switches the cache.
-func (rc *recacheState) adviseAndEnact(sys *System) (float64, bool) {
-	col, ok := rc.advise(sys)
+func (rc *recacheState) adviseAndEnact(sys *System, limit int64) (float64, bool) {
+	col, ok := rc.advise(sys, limit)
 	if !ok {
 		return 0, false
 	}

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -10,76 +11,204 @@ import (
 	"sushi/internal/supernet"
 )
 
-// Replica is one cluster member: a System (its own simulated SushiAccel
-// and Persistent Buffer) made safe for concurrent callers. Queries on
-// one replica serialize through its mutex — exactly as a query stream
-// serializes onto one physical accelerator — while different replicas
-// serve in parallel.
+// UnknownModelError is the typed rejection for a query naming a model
+// the deployment does not host; the HTTP surface maps it to 400.
+type UnknownModelError struct {
+	// Model is the rejected model id.
+	Model string
+	// Have lists the models the deployment hosts.
+	Have []string
+}
+
+// Error implements error.
+func (e *UnknownModelError) Error() string {
+	return fmt.Sprintf("serving: unknown model %q (deployment hosts %v)", e.Model, e.Have)
+}
+
+// Tenant pairs a model id with its serving stack — one entry of a
+// multi-tenant replica. The first tenant is the replica's default
+// model (queries with an empty Model resolve to it).
+type Tenant struct {
+	// Model is the tenant's model id ("resnet50", ...). Single-model
+	// replicas use "" — the pre-multi-tenant behaviour.
+	Model string
+	// Sys is the tenant's vertically integrated serving stack: its own
+	// scheduler, latency table and simulated accelerator state.
+	Sys *System
+}
+
+// tenant is one model's slice of a replica: the per-model System (its
+// own sched.Scheduler and latency-table family), the atomically
+// published cache snapshot routers score against, the per-model
+// cache-management layer, and the tenant's share of the replica's
+// shared Persistent Buffer.
+type tenant struct {
+	model string
+	sys   *System
+	// cache is the tenant's last published cache state, read lock-free
+	// by routers and batch formers. Guarded for writes by the replica
+	// lock.
+	cache atomic.Pointer[cacheSnapshot]
+	// rec is the tenant's cache-management layer (nil = disabled).
+	// Guarded by the replica lock.
+	rec *recacheState
+	// shareBytes is the tenant's current share of the replica's
+	// Persistent Buffer in bytes (0 = uncapped: the whole PB, the
+	// single-model behaviour). The cache-management layer and the
+	// partitioner only consider cache columns that fit the share.
+	// Guarded by the replica lock.
+	shareBytes int64
+	// windowQueries counts queries served since the partitioner's last
+	// rebalance — the traffic signal shares are re-weighted by.
+	windowQueries int
+}
+
+// Replica is one cluster member: one System per co-hosted model (each
+// with its own scheduler and latency-table family, behind ONE shared
+// simulated accelerator whose Persistent Buffer the tenants partition)
+// made safe for concurrent callers. Queries on one replica serialize
+// through its mutex — exactly as a query stream serializes onto one
+// physical accelerator — while different replicas serve in parallel.
 type Replica struct {
-	id  int
-	sys *System
-	// mu owns sys (scheduler, simulator) and acc.
+	id int
+	// tenants holds the co-hosted models in deployment order; entry 0
+	// is the default model. Immutable after construction, so model
+	// resolution is lock-free.
+	tenants []*tenant
+	byModel map[string]*tenant
+	// mu owns every tenant's mutable state (scheduler, simulator,
+	// recache window, PB shares) and acc.
 	mu  sync.Mutex
 	acc Accumulator
 	// depth counts routed-but-unfinished queries (queued + in flight).
 	depth atomic.Int64
-	// cache is the replica's last published cache state, read lock-free
-	// by affinity routing so dispatch never blocks on in-flight serves.
-	cache atomic.Pointer[cacheSnapshot]
-	// rec is the cache-management layer (nil = re-caching disabled, the
-	// fixed-cache behaviour of earlier revisions). Guarded by mu.
-	rec *recacheState
+	// part is the shared-PB cache partitioner (nil = static split or
+	// single model). Guarded by mu.
+	part *partitionState
 }
 
-// cacheSnapshot is an immutable view of a replica's cache state: the
-// scheduler's believed column and the SubGraph the PB holds.
+// cacheSnapshot is an immutable view of a tenant's cache state: the
+// scheduler's believed column and the SubGraph slice of the PB it owns.
 type cacheSnapshot struct {
 	col   int
 	graph *supernet.SubGraph
 }
 
-// NewReplica wraps a system as cluster member id.
+// NewReplica wraps a single-model system as cluster member id — the
+// pre-multi-tenant constructor, byte-for-byte equivalent to a
+// one-tenant NewMultiReplica with model "".
 func NewReplica(id int, sys *System) *Replica {
-	r := &Replica{id: id, sys: sys}
-	r.publishCache()
+	r, err := NewMultiReplica(id, []Tenant{{Model: "", Sys: sys}})
+	if err != nil {
+		// A single non-nil system cannot fail validation; keep the old
+		// non-erroring signature.
+		panic(err)
+	}
 	return r
 }
 
-// publishCache snapshots the current cache state for lock-free readers.
-// Callers own the replica lock (or exclusive access at construction).
-func (r *Replica) publishCache() {
-	r.cache.Store(&cacheSnapshot{
-		col:   r.sys.Scheduler().CacheColumn(),
-		graph: r.sys.Simulator().Cached(),
+// NewMultiReplica wraps one System per co-hosted model as cluster
+// member id. Tenant 0 is the default model (empty Query.Model resolves
+// to it); model ids must be unique.
+func NewMultiReplica(id int, tenants []Tenant) (*Replica, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("serving: replica %d needs at least one tenant", id)
+	}
+	r := &Replica{
+		id:      id,
+		tenants: make([]*tenant, len(tenants)),
+		byModel: make(map[string]*tenant, len(tenants)),
+	}
+	for i, tn := range tenants {
+		if tn.Sys == nil {
+			return nil, fmt.Errorf("serving: replica %d: nil system for model %q", id, tn.Model)
+		}
+		if tn.Model == "" && len(tenants) > 1 {
+			return nil, fmt.Errorf("serving: replica %d: multi-tenant replicas need named models", id)
+		}
+		if _, dup := r.byModel[tn.Model]; dup {
+			return nil, fmt.Errorf("serving: replica %d: duplicate model %q", id, tn.Model)
+		}
+		t := &tenant{model: tn.Model, sys: tn.Sys}
+		r.tenants[i] = t
+		r.byModel[tn.Model] = t
+		r.publishCache(t)
+	}
+	return r, nil
+}
+
+// tenantFor resolves a model id ("" = the default tenant). Lock-free:
+// the tenant set is immutable after construction.
+func (r *Replica) tenantFor(model string) (*tenant, error) {
+	if model == "" {
+		return r.tenants[0], nil
+	}
+	if t, ok := r.byModel[model]; ok {
+		return t, nil
+	}
+	return nil, &UnknownModelError{Model: model, Have: r.Models()}
+}
+
+// CanonicalModel resolves a query's model id to the tenant's canonical
+// name ("" stays "" on single-model replicas — the default tenant's
+// id). The second result reports whether the model is hosted at all.
+func (r *Replica) CanonicalModel(model string) (string, bool) {
+	t, err := r.tenantFor(model)
+	if err != nil {
+		return "", false
+	}
+	return t.model, true
+}
+
+// Models lists the co-hosted model ids in tenant order (a single
+// [""] for single-model replicas).
+func (r *Replica) Models() []string {
+	out := make([]string, len(r.tenants))
+	for i, t := range r.tenants {
+		out[i] = t.model
+	}
+	return out
+}
+
+// publishCache snapshots a tenant's current cache state for lock-free
+// readers. Callers own the replica lock (or exclusive access at
+// construction).
+func (r *Replica) publishCache(t *tenant) {
+	t.cache.Store(&cacheSnapshot{
+		col:   t.sys.Scheduler().CacheColumn(),
+		graph: t.sys.Simulator().Cached(),
 	})
 }
 
 // AffinityScore is the overlap (||SN ∩ G||² / ||SN||²) between the
-// SubNet this replica would serve for q — evaluated against its last
-// published cache state — and the SubGraph its Persistent Buffer holds.
-// Lock-free: it reads the atomic snapshot and the scheduler's immutable
-// table only, so routers may call it while the replica is serving.
+// SubNet the query's model-tenant would serve for q — evaluated
+// against its last published cache state — and the SubGraph slice its
+// Persistent Buffer share holds. Lock-free: it reads the atomic
+// snapshot and the tenant scheduler's immutable table only, so routers
+// may call it while the replica is serving.
 func (r *Replica) AffinityScore(q sched.Query) float64 {
-	snap := r.cache.Load()
-	if snap == nil || snap.graph == nil {
-		return 0
-	}
-	d, err := r.sys.Scheduler().PeekAt(q, snap.col)
+	t, err := r.tenantFor(q.Model)
 	if err != nil {
 		return -1
 	}
-	return supernet.Overlap(r.sys.Table().SubNets[d.SubNet].Graph, snap.graph)
+	snap := t.cache.Load()
+	if snap == nil || snap.graph == nil {
+		return 0
+	}
+	d, err := t.sys.Scheduler().PeekAt(q, snap.col)
+	if err != nil {
+		return -1
+	}
+	return supernet.Overlap(t.sys.Table().SubNets[d.SubNet].Graph, snap.graph)
 }
 
-// PredictedLatency is the service latency (seconds) this replica's own
-// latency table predicts for q under its last published cache column —
-// the hardware-aware routing signal: heterogeneous fleets have one
-// table per hardware configuration, so the same query scores
-// differently per replica. The prediction covers whatever the
-// scheduler would actually serve, including the best-effort fallback
-// when the constraint is unsatisfiable (use predicted for the
-// feasibility verdict). Lock-free like AffinityScore; returns +Inf
-// when the query cannot be scheduled at all.
+// PredictedLatency is the service latency (seconds) the query's
+// model-tenant's own latency table predicts for q under its last
+// published cache column — the hardware- and model-aware routing
+// signal: heterogeneous fleets have one table per (model, hardware)
+// pair, so the same query scores differently per replica AND per
+// model. Lock-free like AffinityScore; returns +Inf when the query
+// cannot be scheduled at all (including an unknown model).
 func (r *Replica) PredictedLatency(q sched.Query) float64 {
 	lat, _ := r.predicted(q)
 	return lat
@@ -92,11 +221,15 @@ func (r *Replica) PredictedLatency(q sched.Query) float64 {
 // would systematically attract queries to replicas that cannot honour
 // their constraints.
 func (r *Replica) predicted(q sched.Query) (float64, bool) {
-	snap := r.cache.Load()
+	t, err := r.tenantFor(q.Model)
+	if err != nil {
+		return math.Inf(1), false
+	}
+	snap := t.cache.Load()
 	if snap == nil {
 		return math.Inf(1), false
 	}
-	d, err := r.sys.Scheduler().PeekAt(q, snap.col)
+	d, err := t.sys.Scheduler().PeekAt(q, snap.col)
 	if err != nil {
 		return math.Inf(1), false
 	}
@@ -104,59 +237,140 @@ func (r *Replica) predicted(q sched.Query) (float64, bool) {
 }
 
 // ScheduledSubNet is the batch former's compatibility key: the table
-// row the scheduler would serve for q against the replica's last
-// published cache column (-1 when q cannot be scheduled at all).
-// Queries that resolve to the same row can share one batched
-// accelerator pass — they read the same weights. Lock-free like
-// AffinityScore, so batch formers may call it while the replica serves.
+// row the query's model-tenant scheduler would serve for q against its
+// last published cache column (-1 when q cannot be scheduled at all).
+// Queries that resolve to the same (model, row) pair can share one
+// batched accelerator pass — they read the same weights. Lock-free
+// like AffinityScore, so batch formers may call it while the replica
+// serves.
 func (r *Replica) ScheduledSubNet(q sched.Query) int {
-	snap := r.cache.Load()
+	t, err := r.tenantFor(q.Model)
+	if err != nil {
+		return -1
+	}
+	snap := t.cache.Load()
 	if snap == nil {
 		return -1
 	}
-	d, err := r.sys.Scheduler().PeekAt(q, snap.col)
+	d, err := t.sys.Scheduler().PeekAt(q, snap.col)
 	if err != nil {
 		return -1
 	}
 	return d.SubNet
 }
 
-// EnableRecache turns on the replica's cache-management layer with the
-// given policy (zero-valued fields select defaults): the replica starts
-// tracking its served query mix and re-caches when a different cache
-// column would have served the recent window better. Call before
-// serving begins; enabling mid-stream discards no state but the window
-// starts empty.
+// EnableRecache turns on the cache-management layer for every tenant
+// with the given policy (zero-valued fields select defaults): each
+// tenant starts tracking its served query mix and re-caches when a
+// different cache column — within its PB share — would have served the
+// recent window better. Call before serving begins; enabling
+// mid-stream discards no state but the windows start empty.
 func (r *Replica) EnableRecache(pol RecachePolicy) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.rec = newRecacheState(pol)
+	for _, t := range r.tenants {
+		t.rec = newRecacheState(pol)
+	}
+}
+
+// EnablePartition arms the shared-PB cache partitioner over the
+// replica's tenants: the Persistent Buffer (pbBytes capacity) is
+// divided into 2M half-slots for M tenants, every tenant starts at the
+// static split of 2 half-slots (PB/M), and — under the traffic-
+// weighted policy — shares are re-apportioned to the observed
+// per-model traffic every pol.Window served queries, a hot model
+// stealing half-slots from a cold one. Shrunk tenants are forced onto
+// a cache column that fits (System.Recache, the switch cost charged
+// exactly like a window-driven re-cache); grown tenants take the
+// largest column their new share admits. Call before serving begins;
+// single-tenant replicas reject the call (nothing to partition).
+func (r *Replica) EnablePartition(pol PartitionPolicy, pbBytes int64) error {
+	if len(r.tenants) < 2 {
+		return fmt.Errorf("serving: partitioning needs at least two tenants (have %d)", len(r.tenants))
+	}
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	if pbBytes <= 0 {
+		return fmt.Errorf("serving: partitioning needs a Persistent Buffer (PB bytes %d)", pbBytes)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.part = newPartitionState(pol, pbBytes, len(r.tenants))
+	for _, t := range r.tenants {
+		t.shareBytes = 2 * r.part.halfSlot
+		// Algorithm 1's own Q-periodic updates must respect the share too.
+		t.sys.Scheduler().SetCacheBudget(t.shareBytes)
+	}
+	return nil
+}
+
+// PartitionShares reports each tenant's current PB share in bytes, in
+// tenant order (nil while partitioning is off).
+func (r *Replica) PartitionShares() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.part == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(r.tenants))
+	for _, t := range r.tenants {
+		out[t.model] = t.shareBytes
+	}
+	return out
+}
+
+// PartitionStats reports the partitioner's enacted share-driven cache
+// switches and their total modeled fill time in seconds (0, 0 while
+// partitioning is off or static).
+func (r *Replica) PartitionStats() (switches int, seconds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.part == nil {
+		return 0, 0
+	}
+	return r.part.switches, r.part.switchSec
 }
 
 // RecacheStats reports the window-driven cache switches enacted so far
-// and their total modeled fill time in seconds (0, 0 while re-caching
-// is disabled).
+// — the per-tenant cache-management layer plus the partitioner — and
+// their total modeled fill time in seconds (0, 0 while both are
+// disabled).
 func (r *Replica) RecacheStats() (switches int, seconds float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.rec == nil {
-		return 0, 0
+	for _, t := range r.tenants {
+		if t.rec != nil {
+			switches += t.rec.switches
+			seconds += t.rec.switchSec
+		}
 	}
-	return r.rec.switches, r.rec.switchSec
+	if r.part != nil {
+		switches += r.part.switches
+		seconds += r.part.switchSec
+	}
+	return switches, seconds
 }
 
-// TakeRecacheCost consumes the virtual-time cost (seconds) of the
-// re-cache enacted by the most recent ServeVirtual, or 0. The simq
-// engine calls it after each virtual service to extend the replica's
-// busy interval — the switch occupies the accelerator without serving.
+// TakeRecacheCost consumes the virtual-time cost (seconds) of every
+// cache switch enacted by the most recent ServeVirtual — tenant
+// re-caches plus partition rebalances — or 0. The simq engine calls it
+// after each virtual service to extend the replica's busy interval:
+// the switches occupy the accelerator without serving.
 func (r *Replica) TakeRecacheCost() float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.rec == nil {
-		return 0
+	var c float64
+	for _, t := range r.tenants {
+		if t.rec != nil {
+			c += t.rec.pendingSec
+			t.rec.pendingSec = 0
+		}
 	}
-	c := r.rec.pendingSec
-	r.rec.pendingSec = 0
+	if r.part != nil {
+		c += r.part.pendingSec
+		r.part.pendingSec = 0
+	}
 	return c
 }
 
@@ -174,7 +388,8 @@ func (r *Replica) Queries() int {
 	return r.acc.Queries()
 }
 
-// Summary folds this replica's served stream.
+// Summary folds this replica's served stream (per-model slices under
+// Summary.PerModel on multi-tenant replicas).
 func (r *Replica) Summary() Summary {
 	return r.snapshot().Summary()
 }
@@ -186,13 +401,25 @@ func (r *Replica) snapshot() *Accumulator {
 	return r.acc.Snapshot()
 }
 
-// Inspect runs f with exclusive access to the replica's system, for
-// read-only views of scheduler/simulator state (cache contents, swap
-// counters). f must not retain the system past the call.
+// Inspect runs f with exclusive access to the replica's DEFAULT
+// tenant's system, for read-only views of scheduler/simulator state.
+// Multi-tenant callers use InspectTenants. f must not retain the
+// system past the call.
 func (r *Replica) Inspect(f func(*System)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	f(r.sys)
+	f(r.tenants[0].sys)
+}
+
+// InspectTenants runs f once per tenant, in tenant order, with
+// exclusive access to each tenant's system and current PB share — the
+// multi-tenant view hook. f must not retain the systems past the call.
+func (r *Replica) InspectTenants(f func(model string, shareBytes int64, sys *System)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.tenants {
+		f(t.model, t.shareBytes, t.sys)
+	}
 }
 
 // reserve marks one routed query; serve's completion releases it.
@@ -202,32 +429,74 @@ func (r *Replica) reserve() { r.depth.Add(1) }
 // done releases a reservation without serving (cancelled dispatch).
 func (r *Replica) done() { r.depth.Add(-1) }
 
+// observeTenant folds one served query into the tenant's cache window
+// and the partitioner's traffic counters, enacting any advised
+// switches. Live-path convention: switch costs charge the next query
+// via chargeSwap. Returns whether the tenant's own advisor switched.
+// The caller owns the replica lock.
+func (r *Replica) observeTenant(t *tenant, offered sched.Query) bool {
+	switched := false
+	if t.rec != nil {
+		if cost, sw := t.rec.maybeRecache(t.sys, offered, t.shareBytes); sw {
+			switched = true
+			t.sys.chargeSwap(cost)
+		}
+	}
+	if r.part != nil {
+		t.windowQueries++
+		r.part.maybeRebalance(r, func(tn *tenant, cost float64) {
+			tn.sys.chargeSwap(cost)
+		})
+	}
+	return switched
+}
+
+// observeTenantVirtual is observeTenant for the simq engine: switch
+// costs accumulate as pending virtual-time busy seconds consumed by
+// TakeRecacheCost. The caller owns the replica lock.
+func (r *Replica) observeTenantVirtual(t *tenant, offered sched.Query) bool {
+	switched := false
+	if t.rec != nil {
+		if cost, sw := t.rec.maybeRecache(t.sys, offered, t.shareBytes); sw {
+			switched = true
+			t.rec.pendingSec += cost
+		}
+	}
+	if r.part != nil {
+		t.windowQueries++
+		r.part.maybeRebalance(r, func(_ *tenant, cost float64) {
+			r.part.pendingSec += cost
+		})
+	}
+	return switched
+}
+
 // serve runs one reserved query: it serializes on the replica lock,
-// serves through the context-aware path and folds the outcome into the
-// replica accumulator. The reservation is released on every path.
+// serves through the context-aware path of the query's model-tenant
+// and folds the outcome into the replica accumulator. The reservation
+// is released on every path.
 func (r *Replica) serve(ctx context.Context, q sched.Query) (Served, error) {
 	defer r.depth.Add(-1)
 	if err := ctx.Err(); err != nil {
 		return Served{}, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	res, err := r.sys.ServeContext(ctx, q)
+	t, err := r.tenantFor(q.Model)
 	if err != nil {
 		return Served{}, err
 	}
-	if r.rec != nil {
-		if cost, switched := r.rec.maybeRecache(r.sys, q); switched {
-			res.Recached = true
-			// On the live path the switch cost follows the closed-loop
-			// convention: charged to the next query when the system
-			// accounts swap latency at all.
-			r.sys.chargeSwap(cost)
-		}
+	q.Model = t.model
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, err := t.sys.ServeContext(ctx, q)
+	if err != nil {
+		return Served{}, err
+	}
+	if r.observeTenant(t, q) {
+		res.Recached = true
 	}
 	r.acc.Add(res)
 	if res.CacheSwapped || res.Recached {
-		r.publishCache()
+		r.publishCache(t)
 	}
 	return res, nil
 }
@@ -244,53 +513,73 @@ func (r *Replica) Serve(ctx context.Context, q sched.Query) (Served, error) {
 // flush of one toward the batch-occupancy stats.
 func (r *Replica) serveReserved(q sched.Query) (Served, error) {
 	defer r.depth.Add(-1)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	res, err := r.sys.Serve(q)
+	t, err := r.tenantFor(q.Model)
 	if err != nil {
 		return Served{}, err
 	}
-	if r.rec != nil {
-		if cost, switched := r.rec.maybeRecache(r.sys, q); switched {
-			res.Recached = true
-			r.sys.chargeSwap(cost)
-		}
+	q.Model = t.model
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, err := t.sys.Serve(q)
+	if err != nil {
+		return Served{}, err
+	}
+	if r.observeTenant(t, q) {
+		res.Recached = true
 	}
 	r.acc.Add(res)
 	r.acc.ObserveBatch(1)
 	if res.CacheSwapped || res.Recached {
-		r.publishCache()
+		r.publishCache(t)
 	}
 	return res, nil
 }
 
 // serveBatchReserved serves one already-reserved micro-batch on the
-// live path: one ServeBatch pass under the replica lock, at most one
-// window-driven re-cache after it (cost charged to the next query under
-// ChargeSwapLatency, the closed-loop convention), per-member outcomes
-// folded into the accumulator plus one batch-occupancy observation.
+// live path: one ServeBatch pass on the batch's model-tenant under the
+// replica lock (the former never mixes models), at most one
+// window-driven re-cache after it (cost charged to the next query
+// under ChargeSwapLatency, the closed-loop convention), per-member
+// outcomes folded into the accumulator plus one batch-occupancy
+// observation.
 func (r *Replica) serveBatchReserved(qs []sched.Query) ([]Served, error) {
 	defer r.depth.Add(-int64(len(qs)))
+	t, err := r.tenantFor(qs[0].Model)
+	if err != nil {
+		return nil, err
+	}
+	normalized := make([]sched.Query, len(qs))
+	for i, q := range qs {
+		q.Model = t.model
+		normalized[i] = q
+	}
+	qs = normalized
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rs, err := r.sys.ServeBatch(qs)
+	rs, err := t.sys.ServeBatch(qs)
 	if err != nil {
 		return nil, err
 	}
 	recached := false
-	if r.rec != nil {
-		if cost, switched := r.rec.maybeRecacheBatch(r.sys, qs); switched {
+	if t.rec != nil {
+		if cost, switched := t.rec.maybeRecacheBatch(t.sys, qs, t.shareBytes); switched {
 			recached = true
 			rs[len(rs)-1].Recached = true
-			r.sys.chargeSwap(cost)
+			t.sys.chargeSwap(cost)
 		}
+	}
+	if r.part != nil {
+		t.windowQueries += len(qs)
+		r.part.maybeRebalance(r, func(tn *tenant, cost float64) {
+			tn.sys.chargeSwap(cost)
+		})
 	}
 	for _, res := range rs {
 		r.acc.Add(res)
 	}
 	r.acc.ObserveBatch(len(qs))
 	if recached || rs[len(rs)-1].CacheSwapped {
-		r.publishCache()
+		r.publishCache(t)
 	}
 	return rs, nil
 }
@@ -315,79 +604,97 @@ func (r *Replica) Release() { r.done() }
 // layer observes it so re-caching chases the workload's (A_t, L_t)
 // drift, not transient queue-induced budget erosion or degrade
 // rewrites. With degrade set, the query is served by the fastest
-// SubNet reachable under the replica's current cache column (admission
-// control's degrade-to-fastest escape valve): accuracy floor dropped,
-// budget collapsed to the column's minimum latency under a per-query
-// StrictLatency override.
+// SubNet reachable under ITS OWN MODEL's current cache column
+// (admission control's degrade-to-fastest escape valve resolves the
+// budget against the query's own latency table): accuracy floor
+// dropped, budget collapsed to that column's minimum latency under a
+// per-query StrictLatency override.
 func (r *Replica) ServeVirtual(q, offered sched.Query, degrade bool) (Served, error) {
+	t, err := r.tenantFor(q.Model)
+	if err != nil {
+		return Served{}, err
+	}
+	q.Model, offered.Model = t.model, t.model
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if degrade {
 		pol := sched.StrictLatency
 		q.MinAccuracy = 0
-		q.MaxLatency = r.sys.fastestBudget()
+		q.MaxLatency = t.sys.fastestBudget()
 		q.Policy = &pol
 	}
-	res, err := r.sys.Serve(q)
+	res, err := t.sys.Serve(q)
 	if err != nil {
 		return Served{}, err
 	}
-	if r.rec != nil {
-		if cost, switched := r.rec.maybeRecache(r.sys, offered); switched {
-			res.Recached = true
-			// The engine consumes the cost via TakeRecacheCost and models
-			// it as replica busy time in virtual seconds.
-			r.rec.pendingSec += cost
-		}
+	if r.observeTenantVirtual(t, offered) {
+		res.Recached = true
 	}
 	if res.CacheSwapped || res.Recached {
-		r.publishCache()
+		r.publishCache(t)
 	}
 	return res, nil
 }
 
 // ServeBatchVirtual serves one micro-batch at a virtual instant on
 // behalf of the simq engine — the batched counterpart of ServeVirtual:
-// one accelerator pass through System.ServeBatch (weights fetched once,
-// members share the batch's total Latency), queue-depth and accumulator
-// bookkeeping left to the caller. offered carries the queries as they
-// arrived (before load-aware debiting and degrade rewrites) for the
-// cache-management layer's window; a flush charges AT MOST ONE re-cache
-// — the advisor runs once, after the whole batch. With degrade set,
-// every member is served by the fastest SubNet reachable under the
-// replica's current cache column (the batch former never mixes degraded
-// and regular queries).
+// one accelerator pass through the batch's model-tenant (the engine's
+// batch former keys on the model, so a flush never mixes models),
+// queue-depth and accumulator bookkeeping left to the caller. offered
+// carries the queries as they arrived (before load-aware debiting and
+// degrade rewrites) for the cache-management layer's window; a flush
+// charges AT MOST ONE re-cache — the advisor runs once, after the
+// whole batch. With degrade set, every member is served by the fastest
+// SubNet reachable under its model's current cache column.
 func (r *Replica) ServeBatchVirtual(qs, offered []sched.Query, degrade bool) ([]Served, error) {
+	t, err := r.tenantFor(qs[0].Model)
+	if err != nil {
+		return nil, err
+	}
+	nq := make([]sched.Query, len(qs))
+	no := make([]sched.Query, len(offered))
+	for i, q := range qs {
+		q.Model = t.model
+		nq[i] = q
+	}
+	for i, q := range offered {
+		q.Model = t.model
+		no[i] = q
+	}
+	qs, offered = nq, no
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if degrade {
 		pol := sched.StrictLatency
-		budget := r.sys.fastestBudget()
-		rewritten := make([]sched.Query, len(qs))
-		for i, q := range qs {
-			q.MinAccuracy = 0
-			q.MaxLatency = budget
-			q.Policy = &pol
-			rewritten[i] = q
+		budget := t.sys.fastestBudget()
+		for i := range qs {
+			qs[i].MinAccuracy = 0
+			qs[i].MaxLatency = budget
+			qs[i].Policy = &pol
 		}
-		qs = rewritten
 	}
-	rs, err := r.sys.ServeBatch(qs)
+	rs, err := t.sys.ServeBatch(qs)
 	if err != nil {
 		return nil, err
 	}
 	recached := false
-	if r.rec != nil {
-		if cost, switched := r.rec.maybeRecacheBatch(r.sys, offered); switched {
+	if t.rec != nil {
+		if cost, switched := t.rec.maybeRecacheBatch(t.sys, offered, t.shareBytes); switched {
 			recached = true
 			// Marked on the last member, mirroring the CacheSwapped
 			// convention: the switch follows the batch.
 			rs[len(rs)-1].Recached = true
-			r.rec.pendingSec += cost
+			t.rec.pendingSec += cost
 		}
 	}
+	if r.part != nil {
+		t.windowQueries += len(qs)
+		r.part.maybeRebalance(r, func(_ *tenant, cost float64) {
+			r.part.pendingSec += cost
+		})
+	}
 	if recached || rs[len(rs)-1].CacheSwapped {
-		r.publishCache()
+		r.publishCache(t)
 	}
 	return rs, nil
 }

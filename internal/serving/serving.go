@@ -182,6 +182,71 @@ func BuildTable(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Optio
 	return table, cfg, nil
 }
 
+// BuildTenantTable derives the SushiAbs latency table for one model of
+// a multi-tenant deployment whose Persistent Buffer is PARTITIONED:
+// the candidate set spans every budget level of the given ladder (the
+// partitioner's half-slot multiples), so at any runtime share there
+// are columns that fit — a shrunk tenant can always evict onto a
+// smaller SubGraph and a grown tenant can always take a bigger one.
+// Candidates are distributed evenly across levels (the remainder goes
+// to the boot level upward), deduplicated across levels (a small model
+// may saturate several budgets with the same truncation), and the
+// per-level generation uses the same seed and strategy family as the
+// single-model BuildTable. An empty ladder, and the NoPB mode, degrade
+// to BuildTable exactly.
+func BuildTenantTable(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options, budgets []int64) (*latencytable.Table, accel.Config, error) {
+	if len(budgets) == 0 || opt.Mode == NoPB {
+		return BuildTable(super, frontier, opt)
+	}
+	if opt.Candidates <= 0 {
+		opt.Candidates = 16
+	}
+	cfg := opt.Accel
+	levels := len(budgets)
+	counts := make([]int, levels)
+	base, rem := opt.Candidates/levels, opt.Candidates%levels
+	for i := range counts {
+		counts[i] = base
+	}
+	for i := 0; i < rem; i++ {
+		// The boot level (index 1, two half-slots) fills first: boot
+		// columns need the most choices.
+		counts[(1+i)%levels]++
+	}
+	var graphs []*supernet.SubGraph
+	seen := map[string]bool{}
+	for i, budget := range budgets {
+		if counts[i] == 0 {
+			continue
+		}
+		gs, err := latencytable.Candidates(super, frontier, latencytable.CandidateOptions{
+			Budget:     budget,
+			Count:      counts[i],
+			Seed:       opt.Seed,
+			Strategies: []latencytable.Strategy{latencytable.TailFirst},
+		})
+		if err != nil {
+			return nil, cfg, err
+		}
+		for _, g := range gs {
+			key := latencytable.Fingerprint(g)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			graphs = append(graphs, g)
+		}
+	}
+	if len(graphs) == 0 {
+		return nil, cfg, fmt.Errorf("serving: no cache candidates generated for any budget level")
+	}
+	table, err := latencytable.Build(cfg, frontier, graphs)
+	if err != nil {
+		return nil, cfg, err
+	}
+	return table, cfg, nil
+}
+
 // New builds a serving system over a supernet's frontier.
 func New(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*System, error) {
 	if len(frontier) == 0 {

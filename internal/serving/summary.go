@@ -60,10 +60,44 @@ type Summary struct {
 	Batches      int
 	AvgBatchSize float64
 	MaxBatchSize int
+
+	// PerModel breaks the same aggregates down by model id on
+	// multi-tenant deployments, sorted by model; empty for single-model
+	// streams (whose queries carry no model id). The nested summaries
+	// carry no PerModel of their own.
+	PerModel []ModelSummary
 }
 
-// Summarize folds a served stream into a Summary.
+// ModelSummary is one model's slice of a multi-tenant Summary.
+type ModelSummary struct {
+	// Model is the model id ("resnet50", ...).
+	Model string
+	Summary
+}
+
+// Summarize folds a served stream into a Summary (with per-model
+// slices when queries carry model ids).
 func Summarize(rs []Served) Summary {
+	s := summarize(rs)
+	byModel := map[string][]Served{}
+	var models []string
+	for _, r := range rs {
+		if m := modelKey(r); m != "" {
+			if _, seen := byModel[m]; !seen {
+				models = append(models, m)
+			}
+			byModel[m] = append(byModel[m], r)
+		}
+	}
+	sort.Strings(models)
+	for _, m := range models {
+		s.PerModel = append(s.PerModel, ModelSummary{Model: m, Summary: summarize(byModel[m])})
+	}
+	return s
+}
+
+// summarize folds a served stream without per-model bucketing.
+func summarize(rs []Served) Summary {
 	var s Summary
 	s.Queries = len(rs)
 	if len(rs) == 0 {

@@ -2,6 +2,7 @@ package simq
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"sushi/internal/serving"
@@ -53,7 +54,7 @@ func sameOutcomes(t *testing.T, label string, a, b *Result) {
 			t.Fatalf("%s: outcome %d differs:\n%+v\n%+v", label, i, x, y)
 		}
 	}
-	if a.Summary != b.Summary {
+	if !reflect.DeepEqual(a.Summary, b.Summary) {
 		t.Errorf("%s: summaries differ:\n%+v\n%+v", label, a.Summary, b.Summary)
 	}
 }

@@ -314,15 +314,20 @@ type replicaState struct {
 }
 
 // batchKey is the engine's batch-former compatibility key: two queued
-// queries may share one accelerator pass only when they would be served
-// the same SubNet (same weights) under the same effective policy and
-// degrade status.
+// queries may share one accelerator pass only when they target the
+// same model (different models read different weights by definition)
+// and would be served the same SubNet under the same effective policy
+// and degrade status.
 type batchKey struct {
+	// model is the query's canonical model id ("" on single-model
+	// deployments; normalized during upfront stream validation).
+	model    string
 	degraded bool
 	// policy is the per-query override (-1 = replica default).
 	policy int
 	// row is the scheduled SubNet's table row (-1 = unschedulable;
-	// degraded queries all collapse to the fastest SubNet, row ignored).
+	// degraded queries of one model all collapse to that model's
+	// fastest SubNet, row ignored).
 	row int
 }
 
@@ -354,6 +359,18 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 	}
 	ordered := make([]serving.TimedQuery, len(qs))
 	copy(ordered, qs)
+	// Normalize model ids upfront (every replica hosts the same tenant
+	// set, so replica 0 speaks for the fleet): an unknown model rejects
+	// the whole stream before any query is served — no side effects on
+	// accelerator state — and batch keys, per-model accumulator buckets
+	// and degrade budgets all see canonical ids.
+	for i := range ordered {
+		m, ok := e.reps[0].CanonicalModel(ordered[i].Model)
+		if !ok {
+			return nil, &serving.UnknownModelError{Model: ordered[i].Model, Have: e.reps[0].Models()}
+		}
+		ordered[i].Model = m
+	}
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
 
 	res := &Result{
@@ -377,6 +394,10 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 		wait := now - j.arrival
 		o := Outcome{
 			TimedServed: serving.TimedServed{
+				// The Served half of a drop stays zero apart from the query
+				// echo: per-model accounting needs the model id of dropped
+				// queries too, so their SLO misses land in the right bucket.
+				Served:  serving.Served{Query: j.q},
 				Arrival: j.arrival, Start: now, Finish: now,
 				QueueDelay: wait, E2ELatency: wait, Dropped: true,
 			},
@@ -392,7 +413,7 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 	// query as it would be served now (after load-aware debiting — that
 	// is the query the scheduler will actually see).
 	keyFor := func(ri int, j job, wait float64) batchKey {
-		k := batchKey{degraded: j.degraded, policy: -1, row: -1}
+		k := batchKey{model: j.q.Model, degraded: j.degraded, policy: -1, row: -1}
 		if j.q.Policy != nil {
 			k.policy = int(*j.q.Policy)
 		}

@@ -2,6 +2,7 @@ package simq
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"sushi/internal/accel"
@@ -284,7 +285,7 @@ func TestClusterOpenLoopDeterminism(t *testing.T) {
 				t.Fatalf("%v: outcome %d differs:\n%+v\n%+v", adm, i, x, y)
 			}
 		}
-		if a.Summary != b.Summary {
+		if !reflect.DeepEqual(a.Summary, b.Summary) {
 			t.Errorf("%v: summaries differ", adm)
 		}
 	}

@@ -46,6 +46,14 @@
 // W for the batch to fill. The same B/W pair drives the live Serve path
 // (wall clock) and Cluster.Simulate's virtual batch former.
 //
+// WithModels makes the fleet multi-tenant: every replica co-hosts one
+// scheduler and latency-table family per model family behind a shared
+// Persistent Buffer, partitioned statically or by observed traffic
+// (WithPartition) — a hot model steals cache from a cold one. Queries
+// pick their model via Query.Model, routers and the batch formers are
+// model-aware, workload.Mix interleaves per-model arrival streams, and
+// Summary.PerModel / GET /v1/replicas report per-model tails and SLO.
+//
 // The deeper layers are available for direct use in advanced scenarios:
 // the experiment harness regenerating every figure and table of the paper
 // lives behind Experiment; the cmd/sushi-bench tool wraps it.
@@ -179,6 +187,14 @@ type (
 	TraceArrivals = workload.Trace
 	// TraceEntry is one recorded tuple of a TraceArrivals.
 	TraceEntry = workload.TraceEntry
+	// Mix superposes per-model arrival processes into one merged,
+	// labelled stream — the multi-tenant workload combinator (e.g. a
+	// diurnal MobileNetV3 stream interleaved with bursty ResNet50).
+	Mix = workload.Mix
+	// MixComponent is one model's arrival stream inside a Mix.
+	MixComponent = workload.MixComponent
+	// ModelSummary is one model's slice of a multi-tenant Summary.
+	ModelSummary = serving.ModelSummary
 	// SimResult aggregates one open-loop run.
 	SimResult = simq.Result
 	// SimOutcome is one query's fate in an open-loop run.
@@ -365,6 +381,11 @@ var experimentRegistry = []experimentEntry{
 	// unbatched capacity (weights fetched once per batch).
 	{id: "batchsweep", workload: core.MobileNetV3,
 		run: func(w core.Workload) (*core.Result, error) { return core.BatchSweep(w, 0) }},
+	// multitenant is the consolidation-vs-isolation experiment: one
+	// shared multi-model fleet vs a static per-model hardware split at
+	// identical hardware and seeds, under anti-correlated per-model
+	// bursts (workload-insensitive: it always runs both families).
+	{id: "multitenant", run: fixed(func() (*core.Result, error) { return core.MultiTenant(0) })},
 }
 
 // Experiments lists the available experiment ids, in registry order.
