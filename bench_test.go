@@ -691,3 +691,54 @@ func BenchmarkMultiTenantSimulate(b *testing.B) {
 	b.ReportMetric(goodput, "goodput-qps")
 	b.ReportMetric(float64(queries), "queries/run")
 }
+
+// BenchmarkElasticSimulate drives the autoscaled 2..8 fleet with a
+// diurnal stream through the virtual-time engine — the elastic half of
+// the elastic experiment, with replica lifecycle events (boot fills,
+// drains, retirements) on the critical path. Fresh deployments per
+// iteration keep runs identical.
+func BenchmarkElasticSimulate(b *testing.B) {
+	const queries = 500
+	proc := Diurnal{BaseRate: 450, Amplitude: 1, Period: 0.55}
+	times, err := proc.Times(queries, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]TimedQuery, queries)
+	for i := range qs {
+		qs[i] = TimedQuery{
+			Query:   Query{ID: i, MaxLatency: 9e-3},
+			Arrival: times[i],
+		}
+	}
+	var scaleUps int
+	var replicaSeconds float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := NewCluster(Options{Workload: MobileNetV3, Policy: StrictLatency},
+			WithRouter(LeastLoaded),
+			WithAutoscale(AutoscaleOptions{
+				Min: 2, Max: 8, Policy: "utilization", Interval: 10e-3}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := c.Simulate(qs, SimOptions{
+			QueueCap: 4, Admission: AdmitReject, LoadAware: true, Drop: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Served == 0 {
+			b.Fatal("nothing served")
+		}
+		if res.ScaleUps == 0 {
+			b.Fatal("fleet never scaled")
+		}
+		scaleUps = res.ScaleUps
+		replicaSeconds = res.ReplicaSeconds
+	}
+	b.ReportMetric(float64(scaleUps), "scale-ups/run")
+	b.ReportMetric(replicaSeconds, "replica-s/run")
+	b.ReportMetric(float64(queries), "queries/run")
+}

@@ -153,6 +153,36 @@ func WithPartition(pol PartitionPolicy) ClusterOption {
 	return func(o *core.ClusterOptions) { o.Partition = &pol }
 }
 
+// AutoscaleOptions configures an elastic fleet for WithAutoscale: the
+// admitting-replica bounds [Min, Max], the scaling policy by name
+// ("utilization", "slo" or "saturation"), the evaluation cadence and
+// the cooldown between enacted scale actions (both in virtual
+// seconds).
+type AutoscaleOptions = core.AutoscaleOptions
+
+// WithAutoscale makes the fleet elastic: the deployment boots Max full
+// replicas up front (cache columns, latency tables and Persistent
+// Buffer partitions are assigned at build time for every replica that
+// could ever serve), replicas Min..Max-1 start in Standby, and
+// Cluster.Simulate lets the named policy move the admitting count
+// between Min and Max on a fixed virtual-time cadence:
+//
+//	c, err := sushi.NewCluster(sushi.Options{Workload: sushi.MobileNetV3},
+//		sushi.WithAutoscale(sushi.AutoscaleOptions{
+//			Min: 2, Max: 8, Policy: "utilization", Interval: 0.25}))
+//
+// Replica lifecycle is first-class in the simulated run: a scale-up
+// boots a Standby (or re-boots a Retired) replica and charges its
+// cold-Persistent-Buffer fill as virtual busy time — exactly a
+// re-cache fill — before it serves; a scale-down stops admitting,
+// drains the replica's queue and in-flight batch, then retires it from
+// every router's view. Min == Max (or omitting WithAutoscale) keeps
+// the fleet fixed and runs bit-identical per seed. WithReplicas may be
+// omitted (it defaults to Max) but must equal Max when set.
+func WithAutoscale(a AutoscaleOptions) ClusterOption {
+	return func(o *core.ClusterOptions) { o.Autoscale = &a }
+}
+
 // WithRecache enables the window-driven cache-management layer on every
 // replica: caches become mutable at runtime, switching to the latency
 // table column that would have served the replica's recent query mix
@@ -289,6 +319,12 @@ type SimOptions struct {
 	// WithBatching policy (wall-clock window carried over numerically);
 	// set MaxBatch to 1 to force an unbatched run on a batched cluster.
 	Batching Batching
+	// Autoscale overrides the deployment's elastic-fleet configuration
+	// for this run (nil inherits WithAutoscale; set Min == Max to pin
+	// the fleet for a control run). Max must not exceed the deployed
+	// replica count — Simulate cannot boot replicas the deployment
+	// never built.
+	Autoscale *AutoscaleOptions
 }
 
 // Simulate plays a timed query stream through the cluster in virtual
@@ -312,6 +348,12 @@ func (c *Cluster) Simulate(qs []TimedQuery, opt SimOptions) (*SimResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	asc := c.d.Autoscale
+	if opt.Autoscale != nil {
+		if asc, err = core.ResolveAutoscale(opt.Autoscale); err != nil {
+			return nil, err
+		}
+	}
 	eng, err := simq.FromCluster(c.d.Cluster, simq.Options{
 		QueueCap:  opt.QueueCap,
 		Admission: opt.Admission,
@@ -319,6 +361,7 @@ func (c *Cluster) Simulate(qs []TimedQuery, opt SimOptions) (*SimResult, error) 
 		Drop:      opt.Drop,
 		Router:    router,
 		Batching:  simq.ResolveBatching(opt.Batching, c.d.Cluster.BatchPolicy()),
+		Autoscale: asc,
 	})
 	if err != nil {
 		return nil, err

@@ -140,8 +140,8 @@ func main() {
 	// Per-replica aggregates also include the two range probes above.
 	fmt.Println("per-replica (incl. 2 probe queries):")
 	for _, rep := range cl.Replicas() {
-		fmt.Printf("  replica %d: %d queries, avg lat %.3f ms, hit %.2f, cache %s (%.2f MB), %d swaps moving %.2f MB\n",
-			rep.ID, rep.Queries, rep.AvgLatencyMS, rep.AvgHitRatio,
+		fmt.Printf("  replica %d (%s): %d queries, avg lat %.3f ms, hit %.2f, cache %s (%.2f MB), %d swaps moving %.2f MB\n",
+			rep.ID, rep.State, rep.Queries, rep.AvgLatencyMS, rep.AvgHitRatio,
 			rep.Cache.Name, rep.Cache.SizeMB, rep.Cache.Swaps, rep.Cache.SwapsMB)
 	}
 	if *out != "" {

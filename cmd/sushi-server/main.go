@@ -17,6 +17,8 @@
 //	             [-accels preset,preset,...] [-recache]
 //	             [-batch n] [-batch-window dur]
 //	             [-models workload,workload,...] [-partition static|traffic]
+//	             [-autoscale min:max] [-autoscale-policy name]
+//	             [-autoscale-interval s] [-autoscale-cooldown s]
 //
 // Router kinds: round-robin (default), least-loaded, affinity, fastest,
 // random. The -accels flag boots a heterogeneous fleet, one preset per
@@ -31,7 +33,13 @@
 // table per listed model behind a shared Persistent Buffer, queries
 // pick their model via the "model" request field, and -partition
 // selects the shared-PB split (static equal shares, or traffic-weighted
-// stealing).
+// stealing). -autoscale min:max boots an ELASTIC fleet: max replicas
+// built up front, min..max-1 starting in standby, with POST /v1/simulate
+// runs letting -autoscale-policy (utilization, slo or saturation) move
+// the admitting count between the bounds every -autoscale-interval
+// virtual seconds (scale-ups pay the cold Persistent Buffer fill;
+// scale-downs drain before retiring). Per-request autoscale_* knobs
+// override the flags.
 package main
 
 import (
@@ -70,6 +78,14 @@ func main() {
 			"comma-separated model families every replica co-hosts (resnet50, mobilenetv3); overrides -w")
 		partition = flag.String("partition", "static",
 			"shared-PB cache partitioning for -models fleets: static or traffic")
+		autoscale = flag.String("autoscale", "",
+			"elastic-fleet bounds min:max (e.g. 2:8); boots max replicas with min..max-1 in standby")
+		autoscalePolicy = flag.String("autoscale-policy", "utilization",
+			"elastic-fleet scaling policy: utilization, slo or saturation")
+		autoscaleInterval = flag.Float64("autoscale-interval", 0.25,
+			"virtual seconds between autoscale policy evaluations")
+		autoscaleCooldown = flag.Float64("autoscale-cooldown", 0,
+			"minimum virtual seconds between enacted scale actions")
 	)
 	flag.Parse()
 
@@ -112,6 +128,26 @@ func main() {
 			copt.Partition = &serving.PartitionPolicy{Mode: mode}
 		}
 	}
+	if *autoscale != "" {
+		var amin, amax int
+		if _, err := fmt.Sscanf(*autoscale, "%d:%d", &amin, &amax); err != nil {
+			log.Fatalf("sushi-server: -autoscale: want min:max (e.g. 2:8), got %q", *autoscale)
+		}
+		copt.Autoscale = &core.AutoscaleOptions{
+			Min:      amin,
+			Max:      amax,
+			Policy:   *autoscalePolicy,
+			Interval: *autoscaleInterval,
+			Cooldown: *autoscaleCooldown,
+		}
+		// An elastic fleet is sized by its max bound; honor -replicas
+		// only when the operator passed it explicitly.
+		replicasSet := false
+		flag.Visit(func(f *flag.Flag) { replicasSet = replicasSet || f.Name == "replicas" })
+		if !replicasSet && *accels == "" {
+			copt.Replicas = 0
+		}
+	}
 	dep, err := core.DeployCluster(opt, copt)
 	if err != nil {
 		log.Fatalf("sushi-server: %v", err)
@@ -128,7 +164,11 @@ func main() {
 		}
 		workloads = fmt.Sprintf("%s (%s partition)", strings.Join(names, "+"), *partition)
 	}
-	fmt.Printf("sushi-server: %s (%s policy) on %s, %d replicas (%s router, %s), %d servable SubNets\n",
-		workloads, *policy, *addr, dep.Cluster.Size(), dep.Cluster.RouterName(), batching, len(dep.Frontier))
+	elastic := ""
+	if a := dep.Autoscale; a != nil {
+		elastic = fmt.Sprintf(", elastic %d:%d %s", a.Min, a.Max, a.Policy.Name())
+	}
+	fmt.Printf("sushi-server: %s (%s policy) on %s, %d replicas (%s router, %s%s), %d servable SubNets\n",
+		workloads, *policy, *addr, dep.Cluster.Size(), dep.Cluster.RouterName(), batching, elastic, len(dep.Frontier))
 	log.Fatal(http.ListenAndServe(*addr, server.New(dep)))
 }

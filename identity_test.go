@@ -11,6 +11,10 @@ package sushi_test
 // (zero before this PR; populated now so per-model drop accounting has
 // a model id) — everything that determines timing, placement and
 // service is covered.
+//
+// PR 6 (elastic fleets) extends the pin: the SAME goldens must hold
+// when the deployment carries a DISABLED autoscale config (Min == Max
+// == N) — see TestAutoscaleDisabledBitIdentical.
 
 import (
 	"crypto/sha256"
@@ -41,18 +45,20 @@ func outcomeDigest(res *sushi.SimResult) string {
 }
 
 // identityRuns are the pinned configurations. Each builds a FRESH
-// deployment (runs mutate cache state) and simulates a seeded stream.
+// deployment (runs mutate cache state) and simulates a seeded stream;
+// extra cluster options compose onto the base deployment so the same
+// run can be replayed with a pinned (Min == Max) autoscale config.
 var identityRuns = []struct {
 	name   string
 	golden string
-	run    func(t *testing.T) *sushi.SimResult
+	run    func(t *testing.T, extra ...sushi.ClusterOption) *sushi.SimResult
 }{
 	{
 		name:   "homogeneous-mbv3-degrade",
 		golden: "0e71fc8a2c8c10705feab058cdd5d4ef90b76d5048120204e6a2a64823e752fa",
-		run: func(t *testing.T) *sushi.SimResult {
-			c, err := sushi.NewCluster(sushi.Options{Workload: sushi.MobileNetV3},
-				sushi.WithReplicas(4))
+		run: func(t *testing.T, extra ...sushi.ClusterOption) *sushi.SimResult {
+			opts := append([]sushi.ClusterOption{sushi.WithReplicas(4)}, extra...)
+			c, err := sushi.NewCluster(sushi.Options{Workload: sushi.MobileNetV3}, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,14 +88,66 @@ var identityRuns = []struct {
 		},
 	},
 	{
+		name:   "multitenant-shared-traffic",
+		golden: "8ba9902f121fda70153b510f56f6eac547c969024782fe31f2873371997478c5",
+		run: func(t *testing.T, extra ...sushi.ClusterOption) *sushi.SimResult {
+			opts := append([]sushi.ClusterOption{
+				sushi.WithModels(sushi.ResNet50, sushi.MobileNetV3),
+				sushi.WithReplicas(4),
+				sushi.WithRouter(sushi.LeastLoaded),
+				sushi.WithPartition(sushi.PartitionPolicy{Mode: sushi.PartitionTraffic}),
+			}, extra...)
+			c, err := sushi.NewCluster(sushi.Options{}, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Anti-phase diurnal per-model streams: one model peaks while
+			// the other troughs — the consolidation scenario that drives
+			// traffic-weighted PB stealing.
+			mix := sushi.Mix{Components: []sushi.MixComponent{
+				{Model: string(sushi.ResNet50),
+					Process: sushi.Diurnal{BaseRate: 60, Amplitude: 0.8, Period: 4}},
+				{Model: string(sushi.MobileNetV3),
+					Process: sushi.Diurnal{BaseRate: 120, Amplitude: 0.8, Period: 4, Phase: 3.14159265}},
+			}}
+			times, labels, err := mix.Labeled(300, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget := map[string]float64{
+				string(sushi.ResNet50):    60e-3,
+				string(sushi.MobileNetV3): 20e-3,
+			}
+			qs := make([]sushi.TimedQuery, len(times))
+			for i := range qs {
+				qs[i] = sushi.TimedQuery{
+					Query:   sushi.Query{ID: i, Model: labels[i], MaxLatency: budget[labels[i]]},
+					Arrival: times[i],
+				}
+			}
+			res, err := c.Simulate(qs, sushi.SimOptions{
+				QueueCap:  3,
+				Admission: sushi.AdmitReject,
+				LoadAware: true,
+				Drop:      true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+	},
+	{
 		name:   "hetero-rn50-recache-batched",
 		golden: "5b4ed29d7a561e3a6a52280ac868ca53b38c1111d53f06086ee0e8a6a4f3114b",
-		run: func(t *testing.T) *sushi.SimResult {
-			c, err := sushi.NewCluster(sushi.Options{Workload: sushi.ResNet50},
+		run: func(t *testing.T, extra ...sushi.ClusterOption) *sushi.SimResult {
+			opts := append([]sushi.ClusterOption{
 				sushi.WithHardware(sushi.ZCU104(), sushi.ZCU104(), sushi.AlveoU50(), sushi.AlveoU50()),
 				sushi.WithRouter(sushi.Fastest),
 				sushi.WithRecache(sushi.RecachePolicy{Window: 12, MinGain: 0.02, Cooldown: 12}),
-				sushi.WithBatching(4, 10*time.Millisecond))
+				sushi.WithBatching(4, 10*time.Millisecond),
+			}, extra...)
+			c, err := sushi.NewCluster(sushi.Options{Workload: sushi.ResNet50}, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,6 +188,27 @@ func TestSingleModelBitIdentical(t *testing.T) {
 			got := outcomeDigest(ir.run(t))
 			if got != ir.golden {
 				t.Errorf("single-model run diverged from the pre-refactor pin:\n  got    %s\n  golden %s", got, ir.golden)
+			}
+		})
+	}
+}
+
+// TestAutoscaleDisabledBitIdentical is the elastic-fleet safety
+// property: the SAME goldens must hold when every deployment carries a
+// pinned autoscale config (Min == Max == replica count). A pinned
+// config is Enabled() == false, so no evaluation events fire, no
+// replica ever leaves Active, and the engine takes the fixed-fleet
+// fast path — across homogeneous, multi-tenant and
+// hetero+recache+batched configurations.
+func TestAutoscaleDisabledBitIdentical(t *testing.T) {
+	pin := sushi.WithAutoscale(sushi.AutoscaleOptions{
+		Min: 4, Max: 4, Policy: "utilization", Interval: 0.05,
+	})
+	for _, ir := range identityRuns {
+		t.Run(ir.name, func(t *testing.T) {
+			got := outcomeDigest(ir.run(t, pin))
+			if got != ir.golden {
+				t.Errorf("Min == Max autoscale run diverged from the fixed-fleet pin:\n  got    %s\n  golden %s", got, ir.golden)
 			}
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sushi/internal/accel"
+	"sushi/internal/autoscale"
 	"sushi/internal/latencytable"
 	"sushi/internal/serving"
 	"sushi/internal/supernet"
@@ -68,6 +69,65 @@ type ClusterOptions struct {
 	// split; PartitionTraffic lets a hot model steal PB half-slots from
 	// a cold one at runtime. Rejected without at least two Models.
 	Partition *serving.PartitionPolicy
+	// Autoscale makes the fleet elastic: the deployment boots Max
+	// replicas (cache columns and PB partitions assigned up front for
+	// every replica that could ever serve), replicas Min..Max-1 start
+	// Standby, and simulated runs let the named policy move the
+	// admitting count between Min and Max — replica lifecycle as
+	// first-class events. Nil keeps the fleet fixed. When both Replicas
+	// and Autoscale are set, Replicas must equal Max.
+	Autoscale *AutoscaleOptions
+}
+
+// AutoscaleOptions is the deployment-facing autoscaling configuration
+// — names a policy instead of holding one, so it round-trips through
+// flags and JSON. DeployCluster validates it into a resolved
+// autoscale.Config on the ClusterDeployment.
+type AutoscaleOptions struct {
+	// Min and Max bound the admitting replica count (1 <= Min <= Max).
+	Min, Max int
+	// Policy names the scaling policy: "utilization" (default), "slo"
+	// or "saturation" (plus the autoscale.ParsePolicy aliases).
+	Policy string
+	// Interval is the evaluation cadence in virtual seconds (> 0).
+	Interval float64
+	// Cooldown is the minimum virtual time between enacted scale
+	// actions (>= 0; 0 acts on every evaluation).
+	Cooldown float64
+}
+
+// ResolveAutoscale validates deployment-facing autoscale options into
+// the engine's resolved config. Nil in, nil out; an empty Policy
+// selects "utilization". Every rejection is a typed OptionError on
+// Field "Autoscale".
+func ResolveAutoscale(a *AutoscaleOptions) (*autoscale.Config, error) {
+	if a == nil {
+		return nil, nil
+	}
+	switch {
+	case a.Min < 1:
+		return nil, &OptionError{Field: "Autoscale", Value: a.Min,
+			Reason: "autoscale Min must be at least 1"}
+	case a.Max < a.Min:
+		return nil, &OptionError{Field: "Autoscale", Value: a.Max,
+			Reason: fmt.Sprintf("autoscale Max must be at least Min %d", a.Min)}
+	case !(a.Interval > 0):
+		return nil, &OptionError{Field: "Autoscale", Value: a.Interval,
+			Reason: "autoscale Interval must be positive virtual seconds"}
+	case !(a.Cooldown >= 0):
+		return nil, &OptionError{Field: "Autoscale", Value: a.Cooldown,
+			Reason: "autoscale Cooldown must be non-negative"}
+	}
+	name := a.Policy
+	if name == "" {
+		name = "utilization"
+	}
+	pol, err := autoscale.ParsePolicy(name)
+	if err != nil {
+		return nil, &OptionError{Field: "Autoscale", Value: a.Policy, Reason: err.Error()}
+	}
+	return &autoscale.Config{Min: a.Min, Max: a.Max, Policy: pol,
+		Interval: a.Interval, Cooldown: a.Cooldown}, nil
 }
 
 // NewRouter constructs the named routing policy.
@@ -120,6 +180,9 @@ type ClusterDeployment struct {
 	Models []ModelDeployment
 	// Cluster dispatches queries across the replicas.
 	Cluster *serving.Cluster
+	// Autoscale is the resolved elastic-fleet configuration (nil for
+	// fixed fleets); Cluster.Simulate and POST /v1/simulate inherit it.
+	Autoscale *autoscale.Config
 }
 
 // DeployCluster builds R replica systems — homogeneous fleets share ONE
@@ -135,6 +198,24 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 	if copt.Replicas < 0 {
 		return nil, &OptionError{Field: "Replicas", Value: copt.Replicas,
 			Reason: "replica count must be positive (0 selects 1)"}
+	}
+	// Autoscale bounds resolve BEFORE the fleet sizing below: an
+	// elastic deployment boots Max replicas (so cache columns, latency
+	// tables and PB partitions exist for every replica that could ever
+	// admit — Max > the table's columns is rejected by the usual
+	// boot-column invariant downstream), with Replicas defaulting to
+	// Max and a mismatch rejected.
+	asc, err := ResolveAutoscale(copt.Autoscale)
+	if err != nil {
+		return nil, err
+	}
+	if asc != nil {
+		if copt.Replicas == 0 {
+			copt.Replicas = asc.Max
+		} else if copt.Replicas != asc.Max {
+			return nil, &OptionError{Field: "Autoscale", Value: asc.Max,
+				Reason: fmt.Sprintf("autoscale Max must equal the replica count %d (an elastic fleet boots Max replicas)", copt.Replicas)}
+		}
 	}
 	if len(copt.Accels) > 0 {
 		if copt.Replicas == 0 {
@@ -244,11 +325,22 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 			return nil, err
 		}
 	}
+	if asc != nil {
+		// Replicas beyond Min start as spare capacity; the simq engine
+		// re-derives lifecycle at each Run start, this just makes the
+		// live telemetry (GET /v1/replicas) honest before the first run.
+		for i, rep := range cluster.Replicas() {
+			if i >= asc.Min {
+				rep.SetLifecycle(serving.LifecycleStandby)
+			}
+		}
+	}
 	return &ClusterDeployment{
-		Super:    models[0].Super,
-		Frontier: models[0].Frontier,
-		Models:   models,
-		Cluster:  cluster,
+		Super:     models[0].Super,
+		Frontier:  models[0].Frontier,
+		Models:    models,
+		Cluster:   cluster,
+		Autoscale: asc,
 	}, nil
 }
 

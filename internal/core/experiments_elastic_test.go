@@ -1,0 +1,57 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestElasticExperiment pins the acceptance criterion: under the
+// diurnal workload the autoscaled 2..8 fleet beats the fixed 6-replica
+// fleet on BOTH cost (replica-seconds of admitting capacity) and SLO
+// attainment, and actually scales (an inert autoscaler would tie on
+// SLO at best and lose on cost).
+func TestElasticExperiment(t *testing.T) {
+	res, err := Elastic(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Header) == 0 || len(res.Rows) != 2 {
+		t.Fatalf("want header and 2 rows, got header %v rows %v", res.Header, res.Rows)
+	}
+	m := res.Metrics
+	t.Logf("replica-seconds: fixed %.2f elastic %.2f; SLO: fixed %.3f elastic %.3f; %v up %v down",
+		m["fixed_replica_seconds"], m["elastic_replica_seconds"],
+		m["fixed_slo"], m["elastic_slo"], m["scale_ups"], m["scale_downs"])
+	if m["elastic_replica_seconds"] >= m["fixed_replica_seconds"] {
+		t.Errorf("elastic replica-seconds %.2f !< fixed %.2f",
+			m["elastic_replica_seconds"], m["fixed_replica_seconds"])
+	}
+	if m["elastic_slo"] <= m["fixed_slo"] {
+		t.Errorf("elastic SLO %.3f !> fixed %.3f", m["elastic_slo"], m["fixed_slo"])
+	}
+	if m["scale_ups"] == 0 || m["scale_downs"] == 0 {
+		t.Errorf("elastic fleet never scaled: %v ups, %v downs",
+			m["scale_ups"], m["scale_downs"])
+	}
+}
+
+// TestElasticExperimentDeterministic reruns the whole experiment and
+// expects identical tables and metrics: replica lifecycle events run on
+// the engine's virtual-time cadence, so elastic runs reproduce per seed
+// exactly like fixed-fleet ones.
+func TestElasticExperimentDeterministic(t *testing.T) {
+	a, err := Elastic(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Elastic(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("rows differ across reruns:\n%v\n%v", a.Rows, b.Rows)
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Errorf("metrics differ across reruns:\n%v\n%v", a.Metrics, b.Metrics)
+	}
+}

@@ -268,6 +268,22 @@ func TestDeployClusterInvalidOptions(t *testing.T) {
 		{"multi-model fleet outgrows fitting columns",
 			DeployOptions{Candidates: 4},
 			ClusterOptions{Replicas: 6, Models: []Workload{ResNet50, MobileNetV3}}, "Models"},
+		{"autoscale zero min", valid,
+			ClusterOptions{Autoscale: &AutoscaleOptions{Min: 0, Max: 4, Interval: 0.1}}, "Autoscale"},
+		{"autoscale max below min", valid,
+			ClusterOptions{Autoscale: &AutoscaleOptions{Min: 4, Max: 2, Interval: 0.1}}, "Autoscale"},
+		{"autoscale zero interval", valid,
+			ClusterOptions{Autoscale: &AutoscaleOptions{Min: 1, Max: 4}}, "Autoscale"},
+		{"autoscale negative cooldown", valid,
+			ClusterOptions{Autoscale: &AutoscaleOptions{Min: 1, Max: 4, Interval: 0.1, Cooldown: -1}}, "Autoscale"},
+		{"autoscale unknown policy", valid,
+			ClusterOptions{Autoscale: &AutoscaleOptions{Min: 1, Max: 4, Interval: 0.1, Policy: "vibes"}}, "Autoscale"},
+		{"autoscale max/replicas mismatch", valid,
+			ClusterOptions{Replicas: 3,
+				Autoscale: &AutoscaleOptions{Min: 1, Max: 4, Interval: 0.1}}, "Autoscale"},
+		{"autoscale max outgrows columns",
+			DeployOptions{Workload: MobileNetV3, Candidates: 4},
+			ClusterOptions{Autoscale: &AutoscaleOptions{Min: 2, Max: 6, Interval: 0.1}}, "Replicas"},
 	}
 	for _, tc := range cases {
 		_, err := DeployCluster(tc.opt, tc.copt)

@@ -111,6 +111,10 @@ type ReplicaView struct {
 	// Accel is the replica's hardware configuration (per-replica in
 	// heterogeneous fleets).
 	Accel AccelView `json:"accel"`
+	// State is the replica's elastic-fleet lifecycle ("active",
+	// "standby", "draining" or "retired"; always "active" on fixed
+	// fleets).
+	State string `json:"state"`
 	// Queries is the number of queries this replica has served.
 	Queries int `json:"queries"`
 	// QueueDepth is the routed-but-unfinished query count.
@@ -173,6 +177,7 @@ func ReplicaViews(c *serving.Cluster) []ReplicaView {
 	for _, rep := range c.Replicas() {
 		v := ReplicaView{
 			ID:         rep.ID(),
+			State:      rep.Lifecycle().String(),
 			QueueDepth: rep.QueueDepth(),
 		}
 		sum := rep.Summary()

@@ -16,13 +16,16 @@
 //	POST /v1/serve/batch  NDJSON stream of queries in, NDJSON out
 //	POST /v1/simulate     open-loop virtual-time simulation (simq engine;
 //	                      max_batch/batch_window_ms drive the micro-batch
-//	                      former; model labels generated queries and
-//	                      per-point trace models replay a multi-tenant
-//	                      production log; per_model slices in the reply)
-//	GET  /v1/replicas     per-replica hardware, cache state (column +
-//	                      re-cache stats), queue depth, hit ratio, batch
-//	                      occupancy, per-model tenant slices (cache
-//	                      column, PB share, p99/SLO)
+//	                      former; autoscale_* knobs override the
+//	                      deployment's elastic-fleet config, reported back
+//	                      as scale_ups/scale_downs/replica_seconds; model
+//	                      labels generated queries and per-point trace
+//	                      models replay a multi-tenant production log;
+//	                      per_model slices in the reply)
+//	GET  /v1/replicas     per-replica hardware, lifecycle state, cache
+//	                      state (column + re-cache stats), queue depth,
+//	                      hit ratio, batch occupancy, per-model tenant
+//	                      slices (cache column, PB share, p99/SLO)
 //	GET  /v1/frontier     servable SubNets (default model)
 //	GET  /v1/cache        replica 0's Persistent Buffer state
 //	GET  /v1/stats        cluster-wide aggregates incl. per-model slices
@@ -321,6 +324,35 @@ type SimulateRequest struct {
 	// deployment's -batch policy; max_batch 1 forces an unbatched run.
 	MaxBatch      int     `json:"max_batch"`
 	BatchWindowMS float64 `json:"batch_window_ms"`
+	// AutoscaleMin/AutoscaleMax override the deployment's elastic-fleet
+	// bounds for this run (both zero inherits the -autoscale-* flags;
+	// min == max pins the fleet for a control run). Max must not exceed
+	// the deployed replica count — the engine cannot boot replicas the
+	// deployment never built. AutoscalePolicy names the scaling policy
+	// ("utilization", "slo", "saturation"); AutoscaleIntervalS and
+	// AutoscaleCooldownS are the evaluation cadence and scale-action
+	// cooldown in virtual seconds.
+	AutoscaleMin       int     `json:"autoscale_min"`
+	AutoscaleMax       int     `json:"autoscale_max"`
+	AutoscalePolicy    string  `json:"autoscale_policy"`
+	AutoscaleIntervalS float64 `json:"autoscale_interval_s"`
+	AutoscaleCooldownS float64 `json:"autoscale_cooldown_s"`
+}
+
+// autoscale resolves the request's elastic-fleet override (nil when no
+// autoscale_* field is set: the run inherits the deployment's config).
+func (req SimulateRequest) autoscale() (*core.AutoscaleOptions, bool) {
+	if req.AutoscaleMin == 0 && req.AutoscaleMax == 0 && req.AutoscalePolicy == "" &&
+		req.AutoscaleIntervalS == 0 && req.AutoscaleCooldownS == 0 {
+		return nil, false
+	}
+	return &core.AutoscaleOptions{
+		Min:      req.AutoscaleMin,
+		Max:      req.AutoscaleMax,
+		Policy:   req.AutoscalePolicy,
+		Interval: req.AutoscaleIntervalS,
+		Cooldown: req.AutoscaleCooldownS,
+	}, true
 }
 
 // maxSimulateQueries caps one /v1/simulate stream. The engine runs the
@@ -446,6 +478,12 @@ type SimulateResponse struct {
 	Batches      int     `json:"batches"`
 	AvgBatchSize float64 `json:"avg_batch_size"`
 	MaxBatchSize int     `json:"max_batch_size"`
+	// Elastic-fleet telemetry: enacted scale actions and the integral of
+	// admitting replicas over virtual time (the run's capacity cost; a
+	// fixed fleet reports replicas x makespan).
+	ScaleUps       int     `json:"scale_ups"`
+	ScaleDowns     int     `json:"scale_downs"`
+	ReplicaSeconds float64 `json:"replica_seconds"`
 	// PerModel breaks the run down by model id on multi-tenant
 	// deployments (absent otherwise).
 	PerModel []ModelSimView `json:"per_model,omitempty"`
@@ -525,6 +563,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "max_batch and batch_window_ms must be non-negative")
 		return
 	}
+	asc := s.dep.Autoscale
+	if aopt, ok := req.autoscale(); ok {
+		if asc, err = core.ResolveAutoscale(aopt); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	eng, err := simq.FromCluster(s.dep.Cluster, simq.Options{
 		QueueCap:  req.Queue,
 		Admission: adm,
@@ -534,6 +579,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Batching: simq.ResolveBatching(
 			simq.Batching{MaxBatch: req.MaxBatch, Window: req.BatchWindowMS * 1e-3},
 			s.dep.Cluster.BatchPolicy()),
+		Autoscale: asc,
 	})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -569,6 +615,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Batches:        sum.Batches,
 		AvgBatchSize:   sum.AvgBatchSize,
 		MaxBatchSize:   sum.MaxBatchSize,
+		ScaleUps:       res.ScaleUps,
+		ScaleDowns:     res.ScaleDowns,
+		ReplicaSeconds: res.ReplicaSeconds,
 		PerModel:       modelSimViews(sum),
 	})
 }

@@ -82,6 +82,9 @@ type Replica struct {
 	acc Accumulator
 	// depth counts routed-but-unfinished queries (queued + in flight).
 	depth atomic.Int64
+	// life is the replica's elastic-fleet admission state (see
+	// lifecycle.go); zero value Active.
+	life atomic.Int32
 	// part is the shared-PB cache partitioner (nil = static split or
 	// single model). Guarded by mu.
 	part *partitionState

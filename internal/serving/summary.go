@@ -52,6 +52,14 @@ type Summary struct {
 	// (the arrival-to-last-finish span).
 	Goodput float64
 
+	// Elastic-fleet telemetry, populated by simq runs (the engine sets
+	// it after folding). ScaleUps and ScaleDowns count enacted replica
+	// transitions (zero for fixed fleets); ReplicaSeconds integrates
+	// admitting capacity over the run — the fleet's cost in
+	// replica-seconds of virtual time (N x makespan for a fixed fleet).
+	ScaleUps, ScaleDowns int
+	ReplicaSeconds       float64
+
 	// Batch occupancy, populated only when the serving path micro-batches
 	// (Accumulator.ObserveBatch); all zero otherwise. Batches counts
 	// accelerator passes, AvgBatchSize the mean members per pass (1 means

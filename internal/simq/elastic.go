@@ -1,0 +1,205 @@
+package simq
+
+// Elastic-fleet control for the virtual-time engine: the glue between
+// internal/autoscale (which only decides a target fleet size) and the
+// event loop (which owns replica lifecycle as first-class events). The
+// controller is evaluated on a fixed virtual-time cadence — k·Interval
+// for k = 1, 2, ... — after completions and window expiries but before
+// arrivals at the same instant, so elastic runs stay deterministic per
+// seed. Scale-ups boot the lowest-index Standby (or Retired) replica
+// and charge its cold Persistent-Buffer fill as busy time, exactly
+// like a re-cache; scale-downs drain the highest-index Active replica
+// (LIFO, so long-lived replicas keep their warmed caches) and retire
+// it once its queue and in-flight batch are gone.
+
+import (
+	"math"
+
+	"sushi/internal/autoscale"
+	"sushi/internal/serving"
+)
+
+// elasticState is the engine's per-run autoscaling controller.
+type elasticState struct {
+	cfg *autoscale.Config
+	// nextEval is the next evaluation instant (k·Interval).
+	nextEval float64
+	// lastAction is the instant of the last enacted scale action
+	// (cooldown anchor); -Inf until the first action.
+	lastAction float64
+	// Cumulative run counters, snapshotted at each evaluation so
+	// policies see per-window deltas.
+	arrivals, resolved, sloMet int
+	// prev* hold the previous evaluation's snapshot.
+	prevArrivals, prevResolved, prevSLOMet int
+	prevQueueDepth                         int
+	prevBusy, prevOn                       float64
+	// scaleUps and scaleDowns count enacted replica transitions.
+	scaleUps, scaleDowns int
+}
+
+func newElasticState(cfg *autoscale.Config) *elasticState {
+	return &elasticState{
+		cfg:        cfg,
+		nextEval:   cfg.Interval,
+		lastAction: math.Inf(-1),
+	}
+}
+
+// busyUpTo is the replica's accumulated service time at instant now.
+// Event ordering guarantees now <= freeAt while busy (completions at
+// or before now fire before any evaluation at now).
+func (st *replicaState) busyUpTo(now float64) float64 {
+	if st.busy {
+		return st.busyTotal + (now - st.busySince)
+	}
+	return st.busyTotal
+}
+
+// onUpTo is the replica's accumulated admitting-capacity time (Active
+// plus Draining — the replica occupies hardware until retired) at now.
+func (st *replicaState) onUpTo(now float64) float64 {
+	if st.on {
+		return st.onTotal + (now - st.onSince)
+	}
+	return st.onTotal
+}
+
+// metrics assembles the windowed observation for the policy: deltas
+// since the previous evaluation plus the instantaneous fleet state.
+func (c *elasticState) metrics(now float64, states []replicaState, active int) autoscale.Metrics {
+	var busy, on float64
+	depth := 0
+	for i := range states {
+		busy += states[i].busyUpTo(now)
+		on += states[i].onUpTo(now)
+		depth += len(states[i].queue) + states[i].inFlight
+	}
+	util := 0.0
+	if cap := on - c.prevOn; cap > 0 {
+		util = (busy - c.prevBusy) / cap
+		if util < 0 {
+			util = 0
+		}
+		if util > 1 {
+			util = 1
+		}
+	}
+	return autoscale.Metrics{
+		Time:           now,
+		Interval:       c.cfg.Interval,
+		Active:         active,
+		Min:            c.cfg.Min,
+		Max:            c.cfg.Max,
+		Utilization:    util,
+		Arrivals:       c.arrivals - c.prevArrivals,
+		Completions:    c.resolved - c.prevResolved,
+		SLOMet:         c.sloMet - c.prevSLOMet,
+		QueueDepth:     depth,
+		PrevQueueDepth: c.prevQueueDepth,
+	}
+}
+
+// snapshot closes the window: the next evaluation's deltas start here.
+func (c *elasticState) snapshot(now float64, states []replicaState, depth int) {
+	var busy, on float64
+	for i := range states {
+		busy += states[i].busyUpTo(now)
+		on += states[i].onUpTo(now)
+	}
+	c.prevBusy, c.prevOn = busy, on
+	c.prevArrivals, c.prevResolved, c.prevSLOMet = c.arrivals, c.resolved, c.sloMet
+	c.prevQueueDepth = depth
+}
+
+// desired clamps the policy's verdict to the config bounds.
+func (c *elasticState) desired(m autoscale.Metrics) int {
+	d := c.cfg.Policy.Desired(m)
+	if d < c.cfg.Min {
+		d = c.cfg.Min
+	}
+	if d > c.cfg.Max {
+		d = c.cfg.Max
+	}
+	return d
+}
+
+// evaluate is one autoscale evaluation event at instant now: consult
+// the policy over the closed window, enact the delta as lifecycle
+// transitions, and open the next window.
+//
+// Scale-up boots the lowest-index Standby (or previously Retired)
+// replica: it joins the admitting set immediately — queries may queue
+// behind the boot — but its cold Persistent-Buffer fill occupies the
+// accelerator first, charged as busy time exactly like a re-cache (a
+// re-booted Retired replica pays the fill again: its PB is stale by
+// assumption). Scale-down drains the highest-index Active replica
+// (LIFO keeps long-lived caches warm): it stops admitting at once,
+// finishes its queued and in-flight work, and retires when empty.
+func (e *Engine) evaluate(ctl *elasticState, states []replicaState, now float64,
+	rebuildAdmit func(), maybeRetire func(int, float64)) {
+	active := 0
+	for _, r := range e.reps {
+		if r.Lifecycle() == serving.LifecycleActive {
+			active++
+		}
+	}
+	m := ctl.metrics(now, states, active)
+	desired := ctl.desired(m)
+	if now-ctl.lastAction < ctl.cfg.Cooldown {
+		// Cooling down: observe the window but hold the fleet.
+		desired = active
+	}
+	changed := false
+	for desired > active {
+		bi := -1
+		for i, r := range e.reps {
+			if lc := r.Lifecycle(); lc == serving.LifecycleStandby || lc == serving.LifecycleRetired {
+				bi = i
+				break
+			}
+		}
+		if bi < 0 {
+			// Every spare replica is still draining; the fleet catches up
+			// at a later evaluation.
+			break
+		}
+		st := &states[bi]
+		e.reps[bi].SetLifecycle(serving.LifecycleActive)
+		st.on, st.onSince = true, now
+		if boot := e.reps[bi].BootCost(); boot > 0 {
+			st.busy, st.freeAt, st.inFlight = true, now+boot, 0
+			st.busySince = now
+		}
+		ctl.scaleUps++
+		active++
+		changed = true
+	}
+	for desired < active {
+		di := -1
+		for i := len(e.reps) - 1; i >= 0; i-- {
+			if e.reps[i].Lifecycle() == serving.LifecycleActive {
+				di = i
+				break
+			}
+		}
+		if di < 0 {
+			break
+		}
+		e.reps[di].SetLifecycle(serving.LifecycleDraining)
+		ctl.scaleDowns++
+		active--
+		changed = true
+		// An idle, empty replica retires on the spot.
+		maybeRetire(di, now)
+	}
+	if changed {
+		rebuildAdmit()
+		ctl.lastAction = now
+	}
+	depth := 0
+	for i := range states {
+		depth += len(states[i].queue) + states[i].inFlight
+	}
+	ctl.snapshot(now, states, depth)
+}

@@ -35,6 +35,7 @@ import (
 	"math"
 	"sort"
 
+	"sushi/internal/autoscale"
 	"sushi/internal/sched"
 	"sushi/internal/serving"
 )
@@ -144,6 +145,13 @@ type Options struct {
 	Router serving.Router
 	// Batching is the per-replica batch former (zero value: off).
 	Batching Batching
+	// Autoscale makes the replica set elastic: the engine keeps between
+	// Min and Max replicas admitting queries (the rest Standby/Retired),
+	// consulting the policy every Interval virtual seconds — replica
+	// lifecycle (boot → admit → drain → retire) becomes first-class
+	// events in the run. nil, a nil Policy, or Min == Max leaves the
+	// fleet fixed and the run bit-identical to the pre-elastic engine.
+	Autoscale *autoscale.Config
 }
 
 // Reason classifies why a query was dropped.
@@ -224,6 +232,13 @@ type Result struct {
 	// serving).
 	Recaches   int
 	RecacheSec float64
+	// ScaleUps and ScaleDowns count enacted replica lifecycle
+	// transitions of an elastic run (zero for fixed fleets);
+	// ReplicaSeconds integrates admitting capacity over the run — the
+	// fleet's cost in replica-seconds of virtual time (replicas x
+	// makespan for a fixed fleet).
+	ScaleUps, ScaleDowns int
+	ReplicaSeconds       float64
 	// Router names the dispatch policy used.
 	Router string
 }
@@ -262,6 +277,12 @@ func New(reps []*serving.Replica, opt Options) (*Engine, error) {
 	}
 	if w := opt.Batching.Window; math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
 		return nil, fmt.Errorf("simq: invalid batching window %g", opt.Batching.Window)
+	}
+	if err := opt.Autoscale.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Autoscale.Enabled() && opt.Autoscale.Max > len(reps) {
+		return nil, fmt.Errorf("simq: autoscale Max %d exceeds the %d booted replicas", opt.Autoscale.Max, len(reps))
 	}
 	router := opt.Router
 	if router == nil {
@@ -311,6 +332,14 @@ type replicaState struct {
 	// replica (1 solo, up to B batched); their reservations release
 	// together at completion.
 	inFlight int
+
+	// Elastic-fleet accounting (maintained only on autoscaled runs).
+	// busySince/busyTotal integrate service time (boot fills included);
+	// on/onSince/onTotal integrate admitting-capacity time from boot
+	// (or run start) to retirement — the replica-seconds cost metric.
+	busySince, busyTotal float64
+	on                   bool
+	onSince, onTotal     float64
 }
 
 // batchKey is the engine's batch-former compatibility key: two queued
@@ -390,6 +419,57 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 		maxB = 1
 	}
 
+	// Elastic-fleet setup: replicas 0..Min-1 start admitting, the rest
+	// Standby (spare capacity, booted cold on a scale-up). Without
+	// autoscaling the whole machinery is inert — every replica admits,
+	// the router sees exactly the engine's replica slice, and no
+	// evaluation events fire, so fixed-fleet runs stay bit-identical.
+	var ctl *elasticState
+	if e.opt.Autoscale.Enabled() {
+		ctl = newElasticState(e.opt.Autoscale)
+		for i := range e.reps {
+			if i < ctl.cfg.Min {
+				e.reps[i].SetLifecycle(serving.LifecycleActive)
+				states[i].on, states[i].onSince = true, 0
+			} else {
+				e.reps[i].SetLifecycle(serving.LifecycleStandby)
+			}
+		}
+	}
+	// admit is the router's view: the replicas currently admitting
+	// queries. admitIdx maps a pick back to the engine index (nil =
+	// identity, the fixed-fleet fast path).
+	admit := e.reps
+	var admitIdx []int
+	rebuildAdmit := func() {
+		admit, admitIdx = nil, admitIdx[:0]
+		for i, r := range e.reps {
+			if r.Lifecycle() == serving.LifecycleActive {
+				admit = append(admit, r)
+				admitIdx = append(admitIdx, i)
+			}
+		}
+	}
+	if ctl != nil {
+		rebuildAdmit()
+	}
+
+	// maybeRetire completes a drain: a Draining replica with no queued
+	// or in-flight work leaves the fleet (its capacity integral closes)
+	// — the last lifecycle event of a scale-down.
+	maybeRetire := func(ri int, now float64) {
+		if ctl == nil {
+			return
+		}
+		st := &states[ri]
+		if st.busy || len(st.queue) > 0 || e.reps[ri].Lifecycle() != serving.LifecycleDraining {
+			return
+		}
+		e.reps[ri].SetLifecycle(serving.LifecycleRetired)
+		st.on = false
+		st.onTotal += now - st.onSince
+	}
+
 	drop := func(ri int, j job, now float64, why Reason) {
 		wait := now - j.arrival
 		o := Outcome{
@@ -407,6 +487,11 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 		}
 		accs[ri].AddTimed(o.TimedServed)
 		res.Outcomes[j.idx] = o
+		if ctl != nil {
+			// Policies see drops as resolved-with-miss: the strongest
+			// scale-up signal there is.
+			ctl.resolved++
+		}
 	}
 
 	// keyFor computes the batch-former compatibility key for a queued
@@ -545,11 +630,18 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 				accs[ri].AddTimed(o.TimedServed)
 				res.Outcomes[j.idx] = o
 				res.ReplicaQueries[ri]++
+				if ctl != nil {
+					ctl.resolved++
+					if s.LatencyMet {
+						ctl.sloMet++
+					}
+				}
 			}
 			if batching {
 				accs[ri].ObserveBatch(len(batch))
 			}
 			st.busy, st.freeAt, st.inFlight = true, finish+recache, len(batch)
+			st.busySince = now
 		}
 		return nil
 	}
@@ -579,7 +671,14 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 		if cr < 0 && fr < 0 && math.IsInf(at, 1) {
 			break
 		}
-		if cr >= 0 && ct <= at && ct <= ft {
+		// Next autoscale evaluation. Only considered while work remains
+		// (the break above fires first otherwise), so the cadence never
+		// keeps a finished run alive.
+		et := math.Inf(1)
+		if ctl != nil {
+			et = ctl.nextEval
+		}
+		if cr >= 0 && ct <= at && ct <= ft && ct <= et {
 			// Completions fire before window expiries and arrivals at the
 			// same instant, so a query arriving exactly as the server
 			// frees starts with zero wait — matching the sequential FIFO
@@ -587,31 +686,51 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 			// frees flushes with the post-completion queue.
 			st := &states[cr]
 			st.busy = false
+			st.busyTotal += ct - st.busySince
 			for ; st.inFlight > 0; st.inFlight-- {
 				e.reps[cr].Release()
 			}
 			if err := flush(cr, ct); err != nil {
 				return nil, err
 			}
+			maybeRetire(cr, ct)
 			continue
 		}
-		if fr >= 0 && ft <= at {
+		if fr >= 0 && ft <= at && ft <= et {
 			// Window expiry before arrivals at the same instant: the
 			// partial batch flushes; a coincident arrival joins the NEXT
 			// batch (the window is a hard deadline).
 			if err := flush(fr, ft); err != nil {
 				return nil, err
 			}
+			maybeRetire(fr, ft)
+			continue
+		}
+		if ctl != nil && et <= at {
+			// Autoscale evaluation: after completions and window expiries,
+			// before arrivals at the same instant. The policy sees the
+			// closed window's metrics; enacted transitions are lifecycle
+			// events at this very instant.
+			e.evaluate(ctl, states, et, rebuildAdmit, maybeRetire)
+			ctl.nextEval += ctl.cfg.Interval
 			continue
 		}
 
-		// Arrival: route at the arrival instant against virtual depth.
+		// Arrival: route at the arrival instant against virtual depth —
+		// admitting replicas only (the router never sees Standby,
+		// Draining or Retired replicas).
 		tq := ordered[ai]
 		j := job{q: tq.Query, arrival: tq.Arrival, budget: tq.MaxLatency, idx: ai}
 		ai++
-		ri := e.router.Pick(tq.Query, e.reps)
-		if ri < 0 || ri >= len(e.reps) {
+		if ctl != nil {
+			ctl.arrivals++
+		}
+		ri := e.router.Pick(tq.Query, admit)
+		if ri < 0 || ri >= len(admit) {
 			ri = 0
+		}
+		if admitIdx != nil {
+			ri = admitIdx[ri]
 		}
 		st := &states[ri]
 		if st.busy && e.opt.QueueCap > 0 && len(st.queue) >= e.opt.QueueCap {
@@ -673,6 +792,26 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 			res.OfferedRate = float64(n-1) / span
 		}
 	}
+	// Fleet cost: admitting-capacity integral in replica-seconds. A
+	// fixed fleet keeps every replica on for the whole run; an elastic
+	// fleet closes each replica's integral at retirement (or here, at
+	// the makespan, for replicas still on).
+	if ctl != nil {
+		for i := range states {
+			if states[i].on {
+				if d := res.Makespan - states[i].onSince; d > 0 {
+					states[i].onTotal += d
+				}
+			}
+			res.ReplicaSeconds += states[i].onTotal
+		}
+		res.ScaleUps, res.ScaleDowns = ctl.scaleUps, ctl.scaleDowns
+	} else {
+		res.ReplicaSeconds = float64(len(e.reps)) * res.Makespan
+	}
+	res.Summary.ScaleUps = res.ScaleUps
+	res.Summary.ScaleDowns = res.ScaleDowns
+	res.Summary.ReplicaSeconds = res.ReplicaSeconds
 	return res, nil
 }
 

@@ -386,6 +386,12 @@ var experimentRegistry = []experimentEntry{
 	// identical hardware and seeds, under anti-correlated per-model
 	// bursts (workload-insensitive: it always runs both families).
 	{id: "multitenant", run: fixed(func() (*core.Result, error) { return core.MultiTenant(0) })},
+	// elastic is the autoscaling experiment: one diurnal stream served
+	// by a fixed 6-replica fleet vs an elastic 2..8 fleet whose
+	// scale-ups pay the cold Persistent Buffer fill in virtual time —
+	// the elastic fleet wins on both replica-seconds and SLO
+	// (workload-insensitive: calibrated on the MobileNetV3 family).
+	{id: "elastic", run: fixed(func() (*core.Result, error) { return core.Elastic(0) })},
 }
 
 // Experiments lists the available experiment ids, in registry order.
