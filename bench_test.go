@@ -692,6 +692,58 @@ func BenchmarkMultiTenantSimulate(b *testing.B) {
 	b.ReportMetric(float64(queries), "queries/run")
 }
 
+// BenchmarkEngineHot is the engine-only microbenchmark: one warm
+// 4-replica deployment reused across iterations (no cluster build, no
+// fresh tables — the engine's steady state is the subject), a
+// 2x-capacity Poisson stream with bounded queues, degrade admission and
+// load-aware debiting. Run with -benchmem: allocs/op divided by
+// queries/run is the steady-state allocations per simulated query,
+// which the zero-alloc hot path keeps near zero. queries/sec is the
+// headline raw simulation throughput.
+func BenchmarkEngineHot(b *testing.B) {
+	const (
+		queries = 2000
+		budget  = 8e-3
+	)
+	arr, err := workload.Poisson{Rate: 4 / budget * 2}.Times(queries, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]TimedQuery, queries)
+	for i := range qs {
+		qs[i] = TimedQuery{
+			Query:   Query{ID: i, MaxLatency: budget},
+			Arrival: arr[i],
+		}
+	}
+	c, err := NewCluster(Options{Workload: MobileNetV3, Policy: StrictLatency},
+		WithReplicas(4), WithRouter(LeastLoaded))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Simulate(qs, SimOptions{
+			QueueCap:  8,
+			Admission: AdmitDegrade,
+			LoadAware: true,
+			Drop:      true,
+			Router:    LeastLoaded,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Served == 0 {
+			b.Fatal("nothing served")
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(queries)*float64(b.N)/secs, "queries/sec")
+	}
+	b.ReportMetric(float64(queries), "queries/run")
+}
+
 // BenchmarkElasticSimulate drives the autoscaled 2..8 fleet with a
 // diurnal stream through the virtual-time engine — the elastic half of
 // the elastic experiment, with replica lifecycle events (boot fills,

@@ -2,11 +2,13 @@ package sushi
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"sushi/internal/core"
 	"sushi/internal/serving"
 	"sushi/internal/simq"
+	"sushi/internal/workload"
 )
 
 // RecachePolicy configures the replica cache-management layer enabled
@@ -325,6 +327,13 @@ type SimOptions struct {
 	// replica count — Simulate cannot boot replicas the deployment
 	// never built.
 	Autoscale *AutoscaleOptions
+	// Shards opts into the engine's parallel mode: replicas are
+	// partitioned across up to Shards goroutines advancing in
+	// conservative virtual-time windows, with results bit-identical to
+	// the sequential engine at any shard count. Requires a shard-safe
+	// router (RoundRobin or RandomRouter) and a fixed (non-autoscaled)
+	// fleet; 0 or 1 is the sequential engine.
+	Shards int
 }
 
 // Simulate plays a timed query stream through the cluster in virtual
@@ -340,6 +349,43 @@ type SimOptions struct {
 // Stationary behaviour under load). Run it against an otherwise idle
 // cluster for reproducible results.
 func (c *Cluster) Simulate(qs []TimedQuery, opt SimOptions) (*SimResult, error) {
+	eng, err := c.engine(opt)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(qs)
+}
+
+// SimulateProcess is Simulate with arrivals drawn LAZILY from an
+// arrival process instead of a materialized []TimedQuery: the engine
+// pulls the process's stream one instant at a time and mints the i-th
+// query with mk at its arrival instant, so a billion-query run needs no
+// billion-element arrival slice. proc must implement the workload
+// Streamer face (every built-in process — Poisson, OnOff, Diurnal,
+// TraceArrivals, Mix — does); results are bit-identical to generating
+// proc.Times(n, seed) and calling Simulate. Sharded mode needs the
+// whole stream up front, so SimOptions.Shards is rejected here.
+func (c *Cluster) SimulateProcess(n int, proc ArrivalProcess, seed int64, mk func(i int, t float64) Query, opt SimOptions) (*SimResult, error) {
+	if opt.Shards > 1 {
+		return nil, fmt.Errorf("sushi: SimulateProcess streams arrivals lazily and cannot shard (Shards %d); materialize with Simulate instead", opt.Shards)
+	}
+	streamer, ok := proc.(workload.Streamer)
+	if !ok {
+		return nil, fmt.Errorf("sushi: arrival process %q cannot stream lazily; materialize with Simulate instead", proc.Name())
+	}
+	stream, err := streamer.Stream(seed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := c.engine(opt)
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunProcess(n, stream, mk)
+}
+
+// engine builds the simq engine for one simulated run.
+func (c *Cluster) engine(opt SimOptions) (*simq.Engine, error) {
 	kind := string(opt.Router)
 	if kind == "" {
 		kind = c.d.Cluster.RouterName()
@@ -354,7 +400,7 @@ func (c *Cluster) Simulate(qs []TimedQuery, opt SimOptions) (*SimResult, error) 
 			return nil, err
 		}
 	}
-	eng, err := simq.FromCluster(c.d.Cluster, simq.Options{
+	return simq.FromCluster(c.d.Cluster, simq.Options{
 		QueueCap:  opt.QueueCap,
 		Admission: opt.Admission,
 		LoadAware: opt.LoadAware,
@@ -362,9 +408,6 @@ func (c *Cluster) Simulate(qs []TimedQuery, opt SimOptions) (*SimResult, error) 
 		Router:    router,
 		Batching:  simq.ResolveBatching(opt.Batching, c.d.Cluster.BatchPolicy()),
 		Autoscale: asc,
+		Shards:    opt.Shards,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return eng.Run(qs)
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sushi-bench [-w workload] [-json] [-csv dir] [experiment ...]
+//	sushi-bench [-w workload] [-json] [-csv dir] [-cpuprofile f] [-memprofile f] [experiment ...]
 //	sushi-bench all
 //	sushi-bench list
 //
@@ -15,9 +15,16 @@
 //
 // With -json, the human-readable tables are replaced by one NDJSON
 // record per experiment on stdout — name, ns_per_op (wall time of the
-// run), and the experiment's headline metrics (goodput_qps, p99_e2e_ms
-// where applicable) — so bench trajectories (BENCH_*.json) can be
-// recorded by machines instead of scraped from prose.
+// run), the experiment's headline metrics (goodput_qps, p99_e2e_ms
+// where applicable), and calib_ns (a fixed arithmetic spin timed in
+// the same process, for rescaling ns_per_op across machines) — so
+// bench trajectories (BENCH_*.json) can be recorded by machines
+// instead of scraped from prose.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// experiment batch (the CPU profile spans every run; the heap profile
+// is snapshotted at exit), for digging into engine hot paths with
+// `go tool pprof`.
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"sushi"
@@ -45,35 +54,102 @@ type benchRecord struct {
 	P99MS      float64 `json:"p99_ms,omitempty"`
 	// Metrics carries every headline metric the experiment exported.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// CalibNs is the wall time of a fixed arithmetic spin measured in
+	// this same process — a machine-speed yardstick that lets trajectory
+	// consumers (the CI bench-regression gate) rescale ns_per_op before
+	// comparing runs from different machines or load phases.
+	CalibNs int64 `json:"calib_ns,omitempty"`
+}
+
+// calibSink defeats dead-code elimination of the calibration spin.
+var calibSink uint64
+
+// calibrate times a fixed xorshift64 spin (2e8 steps, a few hundred
+// ms) and returns its wall time in nanoseconds. The loop touches no
+// sushi code, so the yardstick moves with CPU speed and scheduler
+// pressure but never with engine changes — exactly the part of
+// ns_per_op drift a regression gate wants to divide out.
+func calibrate() int64 {
+	start := time.Now()
+	x := uint64(88172645463325252)
+	for i := 0; i < 200_000_000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	calibSink = x
+	return time.Since(start).Nanoseconds()
 }
 
 func main() {
+	// The profile writers run as defers, so the exit code must leave
+	// through a return, not os.Exit.
+	os.Exit(run())
+}
+
+func run() int {
 	w := flag.String("w", "resnet50", "workload: resnet50 or mobilenetv3")
 	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
 	asJSON := flag.Bool("json", false, "emit one NDJSON record per experiment (name, ns_per_op, metrics) instead of text tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering every experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sushi-bench [-w workload] [-json] [-csv dir] [experiment ...|all|list]\n")
+		fmt.Fprintf(os.Stderr, "usage: sushi-bench [-w workload] [-json] [-csv dir] [-cpuprofile f] [-memprofile f] [experiment ...|all|list]\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", sushi.Experiments())
 	}
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sushi-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sushi-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if args[0] == "list" {
 		for _, id := range sushi.Experiments() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 	ids := args
 	if args[0] == "all" {
 		ids = sushi.Experiments()
 	}
 	enc := json.NewEncoder(os.Stdout)
+	var calibNs int64
+	if *asJSON {
+		calibNs = calibrate()
+	}
 	exit := 0
 	for _, id := range ids {
 		full, workload := id, ""
@@ -99,6 +175,7 @@ func main() {
 				GoodputQPS: metrics["goodput_qps"],
 				P99MS:      metrics["p99_e2e_ms"],
 				Metrics:    metrics,
+				CalibNs:    calibNs,
 			}
 			if err := enc.Encode(rec); err != nil {
 				fmt.Fprintf(os.Stderr, "sushi-bench: %s: %v\n", id, err)
@@ -121,5 +198,5 @@ func main() {
 			}
 		}
 	}
-	os.Exit(exit)
+	return exit
 }

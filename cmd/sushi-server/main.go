@@ -19,6 +19,7 @@
 //	             [-models workload,workload,...] [-partition static|traffic]
 //	             [-autoscale min:max] [-autoscale-policy name]
 //	             [-autoscale-interval s] [-autoscale-cooldown s]
+//	             [-pprof addr]
 //
 // Router kinds: round-robin (default), least-loaded, affinity, fastest,
 // random. The -accels flag boots a heterogeneous fleet, one preset per
@@ -39,7 +40,9 @@
 // the admitting count between the bounds every -autoscale-interval
 // virtual seconds (scale-ups pay the cold Persistent Buffer fill;
 // scale-downs drain before retiring). Per-request autoscale_* knobs
-// override the flags.
+// override the flags. -pprof serves net/http/pprof on a SEPARATE
+// listener (e.g. -pprof localhost:6060) for live CPU/heap profiling of
+// a running server; it is off by default and should stay on loopback.
 package main
 
 import (
@@ -47,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"strings"
 	"time"
 
@@ -86,8 +90,19 @@ func main() {
 			"virtual seconds between autoscale policy evaluations")
 		autoscaleCooldown = flag.Float64("autoscale-cooldown", 0,
 			"minimum virtual seconds between enacted scale actions")
+		pprofAddr = flag.String("pprof", "",
+			"serve net/http/pprof on this extra address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux, which the API server (a dedicated handler) never
+		// consults — debug endpoints stay off the public listener.
+		go func() {
+			log.Fatalf("sushi-server: -pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	opt := core.DeployOptions{Workload: core.Workload(*wl), Q: *q}
 	pol, err := server.ParsePolicy(*policy)

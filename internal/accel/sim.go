@@ -127,6 +127,31 @@ func (s *Simulator) SetCached(g *supernet.SubGraph) error {
 	return nil
 }
 
+// SetCachedShared is SetCached without the defensive Clone: the
+// simulator aliases g directly, so the caller must guarantee g is never
+// mutated afterward. The serving layer uses this for its latency-table
+// cache columns (immutable after build) — cache updates fire every Q
+// queries on the hot path, and the clone was their last per-update
+// allocation.
+func (s *Simulator) SetCachedShared(g *supernet.SubGraph) error {
+	if g == nil {
+		s.cached = nil
+		return nil
+	}
+	if !s.cfg.HasPB() {
+		return fmt.Errorf("accel %s: no Persistent Buffer configured", s.cfg.Name)
+	}
+	if b := g.Bytes(); b > s.cfg.PBBytes {
+		return fmt.Errorf("accel %s: SubGraph %q (%d B) exceeds PB capacity (%d B)",
+			s.cfg.Name, g.Name(), b, s.cfg.PBBytes)
+	}
+	fill := s.FillBytes(g)
+	s.cached = g
+	s.swaps++
+	s.swapBytes += fill
+	return nil
+}
+
 // Run simulates serving one query with SubNet sn given the current cache
 // state and returns the full report. The cache state is not modified.
 func (s *Simulator) Run(sn *supernet.SubNet) (*Report, error) {
@@ -148,6 +173,18 @@ func (s *Simulator) ServeBatch(sn *supernet.SubNet, n int) (*Report, error) {
 	return s.run(sn, n, nil)
 }
 
+// ServeBatchInto is ServeBatch writing the report into rep, reusing
+// rep's Layers backing array — the allocation-free path for callers
+// that simulate passes in a hot loop with a scratch report (the serving
+// layer's memoized-pass misses). rep is fully overwritten; n == 1 is
+// exactly Run.
+func (s *Simulator) ServeBatchInto(rep *Report, sn *supernet.SubNet, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("accel %s: non-positive batch size %d", s.cfg.Name, n)
+	}
+	return s.runInto(rep, sn, n, nil)
+}
+
 // RunLayers simulates only the layers selected by keep (e.g. the 3x3
 // convolutions used in the paper's board evaluation, §5.4-5.5).
 func (s *Simulator) RunLayers(sn *supernet.SubNet, keep func(i int) bool) (*Report, error) {
@@ -158,10 +195,20 @@ func (s *Simulator) RunLayers(sn *supernet.SubNet, keep func(i int) bool) (*Repo
 // loop with batch scaling applied per layer, so the per-layer
 // decomposition still sums to the batch's Total.
 func (s *Simulator) run(sn *supernet.SubNet, n int, keep func(i int) bool) (*Report, error) {
-	if sn == nil || sn.Model == nil {
-		return nil, fmt.Errorf("accel %s: nil SubNet", s.cfg.Name)
+	rep := &Report{}
+	if err := s.runInto(rep, sn, n, keep); err != nil {
+		return nil, err
 	}
-	rep := &Report{SubNet: sn.Name, Accel: s.cfg.Name, Batch: n}
+	return rep, nil
+}
+
+// runInto is run writing into a caller-owned report, recycling its
+// Layers capacity.
+func (s *Simulator) runInto(rep *Report, sn *supernet.SubNet, n int, keep func(i int) bool) error {
+	if sn == nil || sn.Model == nil {
+		return fmt.Errorf("accel %s: nil SubNet", s.cfg.Name)
+	}
+	*rep = Report{SubNet: sn.Name, Accel: s.cfg.Name, Batch: n, Layers: rep.Layers[:0]}
 	for i := range sn.Model.Layers {
 		if keep != nil && !keep(i) {
 			continue
@@ -198,5 +245,5 @@ func (s *Simulator) run(sn *supernet.SubNet, n int, keep func(i int) bool) (*Rep
 	}
 	rep.OffChipEnergyJ = float64(rep.OffChipBytes) * s.cfg.OffChipPJPerByte * 1e-12
 	rep.OnChipEnergyJ = float64(rep.OnChipBytes) * s.cfg.OnChipPJPerByte * 1e-12
-	return rep, nil
+	return nil
 }

@@ -4,7 +4,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"sushi/internal/accel"
@@ -33,6 +35,52 @@ type Table struct {
 	Energy [][]float64
 	// vectors caches each column's encoding for nearest-graph queries.
 	vectors [][]float64
+	// rowVectors caches each row's (SubNet's) encoding so per-query
+	// window observations never re-derive it. Read-only after build.
+	rowVectors [][]float64
+	// index holds the precomputed per-column feasibility structures the
+	// scheduler's hot path binary-searches instead of scanning rows.
+	index *tableIndex
+}
+
+// tableIndex is the precomputed feasibility index: for each policy's
+// hard constraint, the rows sorted by the constrained quantity plus
+// running argmin/argmax structures that reproduce the row-scan
+// tie-breaks (lowest original row index wins) exactly.
+type tableIndex struct {
+	// accPerm lists rows sorted by (accuracy asc, row asc); accSorted is
+	// the accuracy in that order. Accuracy is column-independent, so one
+	// permutation serves every column.
+	accPerm   []int
+	accSorted []float64
+	// maxAccRow is the scan-equivalent argmax-accuracy row (first strict
+	// max, i.e. lowest row index among ties).
+	maxAccRow int
+	// minLat is the smallest latency anywhere in the table — the
+	// tightest lower bound on any cross-replica interaction, used to
+	// size sharded-run barrier windows.
+	minLat float64
+	cols   []colIndex
+}
+
+// colIndex is one column's slice of the feasibility index.
+type colIndex struct {
+	// sufMinLat[p] is the min-latency row among accPerm[p:] (the rows
+	// meeting an accuracy floor that binary-searches to position p),
+	// ties resolved to the lowest row index.
+	sufMinLat []int
+	// latPerm lists rows sorted by (latency asc, row asc) under this
+	// column; latSorted is the latency in that order.
+	latPerm   []int
+	latSorted []float64
+	// preMaxAcc[p] is the max-accuracy row among latPerm[:p+1] (the rows
+	// meeting a latency budget that binary-searches past position p),
+	// ties resolved to the lowest row index.
+	preMaxAcc []int
+	// minLatRow/minLat are the column's scan-equivalent argmin latency
+	// (first strict min) and its value.
+	minLatRow int
+	minLat    float64
 }
 
 // Build profiles every (SubNet, SubGraph) pairing and returns the
@@ -119,6 +167,145 @@ func (t *Table) buildVectors() {
 	for j, g := range t.Graphs {
 		t.vectors[j] = g.Vector()
 	}
+	t.rowVectors = make([][]float64, len(t.SubNets))
+	for i, sn := range t.SubNets {
+		t.rowVectors[i] = sn.Vector()
+	}
+	t.buildIndex()
+}
+
+// buildIndex derives the feasibility index from the populated matrices.
+// Every constructor (Build, Truncate, Decode) runs it before the table
+// is shared, so readers never synchronize. The running argmin/argmax
+// structures use the same comparison the row scans used — strict
+// improvement, equal values resolved to the lower row index — so index
+// answers are bit-identical to scan answers.
+func (t *Table) buildIndex() {
+	rows, cols := t.Rows(), t.Cols()
+	idx := &tableIndex{
+		accPerm:   make([]int, rows),
+		accSorted: make([]float64, rows),
+		cols:      make([]colIndex, cols),
+	}
+	for i := range idx.accPerm {
+		idx.accPerm[i] = i
+	}
+	sort.SliceStable(idx.accPerm, func(a, b int) bool {
+		return t.SubNets[idx.accPerm[a]].Accuracy < t.SubNets[idx.accPerm[b]].Accuracy
+	})
+	for p, r := range idx.accPerm {
+		idx.accSorted[p] = t.SubNets[r].Accuracy
+	}
+	for i := 1; i < rows; i++ {
+		if t.SubNets[i].Accuracy > t.SubNets[idx.maxAccRow].Accuracy {
+			idx.maxAccRow = i
+		}
+	}
+	idx.minLat = math.Inf(1)
+	for j := 0; j < cols; j++ {
+		ci := colIndex{
+			sufMinLat: make([]int, rows),
+			latPerm:   make([]int, rows),
+			latSorted: make([]float64, rows),
+			preMaxAcc: make([]int, rows),
+		}
+		// Suffix argmin latency over the accuracy-sorted order.
+		for p := rows - 1; p >= 0; p-- {
+			best := idx.accPerm[p]
+			if p < rows-1 {
+				if prev := ci.sufMinLat[p+1]; t.Lat[prev][j] < t.Lat[best][j] ||
+					(t.Lat[prev][j] == t.Lat[best][j] && prev < best) {
+					best = prev
+				}
+			}
+			ci.sufMinLat[p] = best
+		}
+		for i := range ci.latPerm {
+			ci.latPerm[i] = i
+		}
+		sort.SliceStable(ci.latPerm, func(a, b int) bool {
+			return t.Lat[ci.latPerm[a]][j] < t.Lat[ci.latPerm[b]][j]
+		})
+		for p, r := range ci.latPerm {
+			ci.latSorted[p] = t.Lat[r][j]
+		}
+		// Prefix argmax accuracy over the latency-sorted order.
+		for p := 0; p < rows; p++ {
+			best := ci.latPerm[p]
+			if p > 0 {
+				if prev := ci.preMaxAcc[p-1]; t.SubNets[prev].Accuracy > t.SubNets[best].Accuracy ||
+					(t.SubNets[prev].Accuracy == t.SubNets[best].Accuracy && prev < best) {
+					best = prev
+				}
+			}
+			ci.preMaxAcc[p] = best
+		}
+		ci.minLatRow = 0
+		for i := 1; i < rows; i++ {
+			if t.Lat[i][j] < t.Lat[ci.minLatRow][j] {
+				ci.minLatRow = i
+			}
+		}
+		ci.minLat = t.Lat[ci.minLatRow][j]
+		if ci.minLat < idx.minLat {
+			idx.minLat = ci.minLat
+		}
+		idx.cols[j] = ci
+	}
+	t.index = idx
+}
+
+// RowVector returns SubNet row i's precomputed encoding vector. The
+// slice is shared and read-only; callers must not mutate it.
+func (t *Table) RowVector(i int) []float64 { return t.rowVectors[i] }
+
+// MinLatency returns the smallest latency any row achieves under
+// column j — the scan-equivalent argmin value, precomputed.
+func (t *Table) MinLatency(j int) float64 { return t.index.cols[j].minLat }
+
+// MinLatencyRow returns the scan-equivalent argmin-latency row under
+// column j (lowest row index on ties).
+func (t *Table) MinLatencyRow(j int) int { return t.index.cols[j].minLatRow }
+
+// MaxAccuracyRow returns the scan-equivalent argmax-accuracy row
+// (lowest row index on ties).
+func (t *Table) MaxAccuracyRow() int { return t.index.maxAccRow }
+
+// GlobalMinLatency returns the smallest latency anywhere in the table —
+// the tightest bound on any service completing, used to size the
+// sharded engine's conservative barrier windows.
+func (t *Table) GlobalMinLatency() float64 { return t.index.minLat }
+
+// FastestFeasible answers the STRICT_ACCURACY per-query decision for a
+// solo serve: the minimum-latency row whose accuracy meets floor A
+// under column j, with the row-scan tie-breaks, via binary search. The
+// second result reports feasibility; when false the returned row is
+// the scan-equivalent argmax-accuracy fallback.
+func (t *Table) FastestFeasible(acc float64, j int) (int, bool) {
+	idx := t.index
+	p := 0
+	if !math.IsNaN(acc) {
+		p = sort.SearchFloat64s(idx.accSorted, acc)
+	}
+	if p >= len(idx.accSorted) {
+		return idx.maxAccRow, false
+	}
+	return idx.cols[j].sufMinLat[p], true
+}
+
+// MostAccurateWithin answers the STRICT_LATENCY per-query decision for
+// a solo serve: the maximum-accuracy row whose latency fits budget L
+// under column j, with the row-scan tie-breaks, via binary search. The
+// second result reports feasibility; when false the returned row is
+// the column's argmin-latency fallback.
+func (t *Table) MostAccurateWithin(lat float64, j int) (int, bool) {
+	ci := &t.index.cols[j]
+	// First position strictly past the budget: rows latPerm[:p] fit.
+	p := sort.Search(len(ci.latSorted), func(i int) bool { return ci.latSorted[i] > lat })
+	if p == 0 {
+		return ci.minLatRow, false
+	}
+	return ci.preMaxAcc[p-1], true
 }
 
 // Rows returns |X| and Cols |S|.

@@ -417,7 +417,14 @@ func (s *Scheduler) selectSubNetBatch(q Query, pol Policy, col, n int) (idx int,
 		return s.argmaxAccuracy(), false
 	case StrictAccuracy:
 		// argmin latency s.t. accuracy >= A_t; fall back to the most
-		// accurate SubNet when the constraint is unsatisfiable.
+		// accurate SubNet when the constraint is unsatisfiable. The solo
+		// path answers from the table's precomputed feasibility index
+		// (binary search + suffix argmin) with scan-identical
+		// tie-breaks; only batched flushes (once per flush, not per
+		// query) still scan, because batch latency depends on n.
+		if n <= 1 {
+			return s.table.FastestFeasible(q.MinAccuracy, col)
+		}
 		best, bestLat := -1, 0.0
 		for i := 0; i < s.table.Rows(); i++ {
 			if s.table.SubNets[i].Accuracy < q.MinAccuracy {
@@ -433,7 +440,11 @@ func (s *Scheduler) selectSubNetBatch(q Query, pol Policy, col, n int) (idx int,
 		return s.argmaxAccuracy(), false
 	default: // StrictLatency
 		// argmax accuracy s.t. latency <= L_t; fall back to the fastest
-		// SubNet when the constraint is unsatisfiable.
+		// SubNet when the constraint is unsatisfiable. Solo path: index
+		// lookup, see above.
+		if n <= 1 {
+			return s.table.MostAccurateWithin(q.MaxLatency, col)
+		}
 		best, bestAcc := -1, 0.0
 		for i := 0; i < s.table.Rows(); i++ {
 			if s.table.LookupBatch(i, col, n) > q.MaxLatency {
@@ -450,17 +461,12 @@ func (s *Scheduler) selectSubNetBatch(q Query, pol Policy, col, n int) (idx int,
 	}
 }
 
-func (s *Scheduler) argmaxAccuracy() int {
-	best := 0
-	for i := 1; i < s.table.Rows(); i++ {
-		if s.table.SubNets[i].Accuracy > s.table.SubNets[best].Accuracy {
-			best = i
-		}
-	}
-	return best
-}
+func (s *Scheduler) argmaxAccuracy() int { return s.table.MaxAccuracyRow() }
 
 func (s *Scheduler) argminLatencyBatch(col, n int) int {
+	if n <= 1 {
+		return s.table.MinLatencyRow(col)
+	}
 	best := 0
 	for i := 1; i < s.table.Rows(); i++ {
 		if s.table.LookupBatch(i, col, n) < s.table.LookupBatch(best, col, n) {
@@ -475,7 +481,9 @@ func (s *Scheduler) argminLatencyBatch(col, n int) int {
 // kernels/channels that are frequent but not universal (Fig. 6); the
 // intersection variant exists for the ablation.
 func (s *Scheduler) observe(idx int) {
-	v := s.table.SubNets[idx].Vector()
+	// The precomputed row vector is shared and read-only; window slots
+	// may alias it because the averaging below only reads.
+	v := s.table.RowVector(idx)
 	s.window[s.next] = v
 	s.next = (s.next + 1) % s.opt.Q
 	if s.filled < s.opt.Q {

@@ -11,6 +11,12 @@ import (
 	"sushi/internal/supernet"
 )
 
+// strictLatencyDegrade is the shared per-query policy override for
+// admission control's degrade-to-fastest escape valve. Schedulers only
+// read through Query.Policy, so every degraded query can alias this one
+// value instead of heap-allocating a policy per serve.
+var strictLatencyDegrade = sched.StrictLatency
+
 // UnknownModelError is the typed rejection for a query naming a model
 // the deployment does not host; the HTTP surface maps it to 400.
 type UnknownModelError struct {
@@ -384,6 +390,23 @@ func (r *Replica) ID() int { return r.id }
 // have not finished (queued plus in flight).
 func (r *Replica) QueueDepth() int { return int(r.depth.Load()) }
 
+// MinServiceLatency is the shortest single-query service time this
+// replica can possibly produce — the minimum over its tenants of the
+// latency table's global minimum (seconds). The simq engine's sharded
+// mode sizes its conservative virtual-time windows from the fleet
+// minimum: no event chain can propagate between replicas faster than
+// one service. The table is immutable after build, so no lock is
+// needed.
+func (r *Replica) MinServiceLatency() float64 {
+	min := math.Inf(1)
+	for _, t := range r.tenants {
+		if l := t.sys.Table().GlobalMinLatency(); l < min {
+			min = l
+		}
+	}
+	return min
+}
+
 // Queries reports how many queries this replica has served.
 func (r *Replica) Queries() int {
 	r.mu.Lock()
@@ -621,10 +644,9 @@ func (r *Replica) ServeVirtual(q, offered sched.Query, degrade bool) (Served, er
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if degrade {
-		pol := sched.StrictLatency
 		q.MinAccuracy = 0
 		q.MaxLatency = t.sys.fastestBudget()
-		q.Policy = &pol
+		q.Policy = &strictLatencyDegrade
 	}
 	res, err := t.sys.Serve(q)
 	if err != nil {
@@ -650,35 +672,45 @@ func (r *Replica) ServeVirtual(q, offered sched.Query, degrade bool) (Served, er
 // whole batch. With degrade set, every member is served by the fastest
 // SubNet reachable under its model's current cache column.
 func (r *Replica) ServeBatchVirtual(qs, offered []sched.Query, degrade bool) ([]Served, error) {
-	t, err := r.tenantFor(qs[0].Model)
-	if err != nil {
+	nq := append([]sched.Query(nil), qs...)
+	no := append([]sched.Query(nil), offered...)
+	out := make([]Served, len(qs))
+	if err := r.ServeBatchVirtualInto(nq, no, degrade, out); err != nil {
 		return nil, err
 	}
-	nq := make([]sched.Query, len(qs))
-	no := make([]sched.Query, len(offered))
-	for i, q := range qs {
-		q.Model = t.model
-		nq[i] = q
+	return out, nil
+}
+
+// ServeBatchVirtualInto is ServeBatchVirtual with caller-owned scratch:
+// qs and offered are normalized (and, under degrade, rewritten) IN
+// PLACE, and the per-member outcomes land in out (len(out) must equal
+// len(qs)). The simq engine reuses one set of buffers across every
+// flush, which is what makes the steady-state serve path allocation
+// free; callers that need their query slices preserved must copy first
+// (ServeBatchVirtual does exactly that).
+func (r *Replica) ServeBatchVirtualInto(qs, offered []sched.Query, degrade bool, out []Served) error {
+	t, err := r.tenantFor(qs[0].Model)
+	if err != nil {
+		return err
 	}
-	for i, q := range offered {
-		q.Model = t.model
-		no[i] = q
+	for i := range qs {
+		qs[i].Model = t.model
 	}
-	qs, offered = nq, no
+	for i := range offered {
+		offered[i].Model = t.model
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if degrade {
-		pol := sched.StrictLatency
 		budget := t.sys.fastestBudget()
 		for i := range qs {
 			qs[i].MinAccuracy = 0
 			qs[i].MaxLatency = budget
-			qs[i].Policy = &pol
+			qs[i].Policy = &strictLatencyDegrade
 		}
 	}
-	rs, err := t.sys.ServeBatch(qs)
-	if err != nil {
-		return nil, err
+	if err := t.sys.ServeBatchInto(qs, out); err != nil {
+		return err
 	}
 	recached := false
 	if t.rec != nil {
@@ -686,7 +718,7 @@ func (r *Replica) ServeBatchVirtual(qs, offered []sched.Query, degrade bool) ([]
 			recached = true
 			// Marked on the last member, mirroring the CacheSwapped
 			// convention: the switch follows the batch.
-			rs[len(rs)-1].Recached = true
+			out[len(out)-1].Recached = true
 			t.rec.pendingSec += cost
 		}
 	}
@@ -696,8 +728,8 @@ func (r *Replica) ServeBatchVirtual(qs, offered []sched.Query, degrade bool) ([]
 			r.part.pendingSec += cost
 		})
 	}
-	if recached || rs[len(rs)-1].CacheSwapped {
+	if recached || out[len(out)-1].CacheSwapped {
 		r.publishCache(t)
 	}
-	return rs, nil
+	return nil
 }

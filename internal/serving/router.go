@@ -16,6 +16,21 @@ type Router interface {
 	Pick(q sched.Query, reps []*Replica) int
 }
 
+// ShardSafeRouter marks routers whose pick sequence depends only on the
+// order of Pick calls (and their own seeded state) — never on replica
+// load, cache or lifecycle state. The simq engine's sharded mode
+// pre-routes the whole arrival stream through the router before any
+// query is served; only shard-safe routers produce the same pick
+// sequence under pre-routing as under live routing, which is what makes
+// sharded runs bit-identical to sequential ones. Round-robin and random
+// qualify; least-loaded, fastest and affinity read replica state and do
+// not.
+type ShardSafeRouter interface {
+	Router
+	// ShardSafe is a marker; implementations leave it empty.
+	ShardSafe()
+}
+
 // NewRoundRobin cycles through replicas in order — the baseline
 // stateless dispatcher.
 func NewRoundRobin() Router { return &roundRobin{} }
@@ -23,6 +38,9 @@ func NewRoundRobin() Router { return &roundRobin{} }
 type roundRobin struct{ next int }
 
 func (r *roundRobin) Name() string { return "round-robin" }
+
+// ShardSafe marks round-robin picks as independent of replica state.
+func (r *roundRobin) ShardSafe() {}
 
 func (r *roundRobin) Pick(_ sched.Query, reps []*Replica) int {
 	i := r.next % len(reps)
@@ -57,6 +75,9 @@ func NewRandom(seed int64) Router {
 type random struct{ rng *rand.Rand }
 
 func (r *random) Name() string { return "random" }
+
+// ShardSafe marks seeded-random picks as independent of replica state.
+func (r *random) ShardSafe() {}
 
 func (r *random) Pick(_ sched.Query, reps []*Replica) int {
 	return r.rng.Intn(len(reps))

@@ -73,7 +73,7 @@ func (c *elasticState) metrics(now float64, states []replicaState, active int) a
 	for i := range states {
 		busy += states[i].busyUpTo(now)
 		on += states[i].onUpTo(now)
-		depth += len(states[i].queue) + states[i].inFlight
+		depth += states[i].qlen() + states[i].inFlight
 	}
 	util := 0.0
 	if cap := on - c.prevOn; cap > 0 {
@@ -136,11 +136,11 @@ func (c *elasticState) desired(m autoscale.Metrics) int {
 // assumption). Scale-down drains the highest-index Active replica
 // (LIFO keeps long-lived caches warm): it stops admitting at once,
 // finishes its queued and in-flight work, and retires when empty.
-func (e *Engine) evaluate(ctl *elasticState, states []replicaState, now float64,
-	rebuildAdmit func(), maybeRetire func(int, float64)) {
+func (r *runner) evaluate(now float64) {
+	ctl, states := r.ctl, r.states
 	active := 0
-	for _, r := range e.reps {
-		if r.Lifecycle() == serving.LifecycleActive {
+	for _, rep := range r.e.reps {
+		if rep.Lifecycle() == serving.LifecycleActive {
 			active++
 		}
 	}
@@ -153,8 +153,8 @@ func (e *Engine) evaluate(ctl *elasticState, states []replicaState, now float64,
 	changed := false
 	for desired > active {
 		bi := -1
-		for i, r := range e.reps {
-			if lc := r.Lifecycle(); lc == serving.LifecycleStandby || lc == serving.LifecycleRetired {
+		for i, rep := range r.e.reps {
+			if lc := rep.Lifecycle(); lc == serving.LifecycleStandby || lc == serving.LifecycleRetired {
 				bi = i
 				break
 			}
@@ -165,11 +165,12 @@ func (e *Engine) evaluate(ctl *elasticState, states []replicaState, now float64,
 			break
 		}
 		st := &states[bi]
-		e.reps[bi].SetLifecycle(serving.LifecycleActive)
+		r.e.reps[bi].SetLifecycle(serving.LifecycleActive)
 		st.on, st.onSince = true, now
-		if boot := e.reps[bi].BootCost(); boot > 0 {
+		if boot := r.e.reps[bi].BootCost(); boot > 0 {
 			st.busy, st.freeAt, st.inFlight = true, now+boot, 0
 			st.busySince = now
+			r.heap.push(event{t: st.freeAt, kind: evComplete, rep: int32(bi)})
 		}
 		ctl.scaleUps++
 		active++
@@ -177,8 +178,8 @@ func (e *Engine) evaluate(ctl *elasticState, states []replicaState, now float64,
 	}
 	for desired < active {
 		di := -1
-		for i := len(e.reps) - 1; i >= 0; i-- {
-			if e.reps[i].Lifecycle() == serving.LifecycleActive {
+		for i := len(r.e.reps) - 1; i >= 0; i-- {
+			if r.e.reps[i].Lifecycle() == serving.LifecycleActive {
 				di = i
 				break
 			}
@@ -186,20 +187,20 @@ func (e *Engine) evaluate(ctl *elasticState, states []replicaState, now float64,
 		if di < 0 {
 			break
 		}
-		e.reps[di].SetLifecycle(serving.LifecycleDraining)
+		r.e.reps[di].SetLifecycle(serving.LifecycleDraining)
 		ctl.scaleDowns++
 		active--
 		changed = true
 		// An idle, empty replica retires on the spot.
-		maybeRetire(di, now)
+		r.maybeRetire(di, now)
 	}
 	if changed {
-		rebuildAdmit()
+		r.rebuildAdmit()
 		ctl.lastAction = now
 	}
 	depth := 0
 	for i := range states {
-		depth += len(states[i].queue) + states[i].inFlight
+		depth += states[i].qlen() + states[i].inFlight
 	}
 	ctl.snapshot(now, states, depth)
 }

@@ -259,6 +259,17 @@ func TestElasticDrainDropsCarryQueryEcho(t *testing.T) {
 		if o.Served.Query.MaxLatency != qs[o.Served.Query.ID].MaxLatency {
 			t.Errorf("outcome %d: dropped query lost its budget echo (%g)", i, o.Served.Query.MaxLatency)
 		}
+		// The drop path writes the pooled Outcome slot in place; apart
+		// from the Query echo the Served half must be zero — any stale
+		// service field here means a recycled slot leaked a previous
+		// query's record.
+		if o.Served.SubNet != "" || o.Served.Latency != 0 || o.Served.Accuracy != 0 ||
+			o.Served.Batch != 0 || o.Served.HitBytes != 0 || o.Served.CacheSwapped {
+			t.Errorf("outcome %d: dropped query carries stale service fields: %+v", i, o.Served)
+		}
+		if o.Batch != 0 || o.RecacheSec != 0 {
+			t.Errorf("outcome %d: dropped query carries stale batch/recache fields", i)
+		}
 	}
 	if drops == 0 || deadline == 0 {
 		t.Fatalf("fixture produced %d drops (%d deadline); overload it harder", drops, deadline)

@@ -1,0 +1,210 @@
+package simq
+
+// Tests for the indexed-event hot path: sharded-run determinism, lazy
+// arrival streaming, and the zero-alloc steady state.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sushi/internal/autoscale"
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+	"sushi/internal/workload"
+)
+
+// hotOptions is the load-shaped fixture shared by the determinism and
+// allocation tests: bounded queues, degrade admission, load-aware
+// debiting and micro-batching — every hot-path branch exercised.
+func hotOptions(router serving.Router, shards int, window float64) Options {
+	return Options{
+		QueueCap:  6,
+		Admission: Degrade,
+		LoadAware: true,
+		Drop:      true,
+		Router:    router,
+		Batching:  Batching{MaxBatch: 4, Window: window},
+		Shards:    shards,
+	}
+}
+
+// TestShardDeterminism pins the sharded engine's core contract: the
+// same seed and stream produce a bit-identical Result at ANY shard
+// count, for both shard-safe routers.
+func TestShardDeterminism(t *testing.T) {
+	budget := 0.0
+	run := func(router func() serving.Router, shards int) *Result {
+		reps := newReplicas(t, 4)
+		if budget == 0 {
+			budget = replicaLatHi(reps[0]) * 1.3
+		}
+		qs := timedStream(t, 160, 700, budget)
+		eng, err := New(reps, hotOptions(router(), shards, budget/3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	routers := map[string]func() serving.Router{
+		"round-robin": serving.NewRoundRobin,
+		"random":      func() serving.Router { return serving.NewRandom(7) },
+	}
+	for name, mk := range routers {
+		base := run(mk, 1)
+		for _, shards := range []int{2, 3, 4, 8} {
+			got := run(mk, shards)
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("%s router: Shards=%d diverges from sequential run:\n%+v\n%+v",
+					name, shards, base.Summary, got.Summary)
+			}
+		}
+	}
+}
+
+// TestShardValidation pins New's sharded-mode guards: state-dependent
+// routers and elastic fleets cannot shard, negative counts are
+// rejected, and shard-safe configurations are accepted.
+func TestShardValidation(t *testing.T) {
+	reps := newReplicas(t, 2)
+	if _, err := New(reps, Options{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := New(reps, Options{Shards: 2, Router: serving.NewLeastLoaded()}); err == nil {
+		t.Error("least-loaded router accepted for a sharded run")
+	}
+	if _, err := New(reps, Options{Shards: 2, Router: serving.NewFastest()}); err == nil {
+		t.Error("fastest router accepted for a sharded run")
+	}
+	if _, err := New(reps, Options{Shards: 2, Autoscale: &autoscale.Config{
+		Min: 1, Max: 2, Interval: 0.1, Policy: autoscale.TargetUtilization{},
+	}}); err == nil {
+		t.Error("elastic fleet accepted for a sharded run")
+	}
+	if _, err := New(reps, Options{Shards: 2}); err != nil {
+		t.Errorf("default round-robin rejected for a sharded run: %v", err)
+	}
+	if _, err := New(reps, Options{Shards: 2, Router: serving.NewRandom(1)}); err != nil {
+		t.Errorf("random router rejected for a sharded run: %v", err)
+	}
+}
+
+// TestRunProcessMatchesRun pins lazy arrival streaming: drawing
+// arrivals one at a time through RunProcess must reproduce, bit for
+// bit, the Result of materializing the same process with Times and
+// calling Run.
+func TestRunProcessMatchesRun(t *testing.T) {
+	const n, seed = 120, 9
+	budget := 0.0
+	proc := workload.Poisson{Rate: 600}
+	mkQuery := func(i int, budget float64) sched.Query {
+		return sched.Query{ID: i, MaxLatency: budget * (0.8 + 0.4*float64(i%5)/4)}
+	}
+	build := func() *Engine {
+		reps := newReplicas(t, 3)
+		if budget == 0 {
+			budget = replicaLatHi(reps[0]) * 1.3
+		}
+		eng, err := New(reps, hotOptions(serving.NewRoundRobin(), 0, budget/3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	arr, err := proc.Times(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := build()
+	qs := make([]serving.TimedQuery, n)
+	for i := range qs {
+		qs[i] = serving.TimedQuery{Query: mkQuery(i, budget), Arrival: arr[i]}
+	}
+	want, err := eager.Run(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lazy := build()
+	stream, err := proc.Stream(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lazy.RunProcess(n, stream, func(i int, _ float64) sched.Query {
+		return mkQuery(i, budget)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("lazy RunProcess diverges from materialized Run:\n%+v\n%+v",
+			want.Summary, got.Summary)
+	}
+}
+
+// TestRunProcessValidation pins RunProcess's argument and mid-stream
+// guards.
+func TestRunProcessValidation(t *testing.T) {
+	reps := newReplicas(t, 1)
+	eng, err := New(reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int, _ float64) sched.Query { return sched.Query{ID: i, MaxLatency: 1} }
+	if _, err := eng.RunProcess(0, func() (float64, bool) { return 0, true }, mk); err == nil {
+		t.Error("non-positive count accepted")
+	}
+	if _, err := eng.RunProcess(1, nil, mk); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, err := eng.RunProcess(1, func() (float64, bool) { return 0, true }, nil); err == nil {
+		t.Error("nil query maker accepted")
+	}
+	if _, err := eng.RunProcess(4, func() (float64, bool) { return 0, false }, mk); err == nil {
+		t.Error("exhausted stream accepted")
+	}
+	dec := 2.0
+	if _, err := eng.RunProcess(4, func() (float64, bool) { dec -= 1; return dec, true }, mk); err == nil {
+		t.Error("decreasing arrival stream accepted")
+	}
+	if _, err := eng.RunProcess(2, func() (float64, bool) { return math.NaN(), true }, mk); err == nil {
+		t.Error("NaN arrival accepted")
+	}
+}
+
+// TestSteadyStateAllocs pins the zero-alloc steady state: a warm
+// engine's whole-run allocation count stays bounded by per-run setup
+// (result skeleton, scratch growth to the high-water mark) instead of
+// scaling with the query count. The budget of 0.25 allocs per query
+// would fail loudly if any per-query path regained an allocation (one
+// alloc per query would be 4x over).
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	budget := 0.0
+	reps := newReplicas(t, 4)
+	budget = replicaLatHi(reps[0]) * 1.3
+	const n = 1000
+	qs := timedStream(t, n, 700, budget)
+	eng, err := New(reps, hotOptions(serving.NewRoundRobin(), 0, budget/3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := eng.Run(qs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm caches, scratch and reservoirs
+	allocs := testing.AllocsPerRun(3, run)
+	if perQuery := allocs / n; perQuery > 0.25 {
+		t.Errorf("steady state allocates %.0f per run (%.3f per query); want < 0.25 per query",
+			allocs, perQuery)
+	}
+}

@@ -1,0 +1,174 @@
+package simq
+
+// The sharded parallel engine (Options.Shards > 1): replicas are
+// partitioned contiguously across worker goroutines, each running the
+// SAME runner event loop as the sequential engine over its replica
+// range, advancing in lock-step conservative virtual-time windows.
+//
+// Why this is bit-identical to the sequential engine:
+//
+//   - Routing. The whole arrival stream is pre-routed through the real
+//     router in arrival order before any worker starts. A shard-safe
+//     router's pick sequence depends only on the order of Pick calls
+//     (New enforces this), so pre-routing produces exactly the picks
+//     live routing would — and New also rejects autoscaling, so the
+//     admitting set is the full fleet for the whole run.
+//   - Independence. Given its routed substream, each replica's
+//     simulation is self-contained: queue, batch former, cache and
+//     accumulator are all per-replica state. Shards write disjoint
+//     index ranges of the SHARED states/accs/ReplicaQueries arrays and
+//     disjoint Outcome slots (each query has exactly one), so no locks
+//     are needed and no write order is observable.
+//   - Fold. finish() merges accumulators in replica order and walks
+//     outcomes in arrival order — sequential and deterministic however
+//     the windows interleaved.
+//
+// The window barrier is the conservative-parallel-DES safety argument
+// (windows no longer than the fleet's minimum service latency, the
+// fastest any event chain could propagate between replicas if replicas
+// interacted): today's replicas never interact, so the barrier is pure
+// insurance for future cross-replica couplings, but it also keeps
+// worker skew — and thus peak memory for in-window state — bounded.
+
+import (
+	"math"
+
+	"sushi/internal/serving"
+)
+
+// shardOut is one worker's report for one window.
+type shardOut struct {
+	done bool
+	next float64
+	err  error
+}
+
+// runSharded drives the fleet with one runner per shard over shared
+// result arrays, in conservative virtual-time windows.
+func (e *Engine) runSharded(ordered []serving.TimedQuery) (*Result, error) {
+	nr := len(e.reps)
+	shards := e.opt.Shards
+	if shards > nr {
+		shards = nr
+	}
+
+	// Pre-route the whole stream in arrival order through the real
+	// router (the same Pick sequence the sequential engine would issue),
+	// then split it into per-shard substreams by the contiguous replica
+	// partition shardOf[ri] = ri*shards/nr.
+	shardOf := make([]int, nr)
+	for i := range shardOf {
+		shardOf[i] = i * shards / nr
+	}
+	perShard := make([][]routedArrival, shards)
+	for i, tq := range ordered {
+		ri := e.router.Pick(tq.Query, e.reps)
+		if ri < 0 || ri >= nr {
+			ri = 0
+		}
+		s := shardOf[ri]
+		perShard[s] = append(perShard[s], routedArrival{tq: tq, idx: int32(i), ri: int32(ri)})
+	}
+
+	// Window length: the fastest any completed service could feed a
+	// cross-shard consequence — the fleet's minimum service latency —
+	// with a small fallback for degenerate tables.
+	delta := math.Inf(1)
+	for _, rep := range e.reps {
+		if l := rep.MinServiceLatency(); l < delta {
+			delta = l
+		}
+	}
+	if !(delta > 0) || math.IsInf(delta, 1) {
+		delta = 1e-3
+	}
+
+	res := e.newResult(len(ordered))
+	states := newStates(nr)
+	accs := make([]serving.Accumulator, nr)
+	runners := make([]*runner, shards)
+	for s := range runners {
+		r := &runner{
+			e:      e,
+			res:    res,
+			states: states,
+			accs:   accs,
+			src:    &routedSource{rs: perShard[s]},
+			admit:  e.reps,
+		}
+		r.batching = e.opt.Batching.Enabled()
+		r.maxB = e.opt.Batching.MaxBatch
+		if !r.batching {
+			r.maxB = 1
+		}
+		runners[s] = r
+	}
+
+	// Persistent workers: one goroutine per shard, fed window limits,
+	// reporting (done, earliest pending instant, error) per window.
+	limits := make([]chan float64, shards)
+	outs := make(chan shardOut, shards)
+	for s := range runners {
+		limits[s] = make(chan float64)
+		go func(r *runner, in <-chan float64) {
+			for limit := range in {
+				done, next, err := r.runUntil(limit)
+				outs <- shardOut{done: done, next: next, err: err}
+			}
+		}(runners[s], limits[s])
+	}
+	stop := func() {
+		for _, ch := range limits {
+			close(ch)
+		}
+	}
+
+	limit := delta
+	for {
+		for _, ch := range limits {
+			ch <- limit
+		}
+		allDone := true
+		minNext := math.Inf(1)
+		var firstErr error
+		for range runners {
+			o := <-outs
+			if o.err != nil && firstErr == nil {
+				firstErr = o.err
+			}
+			if !o.done {
+				allDone = false
+			}
+			if o.next < minNext {
+				minNext = o.next
+			}
+		}
+		if firstErr != nil {
+			stop()
+			return nil, firstErr
+		}
+		if allDone {
+			stop()
+			break
+		}
+		// Advance past empty windows: the next window ends one delta
+		// after the earliest pending instant anywhere in the fleet.
+		next := limit + delta
+		if minNext+delta > next {
+			next = minNext + delta
+		}
+		limit = next
+	}
+
+	// Fold with a synthetic runner over the shared arrays; the original
+	// ordered stream supplies the offered-rate span.
+	fold := &runner{
+		e:      e,
+		res:    res,
+		states: states,
+		accs:   accs,
+		src:    &sliceSource{qs: ordered, i: len(ordered)},
+	}
+	e.finish(fold)
+	return res, nil
+}

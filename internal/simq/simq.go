@@ -25,6 +25,14 @@
 // MaxBatch <= 1 or Window <= 0 the loop is bit-identical per seed to
 // the unbatched engine.
 //
+// The event loop itself is the indexed engine of runner.go/event.go: a
+// flat min-heap of packed (time, kind, replica) events with lazy
+// invalidation, arrivals streamed from a cursor (or lazily from a
+// workload stream via RunProcess), and every hot-path buffer pooled
+// across the run — the steady state allocates nothing per query.
+// Options.Shards opts into the parallel engine (shard.go), bit-identical
+// to the sequential loop at any shard count.
+//
 // ServeTimed is the single-replica entry point; cluster-level callers
 // use New/FromCluster + Run (surfaced publicly as sushi.Cluster.Simulate
 // and POST /v1/simulate).
@@ -152,6 +160,15 @@ type Options struct {
 	// events in the run. nil, a nil Policy, or Min == Max leaves the
 	// fleet fixed and the run bit-identical to the pre-elastic engine.
 	Autoscale *autoscale.Config
+	// Shards opts into the parallel engine: replicas are partitioned
+	// across min(Shards, replicas) goroutines advancing in conservative
+	// virtual-time windows (sized from the fleet's minimum cross-shard
+	// interaction latency), with the whole stream pre-routed through the
+	// real router in arrival order. Results are bit-identical to the
+	// sequential engine at ANY shard count. Requires a shard-safe router
+	// (round-robin or random — pick sequences independent of replica
+	// state) and no autoscaling; Shards <= 1 is the sequential engine.
+	Shards int
 }
 
 // Reason classifies why a query was dropped.
@@ -284,9 +301,20 @@ func New(reps []*serving.Replica, opt Options) (*Engine, error) {
 	if opt.Autoscale.Enabled() && opt.Autoscale.Max > len(reps) {
 		return nil, fmt.Errorf("simq: autoscale Max %d exceeds the %d booted replicas", opt.Autoscale.Max, len(reps))
 	}
+	if opt.Shards < 0 {
+		return nil, fmt.Errorf("simq: negative shard count %d", opt.Shards)
+	}
 	router := opt.Router
 	if router == nil {
 		router = serving.NewRoundRobin()
+	}
+	if opt.Shards > 1 {
+		if opt.Autoscale.Enabled() {
+			return nil, fmt.Errorf("simq: sharded runs cannot autoscale (Shards %d with an elastic fleet)", opt.Shards)
+		}
+		if _, ok := router.(serving.ShardSafeRouter); !ok {
+			return nil, fmt.Errorf("simq: router %q is not shard-safe (its picks depend on replica state); use round-robin or random, or Shards <= 1", router.Name())
+		}
 	}
 	return &Engine{reps: reps, router: router, opt: opt}, nil
 }
@@ -318,9 +346,14 @@ type job struct {
 	degraded bool
 }
 
-// replicaState is one replica's virtual-time view.
+// replicaState is one replica's virtual-time view. The wait queue is a
+// head-indexed slice reused for the whole run: pops advance qhead, a
+// push compacts the live region down before appending when the backing
+// array is full, so steady-state queue churn allocates nothing once
+// capacity has grown to the high-water mark.
 type replicaState struct {
 	queue  []job
+	qhead  int
 	busy   bool
 	freeAt float64
 	// flushAt is the pending batch-window expiry — the virtual instant a
@@ -340,6 +373,36 @@ type replicaState struct {
 	busySince, busyTotal float64
 	on                   bool
 	onSince, onTotal     float64
+}
+
+// qlen is the number of queued (not in-flight) queries.
+func (st *replicaState) qlen() int { return len(st.queue) - st.qhead }
+
+// qfront peeks the head of the FIFO.
+func (st *replicaState) qfront() job { return st.queue[st.qhead] }
+
+// qpop removes and returns the head.
+func (st *replicaState) qpop() job {
+	j := st.queue[st.qhead]
+	st.queue[st.qhead] = job{} // drop the Query echo so the slot retains nothing
+	st.qhead++
+	if st.qhead == len(st.queue) {
+		st.queue, st.qhead = st.queue[:0], 0
+	}
+	return j
+}
+
+// qpush appends to the tail, compacting the live region first when the
+// backing array is full but has dead head slots.
+func (st *replicaState) qpush(j job) {
+	if st.qhead > 0 && len(st.queue) == cap(st.queue) {
+		n := copy(st.queue, st.queue[st.qhead:])
+		for i := n; i < len(st.queue); i++ {
+			st.queue[i] = job{}
+		}
+		st.queue, st.qhead = st.queue[:n], 0
+	}
+	st.queue = append(st.queue, j)
 }
 
 // batchKey is the engine's batch-former compatibility key: two queued
@@ -400,369 +463,125 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 		}
 		ordered[i].Model = m
 	}
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	// Every generated arrival process yields non-decreasing instants;
+	// one linear pass detects that and skips the sort (trace replay
+	// stays correct: an out-of-order trace still sorts).
+	if !nonDecreasing(ordered) {
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	}
+	if e.opt.Shards > 1 && len(e.reps) > 1 {
+		return e.runSharded(ordered)
+	}
+	return e.runSequential(&sliceSource{qs: ordered}, len(ordered))
+}
 
-	res := &Result{
-		Outcomes:       make([]Outcome, len(ordered)),
+// RunProcess plays n queries through the cluster with arrival instants
+// drawn LAZILY from stream — no materialized arrival slice — and the
+// i-th query minted by mk at its arrival instant. stream must yield
+// finite, non-negative, non-decreasing instants (every
+// workload.Streamer does by construction); a violation aborts the run
+// mid-stream with an error, after earlier queries have already mutated
+// replica cache state — the documented price of laziness. Sharded mode
+// needs the whole routed stream up front, so RunProcess runs
+// sequentially regardless of Options.Shards.
+func (e *Engine) RunProcess(n int, stream func() (float64, bool), mk func(i int, t float64) sched.Query) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("simq: non-positive query count %d", n)
+	}
+	if stream == nil || mk == nil {
+		return nil, fmt.Errorf("simq: RunProcess needs an arrival stream and a query maker")
+	}
+	return e.runSequential(&processSource{n: n, draw: stream, mk: mk, rep0: e.reps[0]}, n)
+}
+
+// nonDecreasing reports whether arrivals are already in time order.
+func nonDecreasing(qs []serving.TimedQuery) bool {
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Arrival < qs[i-1].Arrival {
+			return false
+		}
+	}
+	return true
+}
+
+// newResult preallocates the per-run result skeleton.
+func (e *Engine) newResult(n int) *Result {
+	return &Result{
+		Outcomes:       make([]Outcome, n),
 		ReplicaQueries: make([]int, len(e.reps)),
-		Queries:        len(ordered),
+		Queries:        n,
 		Router:         e.router.Name(),
 	}
-	states := make([]replicaState, len(e.reps))
+}
+
+// newStates builds the per-replica virtual-time views (no flush timer
+// armed).
+func newStates(n int) []replicaState {
+	states := make([]replicaState, n)
 	for i := range states {
 		states[i].flushAt = math.Inf(1)
 	}
-	accs := make([]serving.Accumulator, len(e.reps))
-	batching := e.opt.Batching.Enabled()
-	maxB := e.opt.Batching.MaxBatch
-	if !batching {
-		maxB = 1
-	}
+	return states
+}
 
+// runSequential drives the whole fleet with one runner.
+func (e *Engine) runSequential(src arrivalSource, n int) (*Result, error) {
+	r := &runner{
+		e:      e,
+		res:    e.newResult(n),
+		states: newStates(len(e.reps)),
+		accs:   make([]serving.Accumulator, len(e.reps)),
+		src:    src,
+		admit:  e.reps,
+	}
+	r.batching = e.opt.Batching.Enabled()
+	r.maxB = e.opt.Batching.MaxBatch
+	if !r.batching {
+		r.maxB = 1
+	}
 	// Elastic-fleet setup: replicas 0..Min-1 start admitting, the rest
 	// Standby (spare capacity, booted cold on a scale-up). Without
 	// autoscaling the whole machinery is inert — every replica admits,
 	// the router sees exactly the engine's replica slice, and no
 	// evaluation events fire, so fixed-fleet runs stay bit-identical.
-	var ctl *elasticState
 	if e.opt.Autoscale.Enabled() {
-		ctl = newElasticState(e.opt.Autoscale)
+		r.ctl = newElasticState(e.opt.Autoscale)
 		for i := range e.reps {
-			if i < ctl.cfg.Min {
+			if i < r.ctl.cfg.Min {
 				e.reps[i].SetLifecycle(serving.LifecycleActive)
-				states[i].on, states[i].onSince = true, 0
+				r.states[i].on, r.states[i].onSince = true, 0
 			} else {
 				e.reps[i].SetLifecycle(serving.LifecycleStandby)
 			}
 		}
+		// The admitting view gets its own backing array: rebuildAdmit
+		// compacts in place, which must never reorder e.reps itself.
+		r.admit, r.admitIdx = nil, nil
+		r.rebuildAdmit()
 	}
-	// admit is the router's view: the replicas currently admitting
-	// queries. admitIdx maps a pick back to the engine index (nil =
-	// identity, the fixed-fleet fast path).
-	admit := e.reps
-	var admitIdx []int
-	rebuildAdmit := func() {
-		admit, admitIdx = nil, admitIdx[:0]
-		for i, r := range e.reps {
-			if r.Lifecycle() == serving.LifecycleActive {
-				admit = append(admit, r)
-				admitIdx = append(admitIdx, i)
-			}
-		}
+	if _, _, err := r.runUntil(math.Inf(1)); err != nil {
+		return nil, err
 	}
-	if ctl != nil {
-		rebuildAdmit()
+	if err := src.err(); err != nil {
+		return nil, err
 	}
+	e.finish(r)
+	return r.res, nil
+}
 
-	// maybeRetire completes a drain: a Draining replica with no queued
-	// or in-flight work leaves the fleet (its capacity integral closes)
-	// — the last lifecycle event of a scale-down.
-	maybeRetire := func(ri int, now float64) {
-		if ctl == nil {
-			return
-		}
-		st := &states[ri]
-		if st.busy || len(st.queue) > 0 || e.reps[ri].Lifecycle() != serving.LifecycleDraining {
-			return
-		}
-		e.reps[ri].SetLifecycle(serving.LifecycleRetired)
-		st.on = false
-		st.onTotal += now - st.onSince
-	}
-
-	drop := func(ri int, j job, now float64, why Reason) {
-		wait := now - j.arrival
-		o := Outcome{
-			TimedServed: serving.TimedServed{
-				// The Served half of a drop stays zero apart from the query
-				// echo: per-model accounting needs the model id of dropped
-				// queries too, so their SLO misses land in the right bucket.
-				Served:  serving.Served{Query: j.q},
-				Arrival: j.arrival, Start: now, Finish: now,
-				QueueDelay: wait, E2ELatency: wait, Dropped: true,
-			},
-			Replica:  ri,
-			Reason:   why,
-			Degraded: j.degraded,
-		}
-		accs[ri].AddTimed(o.TimedServed)
-		res.Outcomes[j.idx] = o
-		if ctl != nil {
-			// Policies see drops as resolved-with-miss: the strongest
-			// scale-up signal there is.
-			ctl.resolved++
-		}
-	}
-
-	// keyFor computes the batch-former compatibility key for a queued
-	// query as it would be served now (after load-aware debiting — that
-	// is the query the scheduler will actually see).
-	keyFor := func(ri int, j job, wait float64) batchKey {
-		k := batchKey{model: j.q.Model, degraded: j.degraded, policy: -1, row: -1}
-		if j.q.Policy != nil {
-			k.policy = int(*j.q.Policy)
-		}
-		if j.degraded {
-			// Degraded queries all collapse to the fastest SubNet under
-			// the current column; any two are compatible.
-			return k
-		}
-		q := j.q
-		if e.opt.LoadAware {
-			q = q.Debit(wait)
-		}
-		k.row = e.reps[ri].ScheduledSubNet(q)
-		return k
-	}
-
-	// flush is the engine's one service-starting event: while the
-	// replica is idle and queries are queued, it either arms the batch
-	// window (partial batch, window not expired) or pops a batch —
-	// deadline-expired queries dropping on the way — and starts ONE
-	// accelerator pass for it. With batching off the batch is always a
-	// single query and the flush degenerates to the classic
-	// start-next-in-FIFO-order event, bit-identical to the pre-batching
-	// engine.
-	flush := func(ri int, now float64) error {
-		st := &states[ri]
-		st.flushAt = math.Inf(1)
-		for !st.busy && len(st.queue) > 0 {
-			// A partial batch may keep waiting for the window to fill —
-			// anchored at the head query's arrival, so no query waits on
-			// the former for more than Window.
-			if batching && len(st.queue) < maxB {
-				if deadline := st.queue[0].arrival + e.opt.Batching.Window; now < deadline {
-					st.flushAt = deadline
-					return nil
-				}
-			}
-			// Pop the batch: the longest compatible prefix, up to B.
-			// Deadline-expired queries drop as they surface, exactly as
-			// the unbatched loop dropped them at service start.
-			var batch []job
-			var headKey batchKey
-			for len(batch) < maxB && len(st.queue) > 0 {
-				j := st.queue[0]
-				wait := now - j.arrival
-				if e.opt.Drop && j.budget > 0 && j.budget-wait <= 0 {
-					st.queue = st.queue[1:]
-					e.reps[ri].Release()
-					drop(ri, j, now, ReasonDeadline)
-					continue
-				}
-				if batching {
-					key := keyFor(ri, j, wait)
-					if len(batch) == 0 {
-						headKey = key
-					} else if key != headKey {
-						break
-					}
-				}
-				st.queue = st.queue[1:]
-				batch = append(batch, j)
-			}
-			if len(batch) == 0 {
-				// Drops consumed the head; re-evaluate the window against
-				// the new head.
-				continue
-			}
-
-			var (
-				served  []serving.Served
-				recache float64
-				err     error
-			)
-			if len(batch) == 1 {
-				// The solo path is the pre-batching serve, byte for byte.
-				j := batch[0]
-				q := j.q
-				if e.opt.LoadAware {
-					q = q.Debit(now - j.arrival)
-				}
-				var one serving.Served
-				one, err = e.reps[ri].ServeVirtual(q, j.q, j.degraded)
-				served = []serving.Served{one}
-			} else {
-				qs := make([]sched.Query, len(batch))
-				offered := make([]sched.Query, len(batch))
-				for i, j := range batch {
-					q := j.q
-					if e.opt.LoadAware {
-						q = q.Debit(now - j.arrival)
-					}
-					qs[i], offered[i] = q, j.q
-				}
-				served, err = e.reps[ri].ServeBatchVirtual(qs, offered, batch[0].degraded)
-			}
-			if err != nil {
-				for range batch {
-					e.reps[ri].Release()
-				}
-				return err
-			}
-			// A window-driven re-cache enacted after this flush occupies
-			// the accelerator for the PB fill: the switch cost extends the
-			// replica's busy interval in virtual time (the next flush
-			// waits) without inflating any member's own E2E latency. A
-			// flush charges at most one re-cache.
-			recache = e.reps[ri].TakeRecacheCost()
-			// Every member shares the pass: one start, one finish.
-			finish := now + served[0].Latency
-			for i, j := range batch {
-				s := served[i]
-				e2e := finish - j.arrival
-				// SLO attainment for open-loop serving judges end-to-end
-				// time against the original budget.
-				s.LatencyMet = j.budget <= 0 || e2e <= j.budget
-				o := Outcome{
-					TimedServed: serving.TimedServed{
-						Served:  s,
-						Arrival: j.arrival, Start: now, Finish: finish,
-						QueueDelay: now - j.arrival, E2ELatency: e2e,
-					},
-					Replica:  ri,
-					Degraded: j.degraded,
-					Batch:    len(batch),
-				}
-				if i == len(batch)-1 {
-					o.RecacheSec = recache
-				}
-				accs[ri].AddTimed(o.TimedServed)
-				res.Outcomes[j.idx] = o
-				res.ReplicaQueries[ri]++
-				if ctl != nil {
-					ctl.resolved++
-					if s.LatencyMet {
-						ctl.sloMet++
-					}
-				}
-			}
-			if batching {
-				accs[ri].ObserveBatch(len(batch))
-			}
-			st.busy, st.freeAt, st.inFlight = true, finish+recache, len(batch)
-			st.busySince = now
-		}
-		return nil
-	}
-
-	ai := 0
-	for {
-		// Next completion across replicas (lowest index on ties keeps
-		// the event order deterministic).
-		cr, ct := -1, math.Inf(1)
-		for i := range states {
-			if states[i].busy && states[i].freeAt < ct {
-				cr, ct = i, states[i].freeAt
-			}
-		}
-		// Next batch-window expiry across idle replicas with a forming
-		// partial batch.
-		fr, ft := -1, math.Inf(1)
-		for i := range states {
-			if !states[i].busy && states[i].flushAt < ft {
-				fr, ft = i, states[i].flushAt
-			}
-		}
-		at := math.Inf(1)
-		if ai < len(ordered) {
-			at = ordered[ai].Arrival
-		}
-		if cr < 0 && fr < 0 && math.IsInf(at, 1) {
-			break
-		}
-		// Next autoscale evaluation. Only considered while work remains
-		// (the break above fires first otherwise), so the cadence never
-		// keeps a finished run alive.
-		et := math.Inf(1)
-		if ctl != nil {
-			et = ctl.nextEval
-		}
-		if cr >= 0 && ct <= at && ct <= ft && ct <= et {
-			// Completions fire before window expiries and arrivals at the
-			// same instant, so a query arriving exactly as the server
-			// frees starts with zero wait — matching the sequential FIFO
-			// semantics — and a batch whose window closes as the server
-			// frees flushes with the post-completion queue.
-			st := &states[cr]
-			st.busy = false
-			st.busyTotal += ct - st.busySince
-			for ; st.inFlight > 0; st.inFlight-- {
-				e.reps[cr].Release()
-			}
-			if err := flush(cr, ct); err != nil {
-				return nil, err
-			}
-			maybeRetire(cr, ct)
-			continue
-		}
-		if fr >= 0 && ft <= at && ft <= et {
-			// Window expiry before arrivals at the same instant: the
-			// partial batch flushes; a coincident arrival joins the NEXT
-			// batch (the window is a hard deadline).
-			if err := flush(fr, ft); err != nil {
-				return nil, err
-			}
-			maybeRetire(fr, ft)
-			continue
-		}
-		if ctl != nil && et <= at {
-			// Autoscale evaluation: after completions and window expiries,
-			// before arrivals at the same instant. The policy sees the
-			// closed window's metrics; enacted transitions are lifecycle
-			// events at this very instant.
-			e.evaluate(ctl, states, et, rebuildAdmit, maybeRetire)
-			ctl.nextEval += ctl.cfg.Interval
-			continue
-		}
-
-		// Arrival: route at the arrival instant against virtual depth —
-		// admitting replicas only (the router never sees Standby,
-		// Draining or Retired replicas).
-		tq := ordered[ai]
-		j := job{q: tq.Query, arrival: tq.Arrival, budget: tq.MaxLatency, idx: ai}
-		ai++
-		if ctl != nil {
-			ctl.arrivals++
-		}
-		ri := e.router.Pick(tq.Query, admit)
-		if ri < 0 || ri >= len(admit) {
-			ri = 0
-		}
-		if admitIdx != nil {
-			ri = admitIdx[ri]
-		}
-		st := &states[ri]
-		if st.busy && e.opt.QueueCap > 0 && len(st.queue) >= e.opt.QueueCap {
-			switch e.opt.Admission {
-			case Reject:
-				drop(ri, j, tq.Arrival, ReasonRejected)
-				continue
-			case ShedOldest:
-				old := st.queue[0]
-				st.queue = st.queue[1:]
-				e.reps[ri].Release()
-				drop(ri, old, tq.Arrival, ReasonShed)
-			case Degrade:
-				j.degraded = true
-			}
-		}
-		e.reps[ri].Reserve()
-		st.queue = append(st.queue, j)
-		if !st.busy {
-			if err := flush(ri, tq.Arrival); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Fold aggregates.
+// finish folds the per-replica accumulators and per-query outcomes into
+// the run's aggregates. Shared by the sequential and sharded drivers —
+// the fold is sequential and deterministic (replica order, then outcome
+// order) in both.
+func (e *Engine) finish(r *runner) {
+	res := r.res
 	var merged serving.Accumulator
-	for i := range accs {
-		merged.Merge(&accs[i])
+	for i := range r.accs {
+		merged.Merge(&r.accs[i])
 	}
 	res.Summary = merged.Summary()
-	for _, o := range res.Outcomes {
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
 		switch o.Reason {
 		case ReasonDeadline:
 			res.DeadlineDrops++
@@ -787,8 +606,8 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 			res.Makespan = o.Finish
 		}
 	}
-	if n := len(ordered); n > 1 {
-		if span := ordered[n-1].Arrival - ordered[0].Arrival; span > 0 {
+	if first, last, n := r.src.span(); n > 1 {
+		if span := last - first; span > 0 {
 			res.OfferedRate = float64(n-1) / span
 		}
 	}
@@ -796,23 +615,22 @@ func (e *Engine) Run(qs []serving.TimedQuery) (*Result, error) {
 	// fixed fleet keeps every replica on for the whole run; an elastic
 	// fleet closes each replica's integral at retirement (or here, at
 	// the makespan, for replicas still on).
-	if ctl != nil {
-		for i := range states {
-			if states[i].on {
-				if d := res.Makespan - states[i].onSince; d > 0 {
-					states[i].onTotal += d
+	if r.ctl != nil {
+		for i := range r.states {
+			if r.states[i].on {
+				if d := res.Makespan - r.states[i].onSince; d > 0 {
+					r.states[i].onTotal += d
 				}
 			}
-			res.ReplicaSeconds += states[i].onTotal
+			res.ReplicaSeconds += r.states[i].onTotal
 		}
-		res.ScaleUps, res.ScaleDowns = ctl.scaleUps, ctl.scaleDowns
+		res.ScaleUps, res.ScaleDowns = r.ctl.scaleUps, r.ctl.scaleDowns
 	} else {
 		res.ReplicaSeconds = float64(len(e.reps)) * res.Makespan
 	}
 	res.Summary.ScaleUps = res.ScaleUps
 	res.Summary.ScaleDowns = res.ScaleDowns
 	res.Summary.ReplicaSeconds = res.ReplicaSeconds
-	return res, nil
 }
 
 // ServeTimed runs a timed stream through a single system in arrival

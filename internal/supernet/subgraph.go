@@ -208,18 +208,51 @@ func (g *SubGraph) TruncateToBudget(budget int64, priority []int) *SubGraph {
 }
 
 // Overlap returns the paper's cache-hit metric (Appendix A.4):
-// ‖SN ∩ G‖₂ / ‖SN‖₂ over the vectorized encodings.
+// ‖SN ∩ G‖₂ / ‖SN‖₂ over the vectorized encodings. It is computed
+// without materializing the intersection or either vector — this sits
+// on the serving hot path (every memoized-pass miss) — by accumulating
+// the squared per-layer covered extents in exactly the order l2 walks
+// the [K1, C1, K2, C2, ...] encoding, so the result is bit-identical
+// to intersecting and vectorizing.
 func Overlap(sn *SubGraph, cache *SubGraph) float64 {
-	inter, err := sn.Intersect(cache)
-	if err != nil {
+	if sn.super != cache.super {
 		return 0
 	}
-	num := l2(inter.Vector())
-	den := l2(sn.Vector())
+	var numS, denS float64
+	for li := 0; li < sn.super.NumLayers(); li++ {
+		var sk, sc, ik, ic int
+		for _, id := range sn.super.LayerCells(li) {
+			if !sn.Contains(id) {
+				continue
+			}
+			c := &sn.super.Cells[id]
+			if c.KHi > sk {
+				sk = c.KHi
+			}
+			if c.CHi > sc {
+				sc = c.CHi
+			}
+			if cache.Contains(id) {
+				if c.KHi > ik {
+					ik = c.KHi
+				}
+				if c.CHi > ic {
+					ic = c.CHi
+				}
+			}
+		}
+		// Two separate adds per layer, K then C, matching l2's
+		// element-order summation over the encoding vector.
+		numS += float64(ik) * float64(ik)
+		numS += float64(ic) * float64(ic)
+		denS += float64(sk) * float64(sk)
+		denS += float64(sc) * float64(sc)
+	}
+	den := math.Sqrt(denS)
 	if den == 0 {
 		return 0
 	}
-	return num / den
+	return math.Sqrt(numS) / den
 }
 
 // Distance is the Euclidean distance between two encoding vectors,

@@ -21,6 +21,43 @@ type ArrivalProcess interface {
 	Times(n int, seed int64) ([]float64, error)
 }
 
+// ArrivalStream draws one arrival instant at a time, in non-decreasing
+// order; ok is false when the stream is exhausted (generative processes
+// never exhaust, trace replay does).
+type ArrivalStream func() (t float64, ok bool)
+
+// Streamer is the incremental face of an ArrivalProcess: Stream
+// validates the parameters once and returns a lazy drawer that consumes
+// the seed's RNG in exactly the order Times does, so the k-th draw
+// equals Times(n, seed)[k] bit for bit. The simq engine streams
+// arrivals through this instead of materializing them up front. Every
+// process in this package implements it (Times is a thin collector
+// over Stream).
+type Streamer interface {
+	ArrivalProcess
+	Stream(seed int64) (ArrivalStream, error)
+}
+
+// collect materializes the first n draws of a stream — the shared Times
+// implementation.
+func collect(n int, stream ArrivalStream, err error) ([]float64, error) {
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: non-positive count %d", n)
+	}
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		t, ok := stream()
+		if !ok {
+			return nil, fmt.Errorf("workload: stream exhausted after %d of %d arrivals", len(out), n)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
 // Poisson is the memoryless constant-rate arrival process, the standard
 // open-loop load generator for serving experiments. PoissonArrivals is
 // its function form.
@@ -34,20 +71,21 @@ func (p Poisson) Name() string { return "poisson" }
 
 // Times implements ArrivalProcess.
 func (p Poisson) Times(n int, seed int64) ([]float64, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("workload: non-positive count %d", n)
-	}
+	stream, err := p.Stream(seed)
+	return collect(n, stream, err)
+}
+
+// Stream implements Streamer.
+func (p Poisson) Stream(seed int64) (ArrivalStream, error) {
 	if !(p.Rate > 0) {
 		return nil, fmt.Errorf("workload: non-positive rate %g", p.Rate)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	out := make([]float64, n)
 	t := 0.0
-	for i := range out {
+	return func() (float64, bool) {
 		t += rng.ExpFloat64() / p.Rate
-		out[i] = t
-	}
-	return out, nil
+		return t, true
+	}, nil
 }
 
 // OnOff is a two-state Markov-modulated Poisson process: the stream
@@ -74,9 +112,12 @@ func (p OnOff) Name() string { return "onoff" }
 
 // Times implements ArrivalProcess.
 func (p OnOff) Times(n int, seed int64) ([]float64, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("workload: non-positive count %d", n)
-	}
+	stream, err := p.Stream(seed)
+	return collect(n, stream, err)
+}
+
+// Stream implements Streamer.
+func (p OnOff) Stream(seed int64) (ArrivalStream, error) {
 	if !(p.OnRate > 0) {
 		return nil, fmt.Errorf("workload: non-positive on-rate %g", p.OnRate)
 	}
@@ -87,36 +128,36 @@ func (p OnOff) Times(n int, seed int64) ([]float64, error) {
 		return nil, fmt.Errorf("workload: non-positive sojourn means (%g, %g)", p.MeanOn, p.MeanOff)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	out := make([]float64, 0, n)
 	t := 0.0
 	on := !p.StartOff
 	stateEnd := p.sojourn(rng, on)
-	for len(out) < n {
-		rate := p.OnRate
-		if !on {
-			rate = p.OffRate
+	return func() (float64, bool) {
+		for {
+			rate := p.OnRate
+			if !on {
+				rate = p.OffRate
+			}
+			if rate <= 0 {
+				// Silent state: jump to its end.
+				t = stateEnd
+				on = !on
+				stateEnd = t + p.sojourn(rng, on)
+				continue
+			}
+			next := t + rng.ExpFloat64()/rate
+			if next > stateEnd {
+				// The candidate falls past the state boundary; by
+				// memorylessness we may discard it and redraw in the next
+				// state.
+				t = stateEnd
+				on = !on
+				stateEnd = t + p.sojourn(rng, on)
+				continue
+			}
+			t = next
+			return t, true
 		}
-		if rate <= 0 {
-			// Silent state: jump to its end.
-			t = stateEnd
-			on = !on
-			stateEnd = t + p.sojourn(rng, on)
-			continue
-		}
-		next := t + rng.ExpFloat64()/rate
-		if next > stateEnd {
-			// The candidate falls past the state boundary; by
-			// memorylessness we may discard it and redraw in the next
-			// state.
-			t = stateEnd
-			on = !on
-			stateEnd = t + p.sojourn(rng, on)
-			continue
-		}
-		t = next
-		out = append(out, t)
-	}
-	return out, nil
+	}, nil
 }
 
 func (p OnOff) sojourn(rng *rand.Rand, on bool) float64 {
@@ -150,9 +191,12 @@ func (p Diurnal) Name() string { return "diurnal" }
 
 // Times implements ArrivalProcess.
 func (p Diurnal) Times(n int, seed int64) ([]float64, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("workload: non-positive count %d", n)
-	}
+	stream, err := p.Stream(seed)
+	return collect(n, stream, err)
+}
+
+// Stream implements Streamer.
+func (p Diurnal) Stream(seed int64) (ArrivalStream, error) {
 	if !(p.BaseRate > 0) {
 		return nil, fmt.Errorf("workload: non-positive base rate %g", p.BaseRate)
 	}
@@ -167,16 +211,16 @@ func (p Diurnal) Times(n int, seed int64) ([]float64, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	lambdaMax := p.BaseRate * (1 + p.Amplitude)
-	out := make([]float64, 0, n)
 	t := 0.0
-	for len(out) < n {
-		t += rng.ExpFloat64() / lambdaMax
-		lambda := p.BaseRate * (1 + p.Amplitude*math.Sin(2*math.Pi*t/p.Period+p.Phase))
-		if rng.Float64()*lambdaMax <= lambda {
-			out = append(out, t)
+	return func() (float64, bool) {
+		for {
+			t += rng.ExpFloat64() / lambdaMax
+			lambda := p.BaseRate * (1 + p.Amplitude*math.Sin(2*math.Pi*t/p.Period+p.Phase))
+			if rng.Float64()*lambdaMax <= lambda {
+				return t, true
+			}
 		}
-	}
-	return out, nil
+	}, nil
 }
 
 // TraceEntry is one recorded query of a replayable trace: its arrival
@@ -239,6 +283,23 @@ func (p Trace) Times(n int, _ int64) ([]float64, error) {
 		out[i] = p.Entries[i].Arrival
 	}
 	return out, nil
+}
+
+// Stream implements Streamer: recorded arrivals replayed in order, the
+// stream exhausting at the trace's end (the seed is ignored).
+func (p Trace) Stream(_ int64) (ArrivalStream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	i := 0
+	return func() (float64, bool) {
+		if i >= len(p.Entries) {
+			return 0, false
+		}
+		t := p.Entries[i].Arrival
+		i++
+		return t, true
+	}, nil
 }
 
 // Queries shapes the trace's constraint tuples into a query stream

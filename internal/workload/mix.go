@@ -72,6 +72,47 @@ func (m Mix) Times(n int, seed int64) ([]float64, error) {
 	return times, err
 }
 
+// Stream implements Streamer: the lazy superposition of the component
+// streams, merged in time order with ties breaking toward the lower
+// component index — the same order Labeled produces, so the k-th draw
+// equals Times(n, seed)[k] for any n > k (as long as no finite
+// component exhausts early). Model labels are discarded; multi-tenant
+// callers want Labeled.
+func (m Mix) Stream(seed int64) (ArrivalStream, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	streams := make([]ArrivalStream, len(m.Components))
+	next := make([]float64, len(m.Components))
+	live := make([]bool, len(m.Components))
+	for i, c := range m.Components {
+		s, ok := c.Process.(Streamer)
+		if !ok {
+			return nil, fmt.Errorf("workload: mix component %d (%q) cannot stream lazily", i, c.Model)
+		}
+		st, err := s.Stream(componentSeed(seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("workload: mix component %d (%q): %w", i, c.Model, err)
+		}
+		streams[i] = st
+		next[i], live[i] = st()
+	}
+	return func() (float64, bool) {
+		best := -1
+		for i := range streams {
+			if live[i] && (best < 0 || next[i] < next[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		t := next[best]
+		next[best], live[best] = streams[best]()
+		return t, true
+	}, nil
+}
+
 // Labeled draws the first n arrivals of the superposed mix together
 // with the model label of each arrival, both aligned by index. Ties in
 // arrival time break toward the lower component index, so the merge is
