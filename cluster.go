@@ -185,6 +185,30 @@ func WithAutoscale(a AutoscaleOptions) ClusterOption {
 	return func(o *core.ClusterOptions) { o.Autoscale = &a }
 }
 
+// WithCohorts attaches a client-cohort population to the deployment:
+// the heterogeneous-traffic counterpart of a single arrival process.
+// Each Cohort is one homogeneous client group — a mean rate, an
+// inter-arrival law (Poisson/Gamma/Weibull burstiness), empirical
+// budget/accuracy marks, and the SLO class + model its queries carry —
+// and the population superposes them under SplitMix-derived per-cohort
+// seeds:
+//
+//	c, err := sushi.NewCluster(sushi.Options{Workload: sushi.MobileNetV3},
+//		sushi.WithReplicas(4),
+//		sushi.WithCohorts(
+//			sushi.Cohort{SLOClass: "gold", Rate: 40, Budget: sushi.Empirical{Values: []float64{2e-3}}},
+//			sushi.Cohort{SLOClass: "batch", Rate: 10, InterArrival: sushi.IAGamma, Shape: 0.4},
+//		))
+//
+// The population becomes the default workload of
+// Cluster.SimulateCohorts and POST /v1/simulate's "cohorts" process;
+// per-SLO-class breakdowns and the Jain fairness index appear in every
+// Summary the run produces. Cohorts targeting models the fleet does
+// not host are rejected at deploy time with a typed error.
+func WithCohorts(cohorts ...Cohort) ClusterOption {
+	return func(o *core.ClusterOptions) { o.Cohorts = &workload.Population{Cohorts: cohorts} }
+}
+
 // WithRecache enables the window-driven cache-management layer on every
 // replica: caches become mutable at runtime, switching to the latency
 // table column that would have served the replica's recent query mix
@@ -380,6 +404,54 @@ func (c *Cluster) SimulateProcess(n int, proc ArrivalProcess, seed int64, mk fun
 	eng, err := c.engine(opt)
 	if err != nil {
 		return nil, err
+	}
+	return eng.RunProcess(n, stream, mk)
+}
+
+// SimulateCohorts streams n arrivals from the deployment's WithCohorts
+// population through the virtual-time engine: arrivals and their
+// minted queries (model, SLO class, budget/accuracy draws) are
+// generated lazily in lockstep, so cohort runs ride the same
+// allocation-free SimulateProcess machinery as plain processes. The
+// result's Summary carries per-SLO-class breakdowns and the Jain
+// fairness index. Deployments without WithCohorts are rejected.
+func (c *Cluster) SimulateCohorts(n int, seed int64, opt SimOptions) (*SimResult, error) {
+	if c.d.Cohorts == nil {
+		return nil, fmt.Errorf("sushi: SimulateCohorts needs a WithCohorts population on the deployment")
+	}
+	return c.SimulatePopulation(n, *c.d.Cohorts, seed, opt)
+}
+
+// SimulatePopulation is SimulateCohorts over an explicit Population —
+// sweep harnesses build populations per run instead of per deployment.
+// Like SimulateProcess it streams lazily and cannot shard.
+func (c *Cluster) SimulatePopulation(n int, pop Population, seed int64, opt SimOptions) (*SimResult, error) {
+	if opt.Shards > 1 {
+		return nil, fmt.Errorf("sushi: SimulatePopulation streams arrivals lazily and cannot shard (Shards %d); materialize with Population.Queries and Simulate instead", opt.Shards)
+	}
+	ls, err := pop.Labeled(seed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := c.engine(opt)
+	if err != nil {
+		return nil, err
+	}
+	// The engine calls mk immediately after each stream draw, so one
+	// buffered arrival is always the one being minted.
+	var cur workload.CohortArrival
+	stream := func() (float64, bool) {
+		a, ok := ls()
+		if !ok {
+			return 0, false
+		}
+		cur = a
+		return a.T, true
+	}
+	mk := func(i int, t float64) Query {
+		q := cur.Query
+		q.ID = i
+		return q
 	}
 	return eng.RunProcess(n, stream, mk)
 }

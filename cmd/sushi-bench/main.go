@@ -6,6 +6,8 @@
 //	sushi-bench [-w workload] [-json] [-csv dir] [-cpuprofile f] [-memprofile f] [experiment ...]
 //	sushi-bench all
 //	sushi-bench list
+//	sushi-bench -record-trace f [-trace-queries n]
+//	sushi-bench -replay-trace f [-json]
 //
 // Experiments: fig2 fig3 fig9 fig10 fig11 fig12 fig13a fig13b fig14
 // fig15 fig15acc fig16 fig17 fig18 table1 table2 table3 table4 table5
@@ -20,6 +22,12 @@
 // the same process, for rescaling ns_per_op across machines) — so
 // bench trajectories (BENCH_*.json) can be recorded by machines
 // instead of scraped from prose.
+//
+// -record-trace captures the cohortsweep experiment's skewed
+// 100-cohort population as a versioned trace v2 file (-trace-queries
+// sets the stream length, default 600); -replay-trace plays such a
+// file back through a fresh cohortsweep fleet — same seed, same fleet,
+// bit-exact outcomes — so a recorded workload reproduces anywhere.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // experiment batch (the CPU profile spans every run; the heap profile
@@ -93,8 +101,12 @@ func run() int {
 	asJSON := flag.Bool("json", false, "emit one NDJSON record per experiment (name, ns_per_op, metrics) instead of text tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering every experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit")
+	recordTrace := flag.String("record-trace", "", "record the cohortsweep skewed population as a trace v2 file and exit")
+	traceQueries := flag.Int("trace-queries", 0, "stream length for -record-trace (0 = the experiment default)")
+	replayTrace := flag.String("replay-trace", "", "replay a trace v2 file through a fresh cohortsweep fleet and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sushi-bench [-w workload] [-json] [-csv dir] [-cpuprofile f] [-memprofile f] [experiment ...|all|list]\n")
+		fmt.Fprintf(os.Stderr, "       sushi-bench -record-trace f [-trace-queries n] | -replay-trace f [-json]\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", sushi.Experiments())
 	}
@@ -128,6 +140,66 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "sushi-bench: -memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	if *recordTrace != "" {
+		tr, err := sushi.RecordCohortTrace(*traceQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -record-trace: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*recordTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -record-trace: %v\n", err)
+			return 1
+		}
+		if err := tr.Encode(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "sushi-bench: -record-trace: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -record-trace: %v\n", err)
+			return 1
+		}
+		fmt.Printf("sushi-bench: recorded %d queries (%d cohorts, seed %d) to %s\n",
+			len(tr.Records), len(tr.Cohorts), tr.Seed, *recordTrace)
+		return 0
+	}
+	if *replayTrace != "" {
+		f, err := os.Open(*replayTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -replay-trace: %v\n", err)
+			return 1
+		}
+		tr, err := sushi.DecodeTraceV2(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -replay-trace: %v\n", err)
+			return 1
+		}
+		start := time.Now()
+		out, metrics, err := sushi.ReplayTrace(tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -replay-trace: %v\n", err)
+			return 1
+		}
+		if *asJSON {
+			rec := benchRecord{
+				Name:       "replay",
+				NsPerOp:    time.Since(start).Nanoseconds(),
+				GoodputQPS: metrics["goodput_qps"],
+				P99MS:      metrics["p99_e2e_ms"],
+				Metrics:    metrics,
+			}
+			if err := json.NewEncoder(os.Stdout).Encode(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "sushi-bench: -replay-trace: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		fmt.Print(out)
+		return 0
 	}
 
 	args := flag.Args()

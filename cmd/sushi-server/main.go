@@ -19,7 +19,7 @@
 //	             [-models workload,workload,...] [-partition static|traffic]
 //	             [-autoscale min:max] [-autoscale-policy name]
 //	             [-autoscale-interval s] [-autoscale-cooldown s]
-//	             [-pprof addr]
+//	             [-cohorts spec] [-pprof addr]
 //
 // Router kinds: round-robin (default), least-loaded, affinity, fastest,
 // random. The -accels flag boots a heterogeneous fleet, one preset per
@@ -40,7 +40,15 @@
 // the admitting count between the bounds every -autoscale-interval
 // virtual seconds (scale-ups pay the cold Persistent Buffer fill;
 // scale-downs drain before retiring). Per-request autoscale_* knobs
-// override the flags. -pprof serves net/http/pprof on a SEPARATE
+// override the flags. -cohorts installs a client-cohort population as
+// the deployment's default workload for POST /v1/simulate's "cohorts"
+// process: ';'-separated cohorts of ','-separated k=v pairs (n, rate,
+// ia=poisson|gamma|weibull, shape, class, model, budget=ms|ms|...,
+// acc=pct|pct|...), e.g.
+// "n=5,rate=40,ia=gamma,shape=0.3,class=gold,budget=8|12;rate=100,class=batch".
+// Cohort queries carry SLO classes, so /v1/simulate and /v1/stats grow
+// per_class slices and a Jain fairness index. -pprof serves
+// net/http/pprof on a SEPARATE
 // listener (e.g. -pprof localhost:6060) for live CPU/heap profiling of
 // a running server; it is off by default and should stay on loopback.
 package main
@@ -58,6 +66,7 @@ import (
 	"sushi/internal/core"
 	"sushi/internal/server"
 	"sushi/internal/serving"
+	"sushi/internal/workload"
 )
 
 func main() {
@@ -90,6 +99,8 @@ func main() {
 			"virtual seconds between autoscale policy evaluations")
 		autoscaleCooldown = flag.Float64("autoscale-cooldown", 0,
 			"minimum virtual seconds between enacted scale actions")
+		cohorts = flag.String("cohorts", "",
+			"client-cohort population spec for /v1/simulate's \"cohorts\" process (';'-separated cohorts of k=v pairs)")
 		pprofAddr = flag.String("pprof", "",
 			"serve net/http/pprof on this extra address (e.g. localhost:6060); off when empty")
 	)
@@ -162,6 +173,13 @@ func main() {
 		if !replicasSet && *accels == "" {
 			copt.Replicas = 0
 		}
+	}
+	if *cohorts != "" {
+		pop, err := workload.ParsePopulation(*cohorts)
+		if err != nil {
+			log.Fatalf("sushi-server: -cohorts: %v", err)
+		}
+		copt.Cohorts = &pop
 	}
 	dep, err := core.DeployCluster(opt, copt)
 	if err != nil {

@@ -193,6 +193,111 @@ func TestSingleModelBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSingleCohortPoissonClusterIdentity is PR 8's inert-layer pin at
+// cluster level: a one-cohort Poisson Population driven through
+// SimulatePopulation must reproduce — bit for bit — a plain Simulate
+// over Poisson arrivals carrying the same constant budget/accuracy
+// marks. Single-value Empiricals make the marks deterministic, so the
+// two runs present identical streams; any digest divergence means the
+// cohort layer perturbed arrival or mint order.
+func TestSingleCohortPoissonClusterIdentity(t *testing.T) {
+	const (
+		n    = 300
+		rate = 400.0
+		seed = int64(19)
+	)
+	deploy := func() *sushi.Cluster {
+		c, err := sushi.NewCluster(sushi.Options{Workload: sushi.MobileNetV3},
+			sushi.WithReplicas(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	opt := sushi.SimOptions{
+		QueueCap:  4,
+		Admission: sushi.AdmitDegrade,
+		LoadAware: true,
+		Drop:      true,
+	}
+	pop := sushi.Population{Cohorts: []sushi.Cohort{{
+		Rate:     rate,
+		SLOClass: "gold",
+		Budget:   sushi.Empirical{Values: []float64{12e-3}},
+		Accuracy: sushi.Empirical{Values: []float64{65}},
+	}}}
+	viaPop, err := deploy().SimulatePopulation(n, pop, seed, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arr, err := sushi.PoissonArrivals(n, rate, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]sushi.TimedQuery, n)
+	for i := range qs {
+		qs[i] = sushi.TimedQuery{
+			Query:   sushi.Query{ID: i, Class: "gold", MaxLatency: 12e-3, MinAccuracy: 65},
+			Arrival: arr[i],
+		}
+	}
+	viaPlain, err := deploy().Simulate(qs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp, ds := outcomeDigest(viaPop), outcomeDigest(viaPlain); dp != ds {
+		t.Errorf("single-cohort population diverged from plain Poisson:\n  population %s\n  plain      %s", dp, ds)
+	}
+}
+
+// TestCohortPopulationGoldenDigest pins the full cohort path — a
+// skewed multi-class population over a multi-tenant fleet via the
+// WithCohorts knob and SimulateCohorts — to a digest captured on the
+// tree that introduced it. Any change to cohort RNG derivation, mark
+// drawing, label threading or merge order shows up here.
+func TestCohortPopulationGoldenDigest(t *testing.T) {
+	const golden = "9749e4d9b6577059f619c541db7db4ea3171dc45dec5b15a2f95a94556a72290"
+	c, err := sushi.NewCluster(sushi.Options{},
+		sushi.WithModels(sushi.ResNet50, sushi.MobileNetV3),
+		sushi.WithReplicas(4),
+		sushi.WithRouter(sushi.LeastLoaded),
+		sushi.WithCohorts(
+			sushi.Cohort{Rate: 120, SLOClass: "gold", Model: string(sushi.MobileNetV3),
+				InterArrival: sushi.IAGamma, Shape: 0.3,
+				Budget: sushi.Empirical{Values: []float64{10e-3, 20e-3}, Weights: []float64{3, 1}}},
+			sushi.Cohort{Rate: 60, SLOClass: "silver", Model: string(sushi.ResNet50),
+				InterArrival: sushi.IAWeibull, Shape: 0.7,
+				Budget: sushi.Empirical{Values: []float64{60e-3}}},
+			sushi.Cohort{Rate: 40, SLOClass: "batch", Model: string(sushi.MobileNetV3),
+				Budget:   sushi.Empirical{Values: []float64{40e-3}},
+				Accuracy: sushi.Empirical{Values: []float64{60, 70}}},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SimulateCohorts(400, 31, sushi.SimOptions{
+		QueueCap:  4,
+		Admission: sushi.AdmitReject,
+		LoadAware: true,
+		Drop:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outcomeDigest(res); got != golden {
+		t.Errorf("cohort population run diverged from its pin:\n  got    %s\n  golden %s", got, golden)
+	}
+	// The classed breakdown must be present and cover every cohort class.
+	if len(res.Summary.PerClass) != 3 {
+		t.Fatalf("got %d SLO classes, want 3: %+v", len(res.Summary.PerClass), res.Summary.PerClass)
+	}
+	if res.Summary.FairnessJain <= 0 || res.Summary.FairnessJain > 1 {
+		t.Errorf("Jain index %g outside (0, 1]", res.Summary.FairnessJain)
+	}
+}
+
 // TestAutoscaleDisabledBitIdentical is the elastic-fleet safety
 // property: the SAME goldens must hold when every deployment carries a
 // pinned autoscale config (Min == Max == replica count). A pinned

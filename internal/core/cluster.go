@@ -8,6 +8,7 @@ import (
 	"sushi/internal/latencytable"
 	"sushi/internal/serving"
 	"sushi/internal/supernet"
+	"sushi/internal/workload"
 )
 
 // Routing policy names accepted by ClusterOptions.Router and the cmd
@@ -77,6 +78,12 @@ type ClusterOptions struct {
 	// first-class events. Nil keeps the fleet fixed. When both Replicas
 	// and Autoscale are set, Replicas must equal Max.
 	Autoscale *AutoscaleOptions
+	// Cohorts attaches a client-cohort population to the deployment:
+	// the default workload for Cluster.SimulateCohorts and POST
+	// /v1/simulate's "cohorts" process. Validated at deploy time
+	// (malformed cohorts and cohorts targeting unhosted models are
+	// typed OptionErrors); nil leaves the deployment population-free.
+	Cohorts *workload.Population
 }
 
 // AutoscaleOptions is the deployment-facing autoscaling configuration
@@ -183,6 +190,10 @@ type ClusterDeployment struct {
 	// Autoscale is the resolved elastic-fleet configuration (nil for
 	// fixed fleets); Cluster.Simulate and POST /v1/simulate inherit it.
 	Autoscale *autoscale.Config
+	// Cohorts is the deployment's client-cohort population (nil when
+	// none was configured); Cluster.SimulateCohorts and POST
+	// /v1/simulate's "cohorts" process draw from it.
+	Cohorts *workload.Population
 }
 
 // DeployCluster builds R replica systems — homogeneous fleets share ONE
@@ -335,12 +346,34 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 			}
 		}
 	}
+	if copt.Cohorts != nil {
+		if err := copt.Cohorts.Validate(); err != nil {
+			return nil, &OptionError{Field: "Cohorts", Value: len(copt.Cohorts.Cohorts), Reason: err.Error()}
+		}
+		for i, ch := range copt.Cohorts.Cohorts {
+			if ch.Model == "" {
+				continue
+			}
+			hosted := false
+			for _, md := range models {
+				if md.Model == ch.Model {
+					hosted = true
+					break
+				}
+			}
+			if !hosted {
+				return nil, &OptionError{Field: "Cohorts", Value: ch.Model,
+					Reason: fmt.Sprintf("cohort %d targets model %q the fleet does not host", i, ch.Model)}
+			}
+		}
+	}
 	return &ClusterDeployment{
 		Super:     models[0].Super,
 		Frontier:  models[0].Frontier,
 		Models:    models,
 		Cluster:   cluster,
 		Autoscale: asc,
+		Cohorts:   copt.Cohorts,
 	}, nil
 }
 

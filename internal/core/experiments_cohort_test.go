@@ -1,0 +1,93 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCohortSweepExperiment pins the experiment's claim: a skewed
+// 100-cohort population at the SAME mean load as a plain Poisson
+// stream degrades tail latency and SLO attainment, and the degrade
+// valve + micro-batching recover part of the SLO loss.
+func TestCohortSweepExperiment(t *testing.T) {
+	res, err := CohortSweep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Header) == 0 || len(res.Rows) < 3 {
+		t.Fatalf("want header and >= 3 rows (3 arms + class breakdown), got header %v rows %d",
+			res.Header, len(res.Rows))
+	}
+	m := res.Metrics
+	t.Logf("p99 e2e: poisson %.3f cohort %.3f valve %.3f ms; SLO: poisson %.3f cohort %.3f valve %.3f; jain %.3f",
+		m["poisson_p99_e2e_ms"], m["cohort_p99_e2e_ms"], m["valve_p99_e2e_ms"],
+		m["poisson_slo"], m["cohort_slo"], m["valve_slo"], m["fairness_jain"])
+	if m["cohort_p99_e2e_ms"] <= m["poisson_p99_e2e_ms"] {
+		t.Errorf("skewed cohorts p99 %.3f ms !> poisson p99 %.3f ms at identical mean load",
+			m["cohort_p99_e2e_ms"], m["poisson_p99_e2e_ms"])
+	}
+	if m["cohort_slo"] >= m["poisson_slo"] {
+		t.Errorf("skewed cohorts SLO %.3f !< poisson SLO %.3f", m["cohort_slo"], m["poisson_slo"])
+	}
+	if m["valve_slo"] <= m["cohort_slo"] {
+		t.Errorf("degrade valve + batching SLO %.3f !> reject-only cohort SLO %.3f",
+			m["valve_slo"], m["cohort_slo"])
+	}
+	if !(m["fairness_jain"] > 0 && m["fairness_jain"] <= 1) {
+		t.Errorf("Jain index %.3f outside (0, 1]", m["fairness_jain"])
+	}
+}
+
+// TestCohortSweepDeterministic reruns the sweep and expects identical
+// tables and metrics: cohort arrivals, empirical marks and the valve
+// arm all run on seeded RNGs.
+func TestCohortSweepDeterministic(t *testing.T) {
+	a, err := CohortSweep(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CohortSweep(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("rows differ across reruns:\n%v\n%v", a.Rows, b.Rows)
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Errorf("metrics differ across reruns:\n%v\n%v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestCohortTraceReplayMatchesSweep closes the loop between the two
+// PR-8 faces: CohortSweepTrace records the sweep's skewed population,
+// and ReplayTraceV2 of that trace reproduces a run whose outcome
+// counts are internally consistent.
+func TestCohortTraceReplayMatchesSweep(t *testing.T) {
+	tr, err := CohortSweepTrace(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 200 || len(tr.Cohorts) != cohortCount {
+		t.Fatalf("trace shape: %d records, %d cohorts", len(tr.Records), len(tr.Cohorts))
+	}
+	res, err := ReplayTraceV2(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := res.Metrics["goodput_qps"]
+	if served <= 0 {
+		t.Errorf("replay goodput %.2f qps, want > 0", served)
+	}
+	if res.Metrics["slo"] <= 0 || res.Metrics["slo"] > 1 {
+		t.Errorf("replay SLO %.3f outside (0, 1]", res.Metrics["slo"])
+	}
+	// Replaying the same trace twice is bit-identical (fresh deployment
+	// per replay, seeded by the trace itself).
+	res2, err := ReplayTraceV2(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Metrics, res2.Metrics) {
+		t.Errorf("trace replay varies across runs:\n%v\n%v", res.Metrics, res2.Metrics)
+	}
+}

@@ -55,6 +55,13 @@ type Query struct {
 	// canonical model id at dispatch; the scheduler itself is per-model
 	// and ignores it.
 	Model string
+	// Class labels the query's SLO class ("gold", "batch", ...) for
+	// per-class accounting: it rides the query through dispatch and
+	// into every outcome (drops included), where the serving
+	// accumulators bucket latency/SLO/drop aggregates and a Jain
+	// fairness index by it. Empty traffic is unclassed; the scheduler
+	// and routers ignore the field entirely.
+	Class string
 	// MinAccuracy is A_t in top-1 percent.
 	MinAccuracy float64
 	// MaxLatency is L_t in seconds.

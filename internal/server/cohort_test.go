@@ -1,0 +1,135 @@
+package server
+
+// HTTP surface tests for PR 8's cohort workloads: process "cohorts" on
+// /v1/simulate (deployment population and inline spec), the per-class
+// breakdown + Jain index in simulate and stats responses, and the
+// classed closed-loop path via /v1/serve's class tag.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sushi/internal/core"
+	"sushi/internal/workload"
+)
+
+func testCohortServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	pop, err := workload.ParsePopulation(
+		"rate=900,class=gold,ia=gamma,shape=0.3,budget=3|6;rate=400,class=batch,budget=15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := core.DeployCluster(
+		core.DeployOptions{Workload: core.MobileNetV3},
+		core.ClusterOptions{Replicas: 3, Cohorts: &pop},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(dep))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestSimulateCohortsEndpoint drives process "cohorts" against the
+// deployment's population and an inline spec override.
+func TestSimulateCohortsEndpoint(t *testing.T) {
+	ts := testCohortServer(t)
+
+	resp, out := postSimulate(t, ts,
+		`{"queries": 400, "seed": 5, "process": "cohorts", "queue": 4,
+		  "admission": "reject", "load_aware": true, "drop": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Queries != 400 {
+		t.Errorf("queries %d, want 400", out.Queries)
+	}
+	classes := map[string]bool{}
+	for _, c := range out.PerClass {
+		classes[c.Class] = true
+		if c.Queries <= 0 {
+			t.Errorf("class %q has %d queries", c.Class, c.Queries)
+		}
+	}
+	if !classes["gold"] || !classes["batch"] || len(classes) != 2 {
+		t.Errorf("per_class covers %v, want gold+batch", classes)
+	}
+	if out.FairnessJain <= 0 || out.FairnessJain > 1 {
+		t.Errorf("fairness_jain %g outside (0, 1]", out.FairnessJain)
+	}
+
+	// Inline spec overrides the deployment population.
+	resp, out = postSimulate(t, ts,
+		`{"queries": 200, "seed": 5, "process": "cohorts",
+		  "cohorts": "rate=200,class=a,budget=8;rate=100,class=b,budget=8"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline spec: status %d", resp.StatusCode)
+	}
+	if len(out.PerClass) != 2 || out.PerClass[0].Class != "a" || out.PerClass[1].Class != "b" {
+		t.Errorf("inline spec classes: %+v", out.PerClass)
+	}
+
+	// Per-seed determinism holds for cohort streams too.
+	_, a := postSimulate(t, ts, `{"queries": 300, "seed": 9, "process": "cohorts"}`)
+	_, b := postSimulate(t, ts, `{"queries": 300, "seed": 9, "process": "cohorts"}`)
+	if a.GoodputQPS != b.GoodputQPS || a.P99E2EMS != b.P99E2EMS || a.FairnessJain != b.FairnessJain {
+		t.Errorf("cohort simulate not deterministic per seed:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSimulateCohortsValidation covers the error surface: a cohorts
+// spec without the cohorts process, the cohorts process without any
+// population, and a malformed spec.
+func TestSimulateCohortsValidation(t *testing.T) {
+	ts := testCohortServer(t)
+	for _, tc := range []struct{ name, body string }{
+		{"spec without process", `{"queries": 10, "process": "poisson", "rate_qps": 100, "cohorts": "rate=1"}`},
+		{"malformed spec", `{"queries": 10, "process": "cohorts", "cohorts": "rate=zero"}`},
+	} {
+		resp, _ := postSimulate(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	// A deployment WITHOUT a population must reject process "cohorts"
+	// when no inline spec is given.
+	bare := testServer(t, 1, "")
+	resp, _ := postSimulate(t, bare, `{"queries": 10, "process": "cohorts"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("cohorts process without population: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeClassedStats drives classed closed-loop traffic through
+// /v1/serve and expects /v1/stats to break it down per class with a
+// fairness index.
+func TestServeClassedStats(t *testing.T) {
+	ts := testServer(t, 2, "")
+	for i := 0; i < 3; i++ {
+		resp, _ := postServe(t, ts, `{"min_accuracy": 75, "max_latency_ms": 10, "class": "gold"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classed serve: status %d", resp.StatusCode)
+		}
+	}
+	resp, _ := postServe(t, ts, `{"min_accuracy": 70, "max_latency_ms": 5, "class": "batch"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classed serve: status %d", resp.StatusCode)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts, "/v1/stats", &st)
+	if len(st.PerClass) != 2 {
+		t.Fatalf("per_class %+v, want gold and batch", st.PerClass)
+	}
+	if st.PerClass[0].Class != "batch" || st.PerClass[0].Queries != 1 ||
+		st.PerClass[1].Class != "gold" || st.PerClass[1].Queries != 3 {
+		t.Errorf("per_class slices wrong: %+v", st.PerClass)
+	}
+	if st.FairnessJain <= 0 || st.FairnessJain > 1 {
+		t.Errorf("fairness_jain %g outside (0, 1]", st.FairnessJain)
+	}
+}

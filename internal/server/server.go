@@ -21,14 +21,19 @@
 //	                      as scale_ups/scale_downs/replica_seconds; model
 //	                      labels generated queries and per-point trace
 //	                      models replay a multi-tenant production log;
-//	                      per_model slices in the reply)
+//	                      process "cohorts" superposes a client-cohort
+//	                      population — inline spec or the deployment's
+//	                      -cohorts default — whose queries carry SLO
+//	                      classes; per_model/per_class slices and the
+//	                      Jain fairness index in the reply)
 //	GET  /v1/replicas     per-replica hardware, lifecycle state, cache
 //	                      state (column + re-cache stats), queue depth,
 //	                      hit ratio, batch occupancy, per-model tenant
 //	                      slices (cache column, PB share, p99/SLO)
 //	GET  /v1/frontier     servable SubNets (default model)
 //	GET  /v1/cache        replica 0's Persistent Buffer state
-//	GET  /v1/stats        cluster-wide aggregates incl. per-model slices
+//	GET  /v1/stats        cluster-wide aggregates incl. per-model and
+//	                      per-SLO-class slices + fairness index
 //	GET  /healthz         status, replicas, router, hosted models
 package server
 
@@ -94,6 +99,10 @@ type ServeRequest struct {
 	// ("resnet50", "mobilenetv3"). Empty resolves to the default model;
 	// an unknown model is a 400.
 	Model string `json:"model"`
+	// Class optionally tags the query with an SLO class ("gold",
+	// "batch", ...): classed traffic surfaces per_class breakdowns and
+	// the Jain fairness index in /v1/stats.
+	Class string `json:"class"`
 	// MinAccuracy is the accuracy floor in top-1 percent.
 	MinAccuracy float64 `json:"min_accuracy"`
 	// MaxLatencyMS is the latency budget in milliseconds.
@@ -139,6 +148,7 @@ func (req ServeRequest) query(id int) (sched.Query, error) {
 	q := sched.Query{
 		ID:          id,
 		Model:       req.Model,
+		Class:       req.Class,
 		MinAccuracy: req.MinAccuracy,
 		MaxLatency:  req.MaxLatencyMS * 1e-3,
 	}
@@ -279,8 +289,20 @@ type SimulateRequest struct {
 	// where it defaults to the full trace).
 	Queries int `json:"queries"`
 	// Process picks the arrival process: "poisson" (default), "onoff",
-	// "diurnal" or "trace".
+	// "diurnal", "cohorts" or "trace".
 	Process string `json:"process"`
+	// Cohorts is a client-cohort population spec for process "cohorts",
+	// in the -cohorts grammar (';'-separated cohorts of ','-separated
+	// k=v pairs), e.g.
+	//
+	//	"n=5,rate=40,ia=gamma,shape=0.3,class=gold,budget=8|12;rate=100,class=batch"
+	//
+	// Empty falls back to the deployment's -cohorts population. Each
+	// generated query carries its cohort's model, SLO class and drawn
+	// budget/accuracy marks (the request-level model/min_accuracy/
+	// max_latency_ms fields are ignored); the reply breaks the run down
+	// per_class and reports the Jain fairness index.
+	Cohorts string `json:"cohorts"`
 	// RateQPS is the Poisson rate / OnOff off-state rate base; for
 	// diurnal it is the mean rate.
 	RateQPS float64 `json:"rate_qps"`
@@ -362,7 +384,9 @@ func (req SimulateRequest) autoscale() (*core.AutoscaleOptions, bool) {
 const maxSimulateQueries = 100_000
 
 // stream materializes the request's arrival process and query stream.
-func (req SimulateRequest) stream() ([]serving.TimedQuery, error) {
+// dflt is the deployment's -cohorts population (nil when none), the
+// fallback for process "cohorts" without an inline spec.
+func (req SimulateRequest) stream(dflt *workload.Population) ([]serving.TimedQuery, error) {
 	if req.MinAccuracy < 0 || req.MinAccuracy > 100 {
 		return nil, errors.New("min_accuracy must be in [0, 100]")
 	}
@@ -413,6 +437,27 @@ func (req SimulateRequest) stream() ([]serving.TimedQuery, error) {
 	if req.Queries <= 0 {
 		return nil, errors.New("queries must be positive")
 	}
+	if req.Process == "cohorts" {
+		pop := dflt
+		if req.Cohorts != "" {
+			p, err := workload.ParsePopulation(req.Cohorts)
+			if err != nil {
+				return nil, err
+			}
+			pop = &p
+		}
+		if pop == nil {
+			return nil, errors.New("process \"cohorts\" needs a cohorts spec (inline or the deployment's -cohorts population)")
+		}
+		qs, arr, err := pop.Queries(req.Queries, seed)
+		if err != nil {
+			return nil, err
+		}
+		return simq.Stream(qs, arr)
+	}
+	if req.Cohorts != "" {
+		return nil, fmt.Errorf("cohorts given but process is %q (want \"cohorts\")", req.Process)
+	}
 	var proc workload.ArrivalProcess
 	switch req.Process {
 	case "", "poisson":
@@ -431,7 +476,7 @@ func (req SimulateRequest) stream() ([]serving.TimedQuery, error) {
 			Period:    req.PeriodS,
 		}
 	default:
-		return nil, fmt.Errorf("unknown process %q (want poisson, onoff, diurnal or trace)", req.Process)
+		return nil, fmt.Errorf("unknown process %q (want poisson, onoff, diurnal, cohorts or trace)", req.Process)
 	}
 	arr, err := proc.Times(req.Queries, seed)
 	if err != nil {
@@ -487,6 +532,11 @@ type SimulateResponse struct {
 	// PerModel breaks the run down by model id on multi-tenant
 	// deployments (absent otherwise).
 	PerModel []ModelSimView `json:"per_model,omitempty"`
+	// PerClass breaks the run down by SLO class on cohort streams
+	// (absent while every query is unclassed); FairnessJain is the Jain
+	// index over the per-class SLO attainments, in (0, 1].
+	PerClass     []ClassSimView `json:"per_class,omitempty"`
+	FairnessJain float64        `json:"fairness_jain,omitempty"`
 }
 
 // ModelSimView is one model's slice of a multi-tenant /v1/simulate or
@@ -501,6 +551,43 @@ type ModelSimView struct {
 	P99MS       float64 `json:"p99_ms"`
 	SLO         float64 `json:"slo"`
 	AvgAccuracy float64 `json:"avg_accuracy"`
+}
+
+// ClassSimView is one SLO class's slice of a /v1/simulate or /v1/stats
+// response: per-class volume, tail latency, drops and SLO attainment.
+type ClassSimView struct {
+	Class       string  `json:"class"`
+	Queries     int     `json:"queries"`
+	Served      int     `json:"served"`
+	Dropped     int     `json:"dropped"`
+	GoodputQPS  float64 `json:"goodput_qps"`
+	P99E2EMS    float64 `json:"p99_e2e_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	SLO         float64 `json:"slo"`
+	AvgAccuracy float64 `json:"avg_accuracy"`
+}
+
+// classSimViews renders a summary's per-SLO-class slices.
+func classSimViews(sum serving.Summary) []ClassSimView {
+	out := make([]ClassSimView, 0, len(sum.PerClass))
+	for _, cs := range sum.PerClass {
+		slo := cs.E2ESLO
+		if cs.Dropped == 0 && cs.E2ESLO == 0 && cs.AvgE2E == 0 {
+			slo = cs.LatencySLO
+		}
+		out = append(out, ClassSimView{
+			Class:       cs.Class,
+			Queries:     cs.Queries,
+			Served:      cs.Queries - cs.Dropped,
+			Dropped:     cs.Dropped,
+			GoodputQPS:  cs.Goodput,
+			P99E2EMS:    cs.P99E2E * 1e3,
+			P99MS:       cs.P99Latency * 1e3,
+			SLO:         slo,
+			AvgAccuracy: cs.AvgAccuracy,
+		})
+	}
+	return out
 }
 
 // modelSimViews renders a summary's per-model slices.
@@ -536,7 +623,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	qs, err := req.stream()
+	qs, err := req.stream(s.dep.Cohorts)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -619,6 +706,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		ScaleDowns:     res.ScaleDowns,
 		ReplicaSeconds: res.ReplicaSeconds,
 		PerModel:       modelSimViews(sum),
+		PerClass:       classSimViews(sum),
+		FairnessJain:   sum.FairnessJain,
 	})
 }
 
@@ -658,6 +747,11 @@ type StatsResponse struct {
 	// PerModel breaks the aggregates down by model id on multi-tenant
 	// deployments (absent otherwise).
 	PerModel []ModelSimView `json:"per_model,omitempty"`
+	// PerClass breaks the aggregates down by SLO class once classed
+	// (cohort) traffic has been served (absent otherwise); FairnessJain
+	// is the Jain index over per-class SLO attainments.
+	PerClass     []ClassSimView `json:"per_class,omitempty"`
+	FairnessJain float64        `json:"fairness_jain,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -674,6 +768,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		AvgHitRatio:  sum.AvgHitRatio,
 		CacheSwaps:   sum.CacheSwaps,
 		PerModel:     modelSimViews(sum),
+		PerClass:     classSimViews(sum),
+		FairnessJain: sum.FairnessJain,
 	})
 }
 

@@ -9,6 +9,11 @@ import "sort"
 // allocate buckets.
 func modelKey(r Served) string { return r.Query.Model }
 
+// classKey extracts the SLO-class bucket key of an outcome: the
+// query's class label. Empty for unclassed traffic (the pre-cohort
+// default), so existing streams never allocate class buckets.
+func classKey(r Served) string { return r.Query.Class }
+
 // maxLatencySamples caps each per-accumulator latency reservoir. Streams
 // up to the cap yield exact percentiles; beyond it, reservoir sampling
 // keeps memory and read cost bounded for long-running servers at the
@@ -124,6 +129,11 @@ type Accumulator struct {
 	// streams (lazily allocated; nil for single-model streams, whose
 	// queries carry an empty model id). Children never have children.
 	perModel map[string]*Accumulator
+
+	// perClass buckets the same aggregates by SLO class on cohort
+	// streams (lazily allocated; nil while every query is unclassed).
+	// Like perModel, children never have children.
+	perClass map[string]*Accumulator
 }
 
 // modelBucket returns (allocating on first use) the child accumulator
@@ -136,6 +146,20 @@ func (a *Accumulator) modelBucket(model string) *Accumulator {
 	if b == nil {
 		b = &Accumulator{}
 		a.perModel[model] = b
+	}
+	return b
+}
+
+// classBucket returns (allocating on first use) the child accumulator
+// for an SLO class.
+func (a *Accumulator) classBucket(class string) *Accumulator {
+	if a.perClass == nil {
+		a.perClass = make(map[string]*Accumulator)
+	}
+	b := a.perClass[class]
+	if b == nil {
+		b = &Accumulator{}
+		a.perClass[class] = b
 	}
 	return b
 }
@@ -160,6 +184,9 @@ func (a *Accumulator) Add(r Served) {
 	a.addServed(r)
 	if m := modelKey(r); m != "" {
 		a.modelBucket(m).addServed(r)
+	}
+	if cl := classKey(r); cl != "" {
+		a.classBucket(cl).addServed(r)
 	}
 }
 
@@ -201,6 +228,9 @@ func (a *Accumulator) AddTimed(r TimedServed) {
 	if m := modelKey(r.Served); m != "" {
 		a.modelBucket(m).addTimed(r)
 	}
+	if cl := classKey(r.Served); cl != "" {
+		a.classBucket(cl).addTimed(r)
+	}
 }
 
 // addTimed folds one timed outcome into THIS accumulator only.
@@ -232,6 +262,9 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	a.merge(b)
 	for m, bc := range b.perModel {
 		a.modelBucket(m).merge(bc)
+	}
+	for cl, bc := range b.perClass {
+		a.classBucket(cl).merge(bc)
 	}
 }
 
@@ -280,6 +313,12 @@ func (a *Accumulator) Snapshot() *Accumulator {
 		cp.perModel = make(map[string]*Accumulator, len(a.perModel))
 		for m, b := range a.perModel {
 			cp.perModel[m] = b.Snapshot()
+		}
+	}
+	if a.perClass != nil {
+		cp.perClass = make(map[string]*Accumulator, len(a.perClass))
+		for cl, b := range a.perClass {
+			cp.perClass[cl] = b.Snapshot()
 		}
 	}
 	return &cp
@@ -351,6 +390,18 @@ func (a *Accumulator) Summary() Summary {
 		for _, m := range models {
 			s.PerModel = append(s.PerModel, ModelSummary{Model: m, Summary: a.perModel[m].Summary()})
 		}
+	}
+	if len(a.perClass) > 0 {
+		classes := make([]string, 0, len(a.perClass))
+		for cl := range a.perClass {
+			classes = append(classes, cl)
+		}
+		sort.Strings(classes)
+		s.PerClass = make([]ClassSummary, 0, len(classes))
+		for _, cl := range classes {
+			s.PerClass = append(s.PerClass, ClassSummary{Class: cl, Summary: a.perClass[cl].Summary()})
+		}
+		s.FairnessJain = classFairness(s.PerClass)
 	}
 	return s
 }

@@ -74,6 +74,18 @@ type Summary struct {
 	// streams (whose queries carry no model id). The nested summaries
 	// carry no PerModel of their own.
 	PerModel []ModelSummary
+
+	// PerClass breaks the same aggregates down by SLO class on cohort
+	// streams, sorted by class; empty while every query is unclassed.
+	// Like PerModel, the nested summaries carry no breakdowns of their
+	// own.
+	PerClass []ClassSummary
+	// FairnessJain is the Jain fairness index over the per-class SLO
+	// attainments, in (0, 1]: 1 means every class attains its SLO at
+	// the same rate, 1/len(PerClass) means one class takes everything.
+	// Zero while PerClass is empty (the index is undefined without
+	// classes).
+	FairnessJain float64
 }
 
 // ModelSummary is one model's slice of a multi-tenant Summary.
@@ -83,12 +95,45 @@ type ModelSummary struct {
 	Summary
 }
 
+// ClassSummary is one SLO class's slice of a cohort Summary.
+type ClassSummary struct {
+	// Class is the SLO class label ("gold", "batch", ...).
+	Class string
+	Summary
+}
+
+// classFairness folds per-class SLO attainments into the Jain index
+// J = (sum x)^2 / (n * sum x^2). The attainment is end-to-end when the
+// class saw open-loop traffic (drops count against it), else the
+// service-latency SLO; all-zero attainments read as perfectly fair
+// (every class is equally starved).
+func classFairness(classes []ClassSummary) float64 {
+	if len(classes) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, c := range classes {
+		x := c.LatencySLO
+		if c.Dropped > 0 || c.E2ESLO > 0 || c.AvgE2E > 0 {
+			x = c.E2ESLO
+		}
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(classes)) * sq)
+}
+
 // Summarize folds a served stream into a Summary (with per-model
 // slices when queries carry model ids).
 func Summarize(rs []Served) Summary {
 	s := summarize(rs)
 	byModel := map[string][]Served{}
 	var models []string
+	byClass := map[string][]Served{}
+	var classes []string
 	for _, r := range rs {
 		if m := modelKey(r); m != "" {
 			if _, seen := byModel[m]; !seen {
@@ -96,10 +141,23 @@ func Summarize(rs []Served) Summary {
 			}
 			byModel[m] = append(byModel[m], r)
 		}
+		if cl := classKey(r); cl != "" {
+			if _, seen := byClass[cl]; !seen {
+				classes = append(classes, cl)
+			}
+			byClass[cl] = append(byClass[cl], r)
+		}
 	}
 	sort.Strings(models)
 	for _, m := range models {
 		s.PerModel = append(s.PerModel, ModelSummary{Model: m, Summary: summarize(byModel[m])})
+	}
+	sort.Strings(classes)
+	for _, cl := range classes {
+		s.PerClass = append(s.PerClass, ClassSummary{Class: cl, Summary: summarize(byClass[cl])})
+	}
+	if len(s.PerClass) > 0 {
+		s.FairnessJain = classFairness(s.PerClass)
 	}
 	return s
 }

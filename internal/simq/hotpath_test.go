@@ -208,3 +208,61 @@ func TestSteadyStateAllocs(t *testing.T) {
 			allocs, perQuery)
 	}
 }
+
+// TestSteadyStateAllocsCohortStream extends the zero-alloc pin to
+// cohort arrivals (PR 8): streaming a skewed multi-class Population
+// through RunProcess must stay within the same per-query budget as
+// the materialized gate above. Each run rebuilds the labeled stream
+// and the lazily-created per-class accumulator buckets (both bounded
+// per-run setup, which is why this gate uses a longer stream to
+// amortize them), but the per-arrival path — superposition scan,
+// empirical mark draws, query minting — must not allocate.
+func TestSteadyStateAllocsCohortStream(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	budget := 0.0
+	reps := newReplicas(t, 4)
+	budget = replicaLatHi(reps[0]) * 1.3
+	const n = 8000
+	pop := workload.Population{Cohorts: []workload.Cohort{
+		{Rate: 500, SLOClass: "gold", InterArrival: workload.IAGamma, Shape: 0.4,
+			Budget: workload.Empirical{Values: []float64{budget, budget * 1.5}}},
+		{Rate: 150, SLOClass: "silver", InterArrival: workload.IAWeibull, Shape: 0.7,
+			Budget: workload.Empirical{Values: []float64{budget * 2}}},
+		{Rate: 50, SLOClass: "batch", Budget: workload.Empirical{Values: []float64{budget * 3}}},
+	}}
+	eng, err := New(reps, hotOptions(serving.NewRoundRobin(), 0, budget/3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		ls, err := pop.Labeled(21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur workload.CohortArrival
+		stream := func() (float64, bool) {
+			a, ok := ls()
+			if !ok {
+				return 0, false
+			}
+			cur = a
+			return a.T, true
+		}
+		mk := func(i int, _ float64) sched.Query {
+			q := cur.Query
+			q.ID = i
+			return q
+		}
+		if _, err := eng.RunProcess(n, stream, mk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm caches, scratch and reservoirs
+	allocs := testing.AllocsPerRun(3, run)
+	if perQuery := allocs / n; perQuery > 0.25 {
+		t.Errorf("cohort steady state allocates %.0f per run (%.3f per query); want < 0.25 per query",
+			allocs, perQuery)
+	}
+}

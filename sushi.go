@@ -193,8 +193,41 @@ type (
 	Mix = workload.Mix
 	// MixComponent is one model's arrival stream inside a Mix.
 	MixComponent = workload.MixComponent
+	// Gamma is the Gamma-renewal arrival process (shape < 1 bursty,
+	// shape > 1 regular, mean rate pinned).
+	Gamma = workload.Gamma
+	// Weibull is the Weibull-renewal arrival process (shape 1 is
+	// bit-identical to Poisson per seed).
+	Weibull = workload.Weibull
+	// Empirical is a weighted discrete distribution over observed
+	// budget/accuracy marks (the zero value means "no constraint").
+	Empirical = workload.Empirical
+	// Cohort is one homogeneous client group: rate, inter-arrival law,
+	// empirical marks, SLO class and target model.
+	Cohort = workload.Cohort
+	// Population superposes N seeded cohorts into one arrival stream —
+	// the heterogeneous-client workload combinator (see WithCohorts).
+	Population = workload.Population
+	// InterArrival names a Cohort's inter-arrival law.
+	InterArrival = workload.InterArrival
+	// TraceV2 is the versioned replay trace: header (version, seed,
+	// cohort table) plus records carrying arrival, model, cohort id,
+	// SLO class and the constraint pair — recorded simulations replay
+	// bit-exactly through it.
+	TraceV2 = workload.TraceV2
+	// TraceV2Record is one recorded arrival of a TraceV2.
+	TraceV2Record = workload.TraceV2Record
+	// CohortLabel is one row of a TraceV2's cohort table.
+	CohortLabel = workload.CohortLabel
+	// TraceVersionError reports a trace whose version the decoder does
+	// not speak.
+	TraceVersionError = workload.TraceVersionError
+	// TraceDecodeError reports malformed or truncated trace input.
+	TraceDecodeError = workload.TraceDecodeError
 	// ModelSummary is one model's slice of a multi-tenant Summary.
 	ModelSummary = serving.ModelSummary
+	// ClassSummary is one SLO class's slice of a cohort Summary.
+	ClassSummary = serving.ClassSummary
 	// SimResult aggregates one open-loop run.
 	SimResult = simq.Result
 	// SimOutcome is one query's fate in an open-loop run.
@@ -213,6 +246,53 @@ const (
 	// SubNet under the replica's current cache state.
 	AdmitDegrade = simq.Degrade
 )
+
+// Inter-arrival laws for Cohort.InterArrival.
+const (
+	// IAExp is memoryless exponential spacing (the zero value: a lone
+	// cohort is a Poisson stream).
+	IAExp = workload.IAExp
+	// IAGamma is Gamma-distributed spacing with Cohort.Shape.
+	IAGamma = workload.IAGamma
+	// IAWeibull is Weibull-distributed spacing with Cohort.Shape.
+	IAWeibull = workload.IAWeibull
+)
+
+// Cohort-workload and trace v2 helpers.
+var (
+	// ParsePopulation builds a Population from the compact k=v spec
+	// behind sushi-server -cohorts (see workload.ParsePopulation).
+	ParsePopulation = workload.ParsePopulation
+	// ZipfRates apportions a total rate across n cohorts by a Zipf law
+	// — the canonical skewed-client decomposition.
+	ZipfRates = workload.ZipfRates
+	// DecodeTraceV2 reads one trace v2 stream (typed errors, never
+	// panics).
+	DecodeTraceV2 = workload.DecodeTraceV2
+	// RecordTraceQueries captures an already-timed query stream as a
+	// trace v2 for bit-exact replay.
+	RecordTraceQueries = workload.RecordQueries
+)
+
+// RecordCohortTrace records the cohortsweep experiment's skewed
+// 100-cohort population (the canonical heterogeneous workload) as a
+// replayable trace v2 — the sushi-bench -record-trace path. queries <= 0
+// records the experiment's default stream length.
+func RecordCohortTrace(queries int) (*TraceV2, error) {
+	return core.CohortSweepTrace(queries)
+}
+
+// ReplayTrace plays a recorded trace v2 through a fresh cohortsweep
+// fleet and reports the run (rendered table + headline metrics) — the
+// sushi-bench -replay-trace path. Replaying a RecordCohortTrace capture
+// reproduces the cohortsweep skewed arm bit for bit.
+func ReplayTrace(tr *TraceV2) (string, map[string]float64, error) {
+	res, err := core.ReplayTraceV2(tr)
+	if err != nil {
+		return "", nil, err
+	}
+	return res.String(), res.Metrics, nil
+}
 
 // TimedStream pairs a query stream with arrival times, element-wise.
 var TimedStream = simq.Stream
@@ -392,6 +472,12 @@ var experimentRegistry = []experimentEntry{
 	// the elastic fleet wins on both replica-seconds and SLO
 	// (workload-insensitive: calibrated on the MobileNetV3 family).
 	{id: "elastic", run: fixed(func() (*core.Result, error) { return core.Elastic(0) })},
+	// cohortsweep is the heterogeneous-clients experiment: identical
+	// mean load arriving as one smooth Poisson stream vs a Zipf-skewed
+	// population of 100 bursty cohorts (p99/SLO gap at unchanged mean
+	// load), plus a degrade+batching arm recovering part of the gap
+	// (workload-insensitive: calibrated on the MobileNetV3 family).
+	{id: "cohortsweep", run: fixed(func() (*core.Result, error) { return core.CohortSweep(0) })},
 }
 
 // Experiments lists the available experiment ids, in registry order.
