@@ -12,8 +12,15 @@
 // Experiments: fig2 fig3 fig9 fig10 fig11 fig12 fig13a fig13b fig14
 // fig15 fig15acc fig16 fig17 fig18 table1 table2 table3 table4 table5
 // table6 hitratio ablation-avg overload loadsweep hetero batchsweep
-// (sushi-bench list prints the authoritative set). The -w flag
-// (resnet50|mobilenetv3) applies to workload-parameterized experiments.
+// multitenant elastic cohortsweep decisionhot (sushi-bench list prints
+// the authoritative set). The -w flag (resnet50|mobilenetv3) applies to
+// workload-parameterized experiments.
+//
+// -parallel (default on) runs independent grid points of the sweep
+// experiments across GOMAXPROCS workers; results are folded in
+// deterministic grid order, so output is byte-identical either way.
+// -slowpath forces the original unmemoized decision scan path — the
+// fast path's correctness oracle; identical output, slower.
 //
 // With -json, the human-readable tables are replaced by one NDJSON
 // record per experiment on stdout — name, ns_per_op (wall time of the
@@ -67,6 +74,13 @@ type benchRecord struct {
 	// consumers (the CI bench-regression gate) rescale ns_per_op before
 	// comparing runs from different machines or load phases.
 	CalibNs int64 `json:"calib_ns,omitempty"`
+	// WallMS is the experiment's wall-clock time in milliseconds
+	// (NsPerOp in more convenient units; recorded so trajectories show
+	// what the parallel harness buys per experiment).
+	WallMS float64 `json:"wall_ms,omitempty"`
+	// Parallel records whether the parallel experiment harness was on
+	// for this run.
+	Parallel bool `json:"parallel,omitempty"`
 }
 
 // calibSink defeats dead-code elimination of the calibration spin.
@@ -104,6 +118,8 @@ func run() int {
 	recordTrace := flag.String("record-trace", "", "record the cohortsweep skewed population as a trace v2 file and exit")
 	traceQueries := flag.Int("trace-queries", 0, "stream length for -record-trace (0 = the experiment default)")
 	replayTrace := flag.String("replay-trace", "", "replay a trace v2 file through a fresh cohortsweep fleet and exit")
+	parallel := flag.Bool("parallel", true, "run independent experiment grid points across GOMAXPROCS workers (results are folded in deterministic grid order, so output is identical either way)")
+	slowPath := flag.Bool("slowpath", false, "force the unmemoized decision slow path (the fast path's correctness oracle; identical output, slower)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sushi-bench [-w workload] [-json] [-csv dir] [-cpuprofile f] [-memprofile f] [experiment ...|all|list]\n")
 		fmt.Fprintf(os.Stderr, "       sushi-bench -record-trace f [-trace-queries n] | -replay-trace f [-json]\n")
@@ -111,6 +127,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", sushi.Experiments())
 	}
 	flag.Parse()
+	sushi.SetParallelExperiments(*parallel)
+	sushi.SetSlowPath(*slowPath)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -185,12 +203,15 @@ func run() int {
 			return 1
 		}
 		if *asJSON {
+			elapsed := time.Since(start)
 			rec := benchRecord{
 				Name:       "replay",
-				NsPerOp:    time.Since(start).Nanoseconds(),
+				NsPerOp:    elapsed.Nanoseconds(),
 				GoodputQPS: metrics["goodput_qps"],
 				P99MS:      metrics["p99_e2e_ms"],
 				Metrics:    metrics,
+				WallMS:     float64(elapsed.Nanoseconds()) / 1e6,
+				Parallel:   *parallel,
 			}
 			if err := json.NewEncoder(os.Stdout).Encode(rec); err != nil {
 				fmt.Fprintf(os.Stderr, "sushi-bench: -replay-trace: %v\n", err)
@@ -248,6 +269,8 @@ func run() int {
 				P99MS:      metrics["p99_e2e_ms"],
 				Metrics:    metrics,
 				CalibNs:    calibNs,
+				WallMS:     float64(elapsed.Nanoseconds()) / 1e6,
+				Parallel:   *parallel,
 			}
 			if err := enc.Encode(rec); err != nil {
 				fmt.Fprintf(os.Stderr, "sushi-bench: %s: %v\n", id, err)

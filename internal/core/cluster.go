@@ -298,11 +298,7 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 	if len(copt.Models) == 0 {
 		// Single-model path: unchanged, bit-identical per seed to
 		// pre-multi-tenant deployments.
-		super, err := BuildSuperNet(opt.Workload)
-		if err != nil {
-			return nil, err
-		}
-		frontier, err := super.Frontier()
+		super, frontier, err := frontierFor(opt.Workload)
 		if err != nil {
 			return nil, err
 		}
@@ -429,11 +425,7 @@ func bootTenantReplicas(workloads []Workload, opt DeployOptions, cfgs []accel.Co
 	m := len(workloads)
 	models := make([]ModelDeployment, m)
 	for i, w := range workloads {
-		super, err := BuildSuperNet(w)
-		if err != nil {
-			return nil, nil, err
-		}
-		frontier, err := super.Frontier()
+		super, frontier, err := frontierFor(w)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -148,11 +148,7 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
-	super, err := BuildSuperNet(opt.Workload)
-	if err != nil {
-		return nil, err
-	}
-	frontier, err := super.Frontier()
+	super, frontier, err := frontierFor(opt.Workload)
 	if err != nil {
 		return nil, err
 	}

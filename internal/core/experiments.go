@@ -13,19 +13,6 @@ import (
 	"sushi/internal/supernet"
 )
 
-// frontierFor builds (supernet, frontier) for a workload.
-func frontierFor(w Workload) (*supernet.SuperNet, []*supernet.SubNet, error) {
-	super, err := BuildSuperNet(w)
-	if err != nil {
-		return nil, nil, err
-	}
-	fr, err := super.Frontier()
-	if err != nil {
-		return nil, nil, err
-	}
-	return super, fr, nil
-}
-
 // is3x3 selects the 3x3 dense conv layers of a model (§5.4-5.5 evaluate
 // these on the boards).
 func is3x3(m *nn.Model) func(int) bool {

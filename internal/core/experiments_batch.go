@@ -60,67 +60,89 @@ func BatchSweep(w Workload, queries int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, b := range []int{1, 2, 4, 8} {
-		for _, win := range []float64{0, budgetBase / 2} {
-			if b == 1 && win > 0 {
-				continue // B=1 ignores the window; one row suffices
+	// The effective grid: B=1 is one unbatched anchor row; B>1 points
+	// take the nonzero window. Each point is an independent seeded
+	// deployment over the shared table, so the harness runs them across
+	// workers and the order-dependent Metrics fold happens afterwards in
+	// grid order.
+	type bwPoint struct {
+		b   int
+		win float64
+	}
+	grid := []bwPoint{{1, 0}, {2, budgetBase / 2}, {4, budgetBase / 2}, {8, budgetBase / 2}}
+	type bsOut struct {
+		row         []string
+		goodput     float64
+		p99ms       float64
+		isUnbatched bool
+	}
+	outs := make([]bsOut, len(grid))
+	err = runPoints(len(grid), func(p int) error {
+		b, win := grid[p].b, grid[p].win
+		// Fresh replicas per point over the shared table: every sweep
+		// point is an independent deployment, per-seed reproducible.
+		systems, err := BootReplicaSystems(super, fr, sopt, table, replicas)
+		if err != nil {
+			return err
+		}
+		reps := make([]*serving.Replica, len(systems))
+		for i, sys := range systems {
+			reps[i] = serving.NewReplica(i, sys)
+		}
+		eng, err := simq.New(reps, simq.Options{
+			LoadAware: true,
+			Drop:      true,
+			Router:    serving.NewLeastLoaded(),
+			Batching:  simq.Batching{MaxBatch: b, Window: win},
+		})
+		if err != nil {
+			return err
+		}
+		qs := make([]serving.TimedQuery, queries)
+		for i := range qs {
+			qs[i] = serving.TimedQuery{
+				Query:   sched.Query{ID: i, MaxLatency: budget},
+				Arrival: arr[i],
 			}
-			if b > 1 && win == 0 {
-				continue // W=0 disables batching; covered by the B=1 row
-			}
-			// Fresh replicas per point over the shared table: every sweep
-			// point is an independent deployment, per-seed reproducible.
-			systems, err := BootReplicaSystems(super, fr, sopt, table, replicas)
-			if err != nil {
-				return nil, err
-			}
-			reps := make([]*serving.Replica, len(systems))
-			for i, sys := range systems {
-				reps[i] = serving.NewReplica(i, sys)
-			}
-			eng, err := simq.New(reps, simq.Options{
-				LoadAware: true,
-				Drop:      true,
-				Router:    serving.NewLeastLoaded(),
-				Batching:  simq.Batching{MaxBatch: b, Window: win},
-			})
-			if err != nil {
-				return nil, err
-			}
-			qs := make([]serving.TimedQuery, queries)
-			for i := range qs {
-				qs[i] = serving.TimedQuery{
-					Query:   sched.Query{ID: i, MaxLatency: budget},
-					Arrival: arr[i],
-				}
-			}
-			run, err := eng.Run(qs)
-			if err != nil {
-				return nil, err
-			}
-			sum := run.Summary
-			avgBatch := 1.0
-			if sum.Batches > 0 {
-				avgBatch = sum.AvgBatchSize
-			}
-			energyPerQ := 0.0
-			if run.Served > 0 {
-				energyPerQ = sum.OffChipEnergyJ / float64(run.Served) * 1e6
-			}
-			res.Rows = append(res.Rows, []string{
+		}
+		run, err := eng.Run(qs)
+		if err != nil {
+			return err
+		}
+		sum := run.Summary
+		avgBatch := 1.0
+		if sum.Batches > 0 {
+			avgBatch = sum.AvgBatchSize
+		}
+		energyPerQ := 0.0
+		if run.Served > 0 {
+			energyPerQ = sum.OffChipEnergyJ / float64(run.Served) * 1e6
+		}
+		outs[p] = bsOut{
+			row: []string{
 				fmt.Sprintf("%d", b), ms(win), f2(avgBatch), f1(sum.Goodput),
 				ms(sum.P50E2E), ms(sum.P99E2E), f1(sum.E2ESLO * 100),
 				fmt.Sprintf("%d", run.Dropped), f2(energyPerQ),
-			})
-			if b == 1 {
-				res.Metrics["goodput_b1_qps"] = sum.Goodput
-				res.Metrics["p99_b1_ms"] = sum.P99E2E * 1e3
-			}
-			// Canonical headline keys track the best sweep point.
-			if g := sum.Goodput; g > res.Metrics["goodput_qps"] {
-				res.Metrics["goodput_qps"] = g
-				res.Metrics["p99_e2e_ms"] = sum.P99E2E * 1e3
-			}
+			},
+			goodput:     sum.Goodput,
+			p99ms:       sum.P99E2E * 1e3,
+			isUnbatched: b == 1,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		res.Rows = append(res.Rows, out.row)
+		if out.isUnbatched {
+			res.Metrics["goodput_b1_qps"] = out.goodput
+			res.Metrics["p99_b1_ms"] = out.p99ms
+		}
+		// Canonical headline keys track the best sweep point.
+		if out.goodput > res.Metrics["goodput_qps"] {
+			res.Metrics["goodput_qps"] = out.goodput
+			res.Metrics["p99_e2e_ms"] = out.p99ms
 		}
 	}
 	res.Notes = append(res.Notes,

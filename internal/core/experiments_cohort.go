@@ -161,11 +161,15 @@ func CohortSweep(queries int) (*Result, error) {
 			cohortCount, total, queries, cohortReplicas),
 		Header: []string{"arm", "goodput", "SLO%", "p99 e2e(ms)", "drops", "fairness"},
 	}
+	// The three arms are independent seeded runs (each over its own
+	// fresh fleet), so the harness runs them across workers; rows fold
+	// in arm order afterwards.
 	runs := make([]*simq.Result, len(arms))
-	for i, arm := range arms {
+	err = runPoints(len(arms), func(i int) error {
+		arm := arms[i]
 		dep, err := cohortSweepDeploy()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		eng, err := simq.FromCluster(dep.Cluster, simq.Options{
 			QueueCap:  cohortQueueCap,
@@ -176,17 +180,19 @@ func CohortSweep(queries int) (*Result, error) {
 			Batching:  arm.batching,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		run, err := runPopulation(eng, queries, arm.pop, cohortSeed)
-		if err != nil {
-			return nil, err
-		}
-		runs[i] = run
-		sum := run.Summary
+		runs[i], err = runPopulation(eng, queries, arm.pop, cohortSeed)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, arm := range arms {
+		sum := runs[i].Summary
 		res.Rows = append(res.Rows, []string{
 			arm.name, f2(sum.Goodput), f1(sum.E2ESLO * 100), ms(sum.P99E2E),
-			fmt.Sprintf("%d", run.Dropped), f2(sum.FairnessJain),
+			fmt.Sprintf("%d", runs[i].Dropped), f2(sum.FairnessJain),
 		})
 	}
 	// Per-class rows of the bursty arm: where the damage lands.

@@ -107,42 +107,43 @@ func Elastic(queries int) (*Result, error) {
 			"scale-ups", "scale-downs"},
 	}
 
-	// (a) Fixed fleet: 6 replicas, no autoscaler.
-	fixed, err := DeployCluster(DeployOptions{Workload: MobileNetV3, Policy: sched.StrictLatency},
-		ClusterOptions{Replicas: elasticFixed})
+	// The two fleets are independent seeded runs over the shared stream,
+	// so the harness runs them across workers; comparison rows fold in
+	// grid order afterwards.
+	runs := make([]*simq.Result, 2)
+	err = runPoints(len(runs), func(p int) error {
+		var dep *ClusterDeployment
+		var err error
+		if p == 0 {
+			// (a) Fixed fleet: 6 replicas, no autoscaler.
+			dep, err = DeployCluster(DeployOptions{Workload: MobileNetV3, Policy: sched.StrictLatency},
+				ClusterOptions{Replicas: elasticFixed})
+		} else {
+			// (b) Elastic fleet: 8 replicas built, 2..7 starting standby, the
+			// target-utilization policy evaluated 64 times per diurnal cycle.
+			dep, err = DeployCluster(DeployOptions{Workload: MobileNetV3, Policy: sched.StrictLatency},
+				ClusterOptions{Autoscale: &AutoscaleOptions{
+					Min:      elasticMin,
+					Max:      elasticMax,
+					Policy:   "utilization",
+					Interval: period / 64,
+				}})
+		}
+		if err != nil {
+			return err
+		}
+		eng, err := simq.FromCluster(dep.Cluster, elasticSimOptions(dep))
+		if err != nil {
+			return err
+		}
+		runs[p], err = eng.Run(stream)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	fixedEng, err := simq.FromCluster(fixed.Cluster, elasticSimOptions(fixed))
-	if err != nil {
-		return nil, err
-	}
-	fixedRun, err := fixedEng.Run(stream)
-	if err != nil {
-		return nil, err
-	}
+	fixedRun, elasticRun := runs[0], runs[1]
 	res.Rows = append(res.Rows, elasticRow(fmt.Sprintf("%dx fixed", elasticFixed), fixedRun))
-
-	// (b) Elastic fleet: 8 replicas built, 2..7 starting standby, the
-	// target-utilization policy evaluated 64 times per diurnal cycle.
-	elastic, err := DeployCluster(DeployOptions{Workload: MobileNetV3, Policy: sched.StrictLatency},
-		ClusterOptions{Autoscale: &AutoscaleOptions{
-			Min:      elasticMin,
-			Max:      elasticMax,
-			Policy:   "utilization",
-			Interval: period / 64,
-		}})
-	if err != nil {
-		return nil, err
-	}
-	elasticEng, err := simq.FromCluster(elastic.Cluster, elasticSimOptions(elastic))
-	if err != nil {
-		return nil, err
-	}
-	elasticRun, err := elasticEng.Run(stream)
-	if err != nil {
-		return nil, err
-	}
 	res.Rows = append(res.Rows, elasticRow(
 		fmt.Sprintf("%d..%d elastic (utilization)", elasticMin, elasticMax), elasticRun))
 

@@ -93,10 +93,20 @@ func Hetero(w Workload, queries int) (*Result, error) {
 		Title:  fmt.Sprintf("Heterogeneous fleet with dynamic re-caching, %d replicas — %s", replicas, w),
 		Header: []string{"fleet", "p50 e2e(ms)", "p99 e2e(ms)", "SLO%", "goodput(qps)", "drops", "recaches", "recache(ms)", "avg acc%"},
 	}
-	for _, fl := range fleets {
+	// The two fleets are independent seeded runs over the shared stream,
+	// so the harness runs them across workers; rows and the headline
+	// metrics (last fleet wins, fleets ordered homogeneous-first) fold in
+	// grid order afterwards.
+	type fleetOut struct {
+		row     []string
+		metrics map[string]float64
+	}
+	outs := make([]fleetOut, len(fleets))
+	err = runPoints(len(fleets), func(p int) error {
+		fl := fleets[p]
 		systems, err := BootHeteroSystems(super, fr, sopt, fl.cfgs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		reps := make([]*serving.Replica, len(systems))
 		for i, sys := range systems {
@@ -109,25 +119,35 @@ func Hetero(w Workload, queries int) (*Result, error) {
 			Router:    serving.NewFastest(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := eng.Run(stream)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sum := run.Summary
-		res.Rows = append(res.Rows, []string{
-			fl.name, ms(sum.P50E2E), ms(sum.P99E2E), f1(sum.E2ESLO * 100),
-			f1(sum.Goodput), fmt.Sprintf("%d", run.Dropped),
-			fmt.Sprintf("%d", run.Recaches), ms(run.RecacheSec),
-			f2(sum.AvgAccuracy),
-		})
+		outs[p] = fleetOut{
+			row: []string{
+				fl.name, ms(sum.P50E2E), ms(sum.P99E2E), f1(sum.E2ESLO * 100),
+				f1(sum.Goodput), fmt.Sprintf("%d", run.Dropped),
+				fmt.Sprintf("%d", run.Recaches), ms(run.RecacheSec),
+				f2(sum.AvgAccuracy),
+			},
+			metrics: map[string]float64{
+				"goodput_qps": sum.Goodput,
+				"p99_e2e_ms":  sum.P99E2E * 1e3,
+			},
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		res.Rows = append(res.Rows, out.row)
 		// The headline for the bench trajectory: the mixed fleet (last
 		// row wins, fleets ordered homogeneous-first).
-		res.Metrics = map[string]float64{
-			"goodput_qps": sum.Goodput,
-			"p99_e2e_ms":  sum.P99E2E * 1e3,
-		}
+		res.Metrics = out.metrics
 	}
 	res.Notes = append(res.Notes,
 		"per-replica latency tables: the same query is predicted (and routed) differently per board — Table 2's hardware diversity as a scenario axis",

@@ -153,33 +153,36 @@ func MultiTenant(queries int) (*Result, error) {
 			"rn50 SLO%", "rn50 p99(ms)", "mbv3 SLO%", "mbv3 p99(ms)"},
 	}
 
-	// (a) Shared fleet: 4 replicas, both models on every replica,
-	// traffic-weighted PB partitioning.
-	shared, err := DeployCluster(DeployOptions{Policy: sched.StrictLatency}, ClusterOptions{
-		Replicas:  4,
-		Models:    models,
-		Partition: &serving.PartitionPolicy{Mode: serving.PartitionTraffic},
-	})
-	if err != nil {
-		return nil, err
-	}
-	sharedEng, err := simq.FromCluster(shared.Cluster, multiTenantSimOptions())
-	if err != nil {
-		return nil, err
-	}
-	sharedRun, err := sharedEng.Run(stream)
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, multiTenantRow("4x shared (multi-tenant)", sharedRun))
-
-	// (b) Static partition: one 2-replica single-model fleet per model,
-	// each fed ONLY its model's half of the identical stream.
-	var partRows []*simq.Result
-	for _, m := range models {
+	// The three fleet runs — (a) the shared 4-replica fleet and (b) one
+	// 2-replica single-model fleet per model — are independent seeded
+	// deployments over the shared stream, so the harness runs them across
+	// workers; the comparison rows fold in grid order afterwards.
+	runs := make([]*simq.Result, 1+len(models))
+	err = runPoints(len(runs), func(p int) error {
+		if p == 0 {
+			// (a) Shared fleet: 4 replicas, both models on every replica,
+			// traffic-weighted PB partitioning.
+			shared, err := DeployCluster(DeployOptions{Policy: sched.StrictLatency}, ClusterOptions{
+				Replicas:  4,
+				Models:    models,
+				Partition: &serving.PartitionPolicy{Mode: serving.PartitionTraffic},
+			})
+			if err != nil {
+				return err
+			}
+			eng, err := simq.FromCluster(shared.Cluster, multiTenantSimOptions())
+			if err != nil {
+				return err
+			}
+			runs[p], err = eng.Run(stream)
+			return err
+		}
+		// (b) Static partition: one 2-replica single-model fleet per model,
+		// each fed ONLY its model's half of the identical stream.
+		m := models[p-1]
 		dep, err := DeployCluster(DeployOptions{Workload: m, Policy: sched.StrictLatency}, ClusterOptions{Replicas: 2})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var sub []serving.TimedQuery
 		for _, tq := range stream {
@@ -190,14 +193,16 @@ func MultiTenant(queries int) (*Result, error) {
 		}
 		eng, err := simq.FromCluster(dep.Cluster, multiTenantSimOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		run, err := eng.Run(sub)
-		if err != nil {
-			return nil, err
-		}
-		partRows = append(partRows, run)
+		runs[p], err = eng.Run(sub)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
+	sharedRun, partRows := runs[0], runs[1:]
+	res.Rows = append(res.Rows, multiTenantRow("4x shared (multi-tenant)", sharedRun))
 	res.Rows = append(res.Rows, multiTenantPartitionRow("2+2 static partition", models, partRows))
 
 	sharedGoodput := sharedRun.Summary.Goodput

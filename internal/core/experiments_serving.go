@@ -506,7 +506,18 @@ func LoadSweep(w Workload, queries int) (*Result, error) {
 		Title:  fmt.Sprintf("Open-loop load sweep, %d replicas — %s", replicas, w),
 		Header: []string{"system", "load(x cap)", "offered(qps)", "p50 e2e(ms)", "p99 e2e(ms)", "SLO%", "goodput(qps)", "drops"},
 	}
-	for _, mode := range []serving.Mode{serving.NoPB, serving.StateUnaware, serving.Full} {
+	modes := []serving.Mode{serving.NoPB, serving.StateUnaware, serving.Full}
+	factors := []float64{0.5, 1.5, 3.0}
+	// Per-mode setup (table, budget, capacity) happens up front — the
+	// tables are shared by that mode's three sweep points.
+	type modeCtx struct {
+		sopt     serving.Options
+		table    *latencytable.Table
+		budget   float64
+		capacity float64
+	}
+	mcs := make([]modeCtx, len(modes))
+	for mi, mode := range modes {
 		sopt := serving.Options{
 			Accel:      accel.ZCU104(),
 			Policy:     sched.StrictLatency,
@@ -522,56 +533,77 @@ func LoadSweep(w Workload, queries int) (*Result, error) {
 		// The budget admits the slowest SubNet with 10% headroom; one
 		// replica's capacity is the inverse, the cluster's R times that.
 		budget := table.Lookup(table.Rows()-1, 0) * 1.1
-		capacity := replicas / budget
-		for _, factor := range []float64{0.5, 1.5, 3.0} {
-			// Fresh replicas per point: each sweep point is an
-			// independent deployment, so curves are per-seed
-			// reproducible.
-			systems, err := BootReplicaSystems(super, fr, sopt, table, replicas)
-			if err != nil {
-				return nil, err
+		mcs[mi] = modeCtx{sopt: sopt, table: table, budget: budget, capacity: replicas / budget}
+	}
+	// Every (mode, factor) grid point is an independent seeded
+	// deployment+run, so the harness executes them across workers; rows
+	// and the headline metrics fold in grid order below.
+	type lsPoint struct {
+		row     []string
+		metrics map[string]float64
+	}
+	points := make([]lsPoint, len(modes)*len(factors))
+	err = runPoints(len(points), func(p int) error {
+		mi, fi := p/len(factors), p%len(factors)
+		mc, factor := mcs[mi], factors[fi]
+		// Fresh replicas per point: each sweep point is an
+		// independent deployment, so curves are per-seed
+		// reproducible.
+		systems, err := BootReplicaSystems(super, fr, mc.sopt, mc.table, replicas)
+		if err != nil {
+			return err
+		}
+		reps := make([]*serving.Replica, len(systems))
+		for i, sys := range systems {
+			reps[i] = serving.NewReplica(i, sys)
+		}
+		eng, err := simq.New(reps, simq.Options{
+			LoadAware: true,
+			Drop:      true,
+			Router:    serving.NewLeastLoaded(),
+		})
+		if err != nil {
+			return err
+		}
+		arr, err := workload.Poisson{Rate: mc.capacity * factor}.Times(queries, 11)
+		if err != nil {
+			return err
+		}
+		qs := make([]serving.TimedQuery, queries)
+		for i := range qs {
+			qs[i] = serving.TimedQuery{
+				Query:   sched.Query{ID: i, MaxLatency: mc.budget},
+				Arrival: arr[i],
 			}
-			reps := make([]*serving.Replica, len(systems))
-			for i, sys := range systems {
-				reps[i] = serving.NewReplica(i, sys)
+		}
+		run, err := eng.Run(qs)
+		if err != nil {
+			return err
+		}
+		sum := run.Summary
+		pt := lsPoint{row: []string{
+			modes[mi].String(), fmt.Sprintf("%.1fx", factor), f1(run.OfferedRate),
+			ms(sum.P50E2E), ms(sum.P99E2E), f1(sum.E2ESLO * 100),
+			f1(sum.Goodput), fmt.Sprintf("%d", run.Dropped),
+		}}
+		// The headline for the bench trajectory: the full SUSHI stack
+		// at the deepest overload point.
+		if modes[mi] == serving.Full && factor == 3.0 {
+			pt.metrics = map[string]float64{
+				"goodput_qps": sum.Goodput,
+				"p99_e2e_ms":  sum.P99E2E * 1e3,
 			}
-			eng, err := simq.New(reps, simq.Options{
-				LoadAware: true,
-				Drop:      true,
-				Router:    serving.NewLeastLoaded(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			arr, err := workload.Poisson{Rate: capacity * factor}.Times(queries, 11)
-			if err != nil {
-				return nil, err
-			}
-			qs := make([]serving.TimedQuery, queries)
-			for i := range qs {
-				qs[i] = serving.TimedQuery{
-					Query:   sched.Query{ID: i, MaxLatency: budget},
-					Arrival: arr[i],
-				}
-			}
-			run, err := eng.Run(qs)
-			if err != nil {
-				return nil, err
-			}
-			sum := run.Summary
-			res.Rows = append(res.Rows, []string{
-				mode.String(), fmt.Sprintf("%.1fx", factor), f1(run.OfferedRate),
-				ms(sum.P50E2E), ms(sum.P99E2E), f1(sum.E2ESLO * 100),
-				f1(sum.Goodput), fmt.Sprintf("%d", run.Dropped),
-			})
-			// The headline for the bench trajectory: the full SUSHI stack
-			// at the deepest overload point.
-			if mode == serving.Full && factor == 3.0 {
-				res.Metrics = map[string]float64{
-					"goodput_qps": sum.Goodput,
-					"p99_e2e_ms":  sum.P99E2E * 1e3,
-				}
-			}
+		}
+		points[p] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range points {
+		res.Rows = append(res.Rows, pt.row)
+		if pt.metrics != nil {
+			res.Metrics = pt.metrics
 		}
 	}
 	res.Notes = append(res.Notes,

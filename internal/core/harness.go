@@ -1,0 +1,137 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sushi/internal/serving"
+	"sushi/internal/supernet"
+)
+
+// parallelExperiments gates the parallel experiment harness: when on
+// (the default, sushi-bench -parallel), independent grid points of the
+// sweep experiments run across GOMAXPROCS workers. Results are folded
+// in deterministic grid order regardless, so a parallel run's Result is
+// byte-identical to a sequential one.
+var parallelExperiments atomic.Bool
+
+func init() { parallelExperiments.Store(true) }
+
+// SetParallelExperiments flips the parallel experiment harness.
+func SetParallelExperiments(v bool) { parallelExperiments.Store(v) }
+
+// ParallelExperiments reports whether the harness runs grid points in
+// parallel.
+func ParallelExperiments() bool { return parallelExperiments.Load() }
+
+// SetSlowPath flips the process-wide decision slow path: every system
+// deployed afterwards runs the original unmemoized scan implementation
+// of each scheduling/routing decision (the fast path's correctness
+// oracle; see serving.SetForceSlowPath and sched.Options.SlowPath).
+func SetSlowPath(v bool) { serving.SetForceSlowPath(v) }
+
+// SlowPath reports the process-wide decision slow-path switch.
+func SlowPath() bool { return serving.ForceSlowPath() }
+
+// runPoints executes n independent grid points. Each point is a fully
+// seeded, self-contained run (own deployment, own engine), so points
+// execute across min(GOMAXPROCS, n) workers when the harness is on;
+// the caller folds per-point results into rows/metrics in grid order
+// AFTER runPoints returns, which is what keeps parallel output
+// byte-identical to sequential output. The first error in grid order
+// wins, matching the sequential early-exit behaviour.
+func runPoints(n int, point func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if !parallelExperiments.Load() || workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := point(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = point(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frontierEntry is one memoized (supernet, frontier) derivation.
+type frontierEntry struct {
+	once  sync.Once
+	super *supernet.SuperNet
+	fr    []*supernet.SubNet
+	err   error
+}
+
+// frontierCacheCap bounds the frontier memo (unknown workload names
+// from API callers must not grow it without bound).
+const frontierCacheCap = 16
+
+var (
+	frontierMu    sync.Mutex
+	frontierCache = map[Workload]*frontierEntry{}
+)
+
+// frontierFor builds (supernet, frontier) for a workload, memoized
+// process-wide: supernets and frontiers are immutable after
+// construction and every experiment derives them with identical
+// parameters, so repeated derivations (the dominant setup cost of the
+// fleet experiments) collapse to one. Memoized pointers also make
+// serving's table-build memo effective — equal workloads present
+// pointer-equal (super, frontier) keys.
+func frontierFor(w Workload) (*supernet.SuperNet, []*supernet.SubNet, error) {
+	frontierMu.Lock()
+	e := frontierCache[w]
+	if e == nil {
+		if len(frontierCache) >= frontierCacheCap {
+			frontierMu.Unlock()
+			return frontierForUncached(w)
+		}
+		e = &frontierEntry{}
+		frontierCache[w] = e
+	}
+	frontierMu.Unlock()
+	e.once.Do(func() {
+		e.super, e.fr, e.err = frontierForUncached(w)
+	})
+	return e.super, e.fr, e.err
+}
+
+func frontierForUncached(w Workload) (*supernet.SuperNet, []*supernet.SubNet, error) {
+	super, err := BuildSuperNet(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	fr, err := super.Frontier()
+	if err != nil {
+		return nil, nil, err
+	}
+	return super, fr, nil
+}

@@ -422,9 +422,10 @@ func TestLookupBatchSurvivesTruncateAndWire(t *testing.T) {
 		t.Errorf("decoded LookupBatch %g != original %g", got, want)
 	}
 	// A stream predating the Item matrix decodes with Item nil;
-	// LookupBatch must degrade to Lookup instead of panicking.
-	old := *tab
-	old.Item = nil
+	// LookupBatch must degrade to Lookup instead of panicking. (A field
+	// copy, not a value copy: Table carries a mutex now.)
+	old := &Table{SubNets: tab.SubNets, Graphs: tab.Graphs, Lat: tab.Lat, Energy: tab.Energy}
+	old.buildIndex()
 	if got := old.LookupBatch(1, 2, 4); got != old.Lookup(1, 2) {
 		t.Errorf("nil-Item LookupBatch %g != Lookup %g", got, old.Lookup(1, 2))
 	}

@@ -1,0 +1,214 @@
+package latencytable
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sushi/internal/supernet"
+)
+
+// scanFastestFeasible is the reference row scan for FastestFeasibleBatch:
+// minimum batched latency among rows meeting the accuracy floor, strict
+// improvement (lowest row index on ties); argmax accuracy fallback.
+func scanFastestFeasible(tab *Table, acc float64, j, n int) (int, bool) {
+	best, found := -1, false
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.SubNets[i].Accuracy < acc {
+			continue
+		}
+		if !found || tab.LookupBatch(i, j, n) < tab.LookupBatch(best, j, n) {
+			best, found = i, true
+		}
+	}
+	if found {
+		return best, true
+	}
+	best = 0
+	for i := 1; i < tab.Rows(); i++ {
+		if tab.SubNets[i].Accuracy > tab.SubNets[best].Accuracy {
+			best = i
+		}
+	}
+	return best, false
+}
+
+// scanMostAccurateWithin is the reference row scan for
+// MostAccurateWithinBatch: maximum accuracy among rows whose batched
+// latency fits the budget, strict improvement; argmin-latency fallback.
+func scanMostAccurateWithin(tab *Table, lat float64, j, n int) (int, bool) {
+	best, found := -1, false
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.LookupBatch(i, j, n) > lat {
+			continue
+		}
+		if !found || tab.SubNets[i].Accuracy > tab.SubNets[best].Accuracy {
+			best, found = i, true
+		}
+	}
+	if found {
+		return best, true
+	}
+	best = 0
+	for i := 1; i < tab.Rows(); i++ {
+		if tab.LookupBatch(i, j, n) < tab.LookupBatch(best, j, n) {
+			best = i
+		}
+	}
+	return best, false
+}
+
+// checkOrderingInvariants asserts (a) the index's sorted arrays really
+// are sorted, and (b) every binary-searched answer is bit-identical to
+// the reference row scan, probing exactly at the tie-sensitive values
+// (each row's own accuracy/latency) plus epsilon-offset, NaN and
+// infinite constraints, for solo and batched lookups.
+func checkOrderingInvariants(t *testing.T, tab *Table, label string) {
+	t.Helper()
+	idx := tab.index
+	if !sort.Float64sAreSorted(idx.accSorted) {
+		t.Fatalf("%s: accSorted not sorted", label)
+	}
+	for j := 0; j < tab.Cols(); j++ {
+		ci := &idx.cols[j]
+		if !sort.Float64sAreSorted(ci.latSorted) {
+			t.Fatalf("%s: col %d latSorted not sorted", label, j)
+		}
+		if ci.itemSorted != nil && !sort.Float64sAreSorted(ci.itemSorted) {
+			t.Fatalf("%s: col %d itemSorted not sorted", label, j)
+		}
+		for _, n := range []int{1, 2, 4} {
+			accProbes := []float64{math.NaN(), 0, math.Inf(1)}
+			latProbes := []float64{0, math.Inf(1)}
+			for i := 0; i < tab.Rows(); i++ {
+				a := tab.SubNets[i].Accuracy
+				accProbes = append(accProbes, a, a-1e-9, a+1e-9)
+				l := tab.LookupBatch(i, j, n)
+				latProbes = append(latProbes, l, l*(1-1e-12), l*(1+1e-12))
+			}
+			for _, acc := range accProbes {
+				gi, gf := tab.FastestFeasibleBatch(acc, j, n)
+				wi, wf := scanFastestFeasible(tab, acc, j, n)
+				if gi != wi || gf != wf {
+					t.Fatalf("%s: FastestFeasibleBatch(%v, %d, %d) = (%d,%v), scan (%d,%v)",
+						label, acc, j, n, gi, gf, wi, wf)
+				}
+			}
+			for _, lat := range latProbes {
+				gi, gf := tab.MostAccurateWithinBatch(lat, j, n)
+				wi, wf := scanMostAccurateWithin(tab, lat, j, n)
+				if gi != wi || gf != wf {
+					t.Fatalf("%s: MostAccurateWithinBatch(%v, %d, %d) = (%d,%v), scan (%d,%v)",
+						label, lat, j, n, gi, gf, wi, wf)
+				}
+			}
+			if gi, wi := tab.MinLatencyRowBatch(j, n), func() int {
+				best := 0
+				for i := 1; i < tab.Rows(); i++ {
+					if tab.LookupBatch(i, j, n) < tab.LookupBatch(best, j, n) {
+						best = i
+					}
+				}
+				return best
+			}(); gi != wi {
+				t.Fatalf("%s: MinLatencyRowBatch(%d, %d) = %d, scan %d", label, j, n, gi, wi)
+			}
+		}
+	}
+}
+
+// TestOrderingInvariants pins the index against the row scans on a real
+// built table, then re-pins after every operation that rebuilds or must
+// preserve the index: Truncate, a gob encode/decode round trip, and
+// NearestGraphWithin queries (which share the index's vectors and must
+// not perturb it).
+func TestOrderingInvariants(t *testing.T) {
+	s, fr, cfg := testFixture(t)
+	cands, err := Candidates(s, fr, CandidateOptions{Budget: cfg.PBBytes, Count: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(cfg, fr, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOrderingInvariants(t, tab, "built")
+
+	// Truncate rebuilds the index over the surviving columns and drops
+	// any memoized batch orderings.
+	tr, err := tab.Truncate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.batchMu.RLock()
+	stale := len(tr.batchOrders)
+	tr.batchMu.RUnlock()
+	if stale != 0 {
+		t.Fatalf("Truncate carried %d stale batch orderings", stale)
+	}
+	checkOrderingInvariants(t, tr, "truncated")
+
+	// Gob round trip: the decoded table rebuilds the index from the wire
+	// matrices.
+	var buf bytes.Buffer
+	if err := tab.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf, s, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOrderingInvariants(t, dec, "decoded")
+
+	// NearestGraphWithin under a capping budget must keep answering from
+	// the same index (read-only) and cap correctly.
+	v := tab.RowVector(tab.Rows() - 1)
+	budget := tab.Graphs[0].Bytes()
+	col := tab.NearestGraphWithin(v, budget)
+	if got := tab.Graphs[col].Bytes(); got > budget {
+		t.Fatalf("NearestGraphWithin returned column %d (%d B) over budget %d B", col, got, budget)
+	}
+	checkOrderingInvariants(t, tab, "after NearestGraphWithin")
+}
+
+// TestOrderingInvariantsRandomTables is the property test: random
+// matrices with deliberately heavy value ties (so tie-break order, not
+// just values, is exercised) must index to scan-identical answers, with
+// and without an Item matrix.
+func TestOrderingInvariantsRandomTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		rows := 2 + rng.Intn(7)
+		cols := 1 + rng.Intn(4)
+		tab := &Table{
+			SubNets: make([]*supernet.SubNet, rows),
+			Graphs:  make([]*supernet.SubGraph, cols),
+			Lat:     make([][]float64, rows),
+			Energy:  make([][]float64, rows),
+		}
+		withItem := trial%3 != 2
+		if withItem {
+			tab.Item = make([][]float64, rows)
+		}
+		for i := 0; i < rows; i++ {
+			// Coarse quantization forces duplicate accuracies/latencies.
+			tab.SubNets[i] = &supernet.SubNet{Accuracy: 70 + float64(rng.Intn(8))}
+			tab.Lat[i] = make([]float64, cols)
+			tab.Energy[i] = make([]float64, cols)
+			if withItem {
+				tab.Item[i] = make([]float64, cols)
+			}
+			for j := 0; j < cols; j++ {
+				tab.Lat[i][j] = float64(1+rng.Intn(6)) * 1e-3
+				tab.Energy[i][j] = 1e-3
+				if withItem {
+					tab.Item[i][j] = float64(rng.Intn(4)) * 1e-4
+				}
+			}
+		}
+		tab.buildIndex()
+		checkOrderingInvariants(t, tab, "random")
+	}
+}

@@ -41,6 +41,32 @@ type Table struct {
 	// index holds the precomputed per-column feasibility structures the
 	// scheduler's hot path binary-searches instead of scanning rows.
 	index *tableIndex
+	// batchMu guards batchOrders. Tables are shared across replicas, so
+	// the lazily built per-(column, batch size) orderings need a lock;
+	// the solo index above is built before sharing and stays lock-free.
+	batchMu sync.RWMutex
+	// batchOrders memoizes batchOrderFor: one sorted ordering of the
+	// batched latencies LookupBatch(·, j, n) per (j, n) actually queried.
+	batchOrders map[batchKey]*batchOrder
+}
+
+// batchKey identifies one lazily built batched ordering.
+type batchKey struct {
+	col int
+	n   int
+}
+
+// batchOrder is the batched-latency analogue of colIndex: the same
+// sorted-order + prefix/suffix argmin/argmax structures, computed over
+// LookupBatch(i, col, n) instead of Lat[i][col], with identical
+// tie-breaks — so batched feasibility checks binary-search too.
+type batchOrder struct {
+	sufMinLat []int
+	latPerm   []int
+	latSorted []float64
+	preMaxAcc []int
+	minLatRow int
+	minLat    float64
 }
 
 // tableIndex is the precomputed feasibility index: for each policy's
@@ -81,6 +107,13 @@ type colIndex struct {
 	// (first strict min) and its value.
 	minLatRow int
 	minLat    float64
+	// itemPerm lists rows sorted by (per-item latency asc, row asc);
+	// itemSorted is Item in that order. Batched latencies
+	// Lat + (n-1)*Item converge to this order as n grows, so batch
+	// orderings start their sort from it (nearly sorted for large n).
+	// Nil when the table predates the Item matrix.
+	itemPerm   []int
+	itemSorted []float64
 }
 
 // Build profiles every (SubNet, SubGraph) pairing and returns the
@@ -250,9 +283,105 @@ func (t *Table) buildIndex() {
 		if ci.minLat < idx.minLat {
 			idx.minLat = ci.minLat
 		}
+		if t.Item != nil {
+			ci.itemPerm = make([]int, rows)
+			ci.itemSorted = make([]float64, rows)
+			for i := range ci.itemPerm {
+				ci.itemPerm[i] = i
+			}
+			sort.SliceStable(ci.itemPerm, func(a, b int) bool {
+				return t.Item[ci.itemPerm[a]][j] < t.Item[ci.itemPerm[b]][j]
+			})
+			for p, r := range ci.itemPerm {
+				ci.itemSorted[p] = t.Item[r][j]
+			}
+		}
 		idx.cols[j] = ci
 	}
 	t.index = idx
+	// Any batched orderings computed over the previous matrices are
+	// stale; Truncate and Decode both land here, so they rebuild lazily.
+	t.batchMu.Lock()
+	t.batchOrders = nil
+	t.batchMu.Unlock()
+}
+
+// batchOrderFor returns the batched-latency ordering for (column j,
+// batch size n), building and memoizing it on first use. Safe for
+// concurrent use across the replicas sharing the table.
+func (t *Table) batchOrderFor(j, n int) *batchOrder {
+	k := batchKey{col: j, n: n}
+	t.batchMu.RLock()
+	bo := t.batchOrders[k]
+	t.batchMu.RUnlock()
+	if bo != nil {
+		return bo
+	}
+	t.batchMu.Lock()
+	defer t.batchMu.Unlock()
+	if bo = t.batchOrders[k]; bo != nil {
+		return bo
+	}
+	rows := t.Rows()
+	idx := t.index
+	bo = &batchOrder{
+		sufMinLat: make([]int, rows),
+		latPerm:   make([]int, rows),
+		latSorted: make([]float64, rows),
+		preMaxAcc: make([]int, rows),
+	}
+	// Start from the per-item order when available: batched latencies
+	// converge to it as n grows, so the sort sees nearly sorted input.
+	// The starting permutation cannot change any answer — ties inside
+	// the prefix/suffix structures resolve by explicit row comparison.
+	if ip := idx.cols[j].itemPerm; ip != nil {
+		copy(bo.latPerm, ip)
+	} else {
+		for i := range bo.latPerm {
+			bo.latPerm[i] = i
+		}
+	}
+	sort.SliceStable(bo.latPerm, func(a, b int) bool {
+		return t.LookupBatch(bo.latPerm[a], j, n) < t.LookupBatch(bo.latPerm[b], j, n)
+	})
+	for p, r := range bo.latPerm {
+		bo.latSorted[p] = t.LookupBatch(r, j, n)
+	}
+	// Prefix argmax accuracy over the batched-latency order and suffix
+	// argmin batched latency over the accuracy order — same comparisons
+	// as buildIndex, with Lat replaced by LookupBatch.
+	for p := 0; p < rows; p++ {
+		best := bo.latPerm[p]
+		if p > 0 {
+			if prev := bo.preMaxAcc[p-1]; t.SubNets[prev].Accuracy > t.SubNets[best].Accuracy ||
+				(t.SubNets[prev].Accuracy == t.SubNets[best].Accuracy && prev < best) {
+				best = prev
+			}
+		}
+		bo.preMaxAcc[p] = best
+	}
+	for p := rows - 1; p >= 0; p-- {
+		best := idx.accPerm[p]
+		if p < rows-1 {
+			if prev := bo.sufMinLat[p+1]; t.LookupBatch(prev, j, n) < t.LookupBatch(best, j, n) ||
+				(t.LookupBatch(prev, j, n) == t.LookupBatch(best, j, n) && prev < best) {
+				best = prev
+			}
+		}
+		bo.sufMinLat[p] = best
+	}
+	bo.minLatRow = 0
+	for i := 1; i < rows; i++ {
+		if t.LookupBatch(i, j, n) < t.LookupBatch(bo.minLatRow, j, n) {
+			bo.minLatRow = i
+		}
+	}
+	bo.minLat = t.LookupBatch(bo.minLatRow, j, n)
+	if t.batchOrders == nil {
+		t.batchOrders = make(map[batchKey]*batchOrder)
+	}
+	t.batchOrders[k] = bo
+	return bo
 }
 
 // RowVector returns SubNet row i's precomputed encoding vector. The
@@ -306,6 +435,50 @@ func (t *Table) MostAccurateWithin(lat float64, j int) (int, bool) {
 		return ci.minLatRow, false
 	}
 	return ci.preMaxAcc[p-1], true
+}
+
+// FastestFeasibleBatch is FastestFeasible over batched latencies: the
+// minimum LookupBatch(·, j, n) row whose accuracy meets floor A, with
+// the row-scan tie-breaks. n <= 1 (or a table without Item) delegates
+// to the solo index.
+func (t *Table) FastestFeasibleBatch(acc float64, j, n int) (int, bool) {
+	if n <= 1 || t.Item == nil {
+		return t.FastestFeasible(acc, j)
+	}
+	idx := t.index
+	p := 0
+	if !math.IsNaN(acc) {
+		p = sort.SearchFloat64s(idx.accSorted, acc)
+	}
+	if p >= len(idx.accSorted) {
+		return idx.maxAccRow, false
+	}
+	return t.batchOrderFor(j, n).sufMinLat[p], true
+}
+
+// MostAccurateWithinBatch is MostAccurateWithin over batched latencies:
+// the maximum-accuracy row whose LookupBatch(·, j, n) fits budget L,
+// with the row-scan tie-breaks. n <= 1 (or a table without Item)
+// delegates to the solo index.
+func (t *Table) MostAccurateWithinBatch(lat float64, j, n int) (int, bool) {
+	if n <= 1 || t.Item == nil {
+		return t.MostAccurateWithin(lat, j)
+	}
+	bo := t.batchOrderFor(j, n)
+	p := sort.Search(len(bo.latSorted), func(i int) bool { return bo.latSorted[i] > lat })
+	if p == 0 {
+		return bo.minLatRow, false
+	}
+	return bo.preMaxAcc[p-1], true
+}
+
+// MinLatencyRowBatch returns the scan-equivalent argmin of the batched
+// latency LookupBatch(·, j, n) (lowest row index on ties).
+func (t *Table) MinLatencyRowBatch(j, n int) int {
+	if n <= 1 || t.Item == nil {
+		return t.MinLatencyRow(j)
+	}
+	return t.batchOrderFor(j, n).minLatRow
 }
 
 // Rows returns |X| and Cols |S|.

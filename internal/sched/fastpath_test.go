@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFastPathMatchesSlowPath is the fast path's differential oracle:
+// two schedulers with identical options — one memoized (the default),
+// one forced onto the original unmemoized scan path — are driven with
+// an identical randomized operation stream (single and batched peeks
+// and schedules, policy overrides, column and budget changes, NaN and
+// infinite constraints) and must emit bit-identical Decisions and
+// identical cache-column trajectories at every step.
+func TestFastPathMatchesSlowPath(t *testing.T) {
+	tab := buildTable(t)
+	accLo := tab.SubNets[0].Accuracy
+	accHi := tab.SubNets[tab.Rows()-1].Accuracy
+	latLo := tab.Lookup(0, tab.Cols()-1)
+	latHi := tab.Lookup(tab.Rows()-1, 0)
+	policies := []Policy{StrictAccuracy, StrictLatency, MinEnergy}
+
+	for _, pol := range policies {
+		for _, intersect := range []bool{false, true} {
+			opt := Options{Policy: pol, Q: 4, StateAware: true, UseIntersection: intersect}
+			fast, err := New(tab, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slowOpt := opt
+			slowOpt.SlowPath = true
+			slow, err := New(tab, slowOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(pol)*100 + 7))
+			query := func(id int) Query {
+				q := Query{ID: id}
+				switch rng.Intn(5) {
+				case 0: // tight on both axes
+					q.MinAccuracy = accLo + rng.Float64()*(accHi-accLo)
+					q.MaxLatency = latLo + rng.Float64()*(latHi-latLo)
+				case 1: // accuracy only
+					q.MinAccuracy = accLo + rng.Float64()*(accHi-accLo)
+					q.MaxLatency = math.Inf(1)
+				case 2: // latency only
+					q.MaxLatency = latLo + rng.Float64()*(latHi-latLo)
+				case 3: // unconstrained / NaN accuracy
+					q.MinAccuracy = math.NaN()
+					q.MaxLatency = latHi * 2
+				default: // infeasible latency
+					q.MaxLatency = latLo * 0.5
+					q.MinAccuracy = accHi
+				}
+				if rng.Intn(4) == 0 {
+					p := policies[rng.Intn(len(policies))]
+					q.Policy = &p
+				}
+				return q
+			}
+			for i := 0; i < 400; i++ {
+				switch rng.Intn(10) {
+				case 0:
+					col := rng.Intn(tab.Cols())
+					if err1, err2 := fast.SetColumn(col), slow.SetColumn(col); (err1 == nil) != (err2 == nil) {
+						t.Fatalf("pol %v op %d: SetColumn divergence: %v vs %v", pol, i, err1, err2)
+					}
+				case 1:
+					b := int64(rng.Intn(3)) * 1 << 20
+					fast.SetCacheBudget(b)
+					slow.SetCacheBudget(b)
+				case 2, 3:
+					q := query(i)
+					df, ef := fast.Peek(q)
+					ds, es := slow.Peek(q)
+					if df != ds || (ef == nil) != (es == nil) {
+						t.Fatalf("pol %v op %d: Peek divergence: %+v/%v vs %+v/%v", pol, i, df, ef, ds, es)
+					}
+				case 4:
+					n := 2 + rng.Intn(3)
+					qs := make([]Query, n)
+					base := query(i)
+					for j := range qs {
+						qs[j] = base
+						qs[j].ID = i*10 + j
+					}
+					df, ef := fast.PeekBatch(qs)
+					ds, es := slow.PeekBatch(qs)
+					if df != ds || (ef == nil) != (es == nil) {
+						t.Fatalf("pol %v op %d: PeekBatch divergence: %+v/%v vs %+v/%v", pol, i, df, ef, ds, es)
+					}
+				case 5:
+					n := 2 + rng.Intn(3)
+					qs := make([]Query, n)
+					base := query(i)
+					for j := range qs {
+						qs[j] = base
+						qs[j].ID = i*10 + j
+					}
+					df, ef := fast.ScheduleBatch(qs)
+					ds, es := slow.ScheduleBatch(qs)
+					if df != ds || (ef == nil) != (es == nil) {
+						t.Fatalf("pol %v op %d: ScheduleBatch divergence: %+v/%v vs %+v/%v", pol, i, df, ef, ds, es)
+					}
+				default:
+					q := query(i)
+					df, ef := fast.Schedule(q)
+					ds, es := slow.Schedule(q)
+					if df != ds || (ef == nil) != (es == nil) {
+						t.Fatalf("pol %v op %d: Schedule divergence: %+v/%v vs %+v/%v", pol, i, df, ef, ds, es)
+					}
+				}
+				if fast.CacheColumn() != slow.CacheColumn() {
+					t.Fatalf("pol %v op %d: cache column diverged: %d vs %d",
+						pol, i, fast.CacheColumn(), slow.CacheColumn())
+				}
+			}
+			if got, want := fast.Served(), slow.Served(); got != want {
+				t.Fatalf("pol %v: served count diverged: %d vs %d", pol, got, want)
+			}
+		}
+	}
+}
+
+// TestPeekAtMatchesSlowPath pins the pure (lock-free, router-facing)
+// PeekAt against the scan implementation across every column.
+func TestPeekAtMatchesSlowPath(t *testing.T) {
+	tab := buildTable(t)
+	for _, pol := range []Policy{StrictAccuracy, StrictLatency, MinEnergy} {
+		opt := Options{Policy: pol, Q: 4, StateAware: true}
+		fast, err := New(tab, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowOpt := opt
+		slowOpt.SlowPath = true
+		slow, err := New(tab, slowOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		accHi := tab.SubNets[tab.Rows()-1].Accuracy
+		latHi := tab.Lookup(tab.Rows()-1, 0)
+		for i := 0; i < 200; i++ {
+			q := Query{
+				ID:          i,
+				MinAccuracy: rng.Float64() * accHi * 1.05,
+				MaxLatency:  rng.Float64() * latHi * 1.2,
+			}
+			col := rng.Intn(tab.Cols())
+			df, ef := fast.PeekAt(q, col)
+			ds, es := slow.PeekAt(q, col)
+			if df != ds || (ef == nil) != (es == nil) {
+				t.Fatalf("pol %v col %d: PeekAt divergence: %+v/%v vs %+v/%v", pol, col, df, ef, ds, es)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"sushi/internal/latencytable"
 )
@@ -126,7 +127,48 @@ type Options struct {
 	// informative (§3.3, Fig. 6) — this switch exists to ablate that
 	// design choice.
 	UseIntersection bool
+	// SlowPath forces the original unmemoized row-scan implementation of
+	// every decision: no decision memo, no window memo, no feasibility
+	// index, eager window averaging. It exists as the fast path's
+	// correctness oracle — the differential tests run both paths over
+	// randomized queries and assert identical Decisions — and as an
+	// escape hatch should a fast-path bug ship.
+	SlowPath bool
 }
+
+// memoKey identifies one exactly-memoizable decision: the policy, the
+// cache column, the float64 BIT PATTERNS of the two constraints, and
+// the batch size. Keys are exact — no quantization — so a memo hit
+// returns precisely what the scan would have computed; distinct
+// constraint values (even NaN payloads) get distinct entries. Cohort
+// populations draw constraints from finite empirical supports, so the
+// key space stays small and hit rates high.
+type memoKey struct {
+	pol     Policy
+	col, n  int32
+	accBits uint64
+	latBits uint64
+}
+
+// memoVal is the memoized half of a Decision that selection determines.
+type memoVal struct {
+	idx      int32
+	feasible bool
+}
+
+// winKey identifies one exactly-memoizable Q-periodic cache decision:
+// the window ring packed as one byte per slot (row index + 1; 0 =
+// empty slot) plus the cache budget. Identical ring layouts sum to
+// bit-identical AvgNet vectors (same slot order, same floats), so the
+// memoized nearest column is exactly what Algorithm 1 would pick.
+type winKey struct {
+	w0, w1 uint64
+	budget int64
+}
+
+// memoCap bounds each memo map; adversarial streams with unbounded
+// constraint supports reset the maps rather than growing them forever.
+const memoCap = 1 << 15
 
 // Scheduler executes Algorithm 1 over a latency table. It is not safe
 // for concurrent use (queries are a stream).
@@ -140,12 +182,32 @@ type Scheduler struct {
 	// of a partitioned Persistent Buffer.
 	cacheBudget int64
 	// window holds the vector encodings of the last Q served SubNets;
-	// avg is their running mean (AvgNet in Fig. 6).
-	window [][]float64
-	next   int
-	filled int
-	avg    []float64
-	served int
+	// avg is their running mean (AvgNet in Fig. 6), materialized lazily:
+	// observe only pushes the ring and marks avgDirty, refreshAvg runs
+	// the original summation loops when the average is consumed.
+	window   [][]float64
+	next     int
+	filled   int
+	avg      []float64
+	avgDirty bool
+	served   int
+	// gen is the invalidation generation: bumped by SetColumn and
+	// SetCacheBudget, it clears both memo maps at the next consult (the
+	// keys also carry column/budget, so the counter is belt and braces
+	// against future key-external state).
+	gen     uint64
+	memoGen uint64
+	// memo caches per-query decisions by exact constraint bits; winMemo
+	// caches the Q-periodic nearest-column decision by packed ring.
+	// Both are consulted only from the serialized methods
+	// (Schedule/ScheduleBatch/Peek/PeekBatch) — never from the lock-free
+	// PeekAt, which stays pure.
+	memo    map[memoKey]memoVal
+	winMemo map[winKey]int
+	// winKeyable reports that the ring fits the packed winKey (Q slots
+	// of one byte each, row indices below 255).
+	winKeyable bool
+	winPack    [2]uint64
 }
 
 // New validates options and returns a scheduler.
@@ -163,10 +225,11 @@ func New(table *latencytable.Table, opt Options) (*Scheduler, error) {
 		return nil, fmt.Errorf("sched: unknown policy %v", opt.Policy)
 	}
 	return &Scheduler{
-		table:    table,
-		opt:      opt,
-		cacheCol: opt.InitialColumn,
-		window:   make([][]float64, opt.Q),
+		table:      table,
+		opt:        opt,
+		cacheCol:   opt.InitialColumn,
+		window:     make([][]float64, opt.Q),
+		winKeyable: opt.Q <= 16 && table.Rows() < 255,
 	}, nil
 }
 
@@ -185,6 +248,7 @@ func (s *Scheduler) SetColumn(col int) error {
 		return fmt.Errorf("sched: cache column %d outside [0, %d)", col, s.table.Cols())
 	}
 	s.cacheCol = col
+	s.gen++
 	return nil
 }
 
@@ -198,17 +262,20 @@ func (s *Scheduler) SetCacheBudget(maxBytes int64) {
 		maxBytes = 0
 	}
 	s.cacheBudget = maxBytes
+	s.gen++
 }
 
 // Served returns the number of scheduled queries so far.
 func (s *Scheduler) Served() int { return s.served }
 
 // AvgNet returns a copy of the current running-average vector (nil until
-// the first query).
+// the first query). The average is materialized lazily, so AvgNet — like
+// every method other than PeekAt — must be serialized with Schedule.
 func (s *Scheduler) AvgNet() []float64 {
-	if s.avg == nil {
+	if s.filled == 0 {
 		return nil
 	}
+	s.refreshAvg()
 	out := make([]float64, len(s.avg))
 	copy(out, s.avg)
 	return out
@@ -229,10 +296,23 @@ func (s *Scheduler) policyFor(q Query) (Policy, error) {
 // Peek evaluates the per-query half of Algorithm 1 against the current
 // cache belief without consuming the query: the window, the served count
 // and the Q-periodic cache decision are untouched. Callers must
-// serialize Peek with Schedule (it reads the scheduler's cache belief);
-// use PeekAt with a previously observed column for lock-free scoring.
+// serialize Peek with Schedule (it reads the scheduler's cache belief
+// and consults the decision memo); use PeekAt with a previously
+// observed column for lock-free scoring.
 func (s *Scheduler) Peek(q Query) (Decision, error) {
-	return s.PeekAt(q, s.cacheCol)
+	pol, err := s.policyFor(q)
+	if err != nil {
+		return Decision{}, err
+	}
+	col := s.cacheCol
+	idx, feasible := s.selectMemo(q, pol, col, 1)
+	return Decision{
+		SubNet:            idx,
+		PredictedLatency:  s.table.Lookup(idx, col),
+		PredictedAccuracy: s.table.SubNets[idx].Accuracy,
+		Feasible:          feasible,
+		CacheUpdate:       -1,
+	}, nil
 }
 
 // PeekAt evaluates the per-query decision against an explicit cache
@@ -265,7 +345,7 @@ func (s *Scheduler) Schedule(q Query) (Decision, error) {
 		return Decision{}, err
 	}
 	col := s.cacheCol
-	idx, feasible := s.selectSubNet(q, pol, col)
+	idx, feasible := s.selectMemo(q, pol, col, 1)
 	d := Decision{
 		SubNet:            idx,
 		PredictedLatency:  s.table.Lookup(idx, col),
@@ -276,7 +356,7 @@ func (s *Scheduler) Schedule(q Query) (Decision, error) {
 	s.observe(idx)
 	s.served++
 	if s.opt.StateAware && s.served%s.opt.Q == 0 {
-		newCol := s.table.NearestGraphWithin(s.avg, s.cacheBudget)
+		newCol := s.nearestCol()
 		if newCol != s.cacheCol {
 			s.cacheCol = newCol
 			d.CacheUpdate = newCol
@@ -332,7 +412,7 @@ func (s *Scheduler) PeekBatch(qs []Query) (Decision, error) {
 		return Decision{}, err
 	}
 	col, n := s.cacheCol, len(qs)
-	idx, feasible := s.selectSubNetBatch(agg, pol, col, n)
+	idx, feasible := s.selectMemo(agg, pol, col, n)
 	return Decision{
 		SubNet:            idx,
 		PredictedLatency:  s.table.LookupBatch(idx, col, n),
@@ -356,7 +436,7 @@ func (s *Scheduler) ScheduleBatch(qs []Query) (Decision, error) {
 		return Decision{}, err
 	}
 	col, n := s.cacheCol, len(qs)
-	idx, feasible := s.selectSubNetBatch(agg, pol, col, n)
+	idx, feasible := s.selectMemo(agg, pol, col, n)
 	d := Decision{
 		SubNet:            idx,
 		PredictedLatency:  s.table.LookupBatch(idx, col, n),
@@ -368,7 +448,7 @@ func (s *Scheduler) ScheduleBatch(qs []Query) (Decision, error) {
 		s.observe(idx)
 		s.served++
 		if s.opt.StateAware && s.served%s.opt.Q == 0 {
-			newCol := s.table.NearestGraphWithin(s.avg, s.cacheBudget)
+			newCol := s.nearestCol()
 			if newCol != s.cacheCol {
 				s.cacheCol = newCol
 				d.CacheUpdate = newCol
@@ -384,10 +464,66 @@ func (s *Scheduler) selectSubNet(q Query, pol Policy, col int) (idx int, feasibl
 	return s.selectSubNetBatch(q, pol, col, 1)
 }
 
+// selectMemo is selectSubNetBatch behind the exact decision memo. It is
+// consulted only from the serialized methods; the lock-free PeekAt goes
+// straight to selectSubNetBatch.
+func (s *Scheduler) selectMemo(q Query, pol Policy, col, n int) (idx int, feasible bool) {
+	if s.opt.SlowPath {
+		return s.selectScan(q, pol, col, n)
+	}
+	if s.memoGen != s.gen {
+		clear(s.memo)
+		clear(s.winMemo)
+		s.memoGen = s.gen
+	}
+	k := memoKey{
+		pol: pol, col: int32(col), n: int32(n),
+		accBits: math.Float64bits(q.MinAccuracy),
+		latBits: math.Float64bits(q.MaxLatency),
+	}
+	if v, ok := s.memo[k]; ok {
+		return int(v.idx), v.feasible
+	}
+	idx, feasible = s.selectSubNetBatch(q, pol, col, n)
+	if s.memo == nil {
+		s.memo = make(map[memoKey]memoVal)
+	} else if len(s.memo) >= memoCap {
+		clear(s.memo)
+	}
+	s.memo[k] = memoVal{idx: int32(idx), feasible: feasible}
+	return idx, feasible
+}
+
 // selectSubNetBatch evaluates the policy against cache column col with
 // the batched latency model for n same-SubNet queries; n = 1 is the
-// plain Algorithm 1 (LookupBatch degrades to Lookup exactly).
+// plain Algorithm 1 (LookupBatch degrades to Lookup exactly). The
+// strict policies answer from the table's precomputed orderings (binary
+// search + prefix/suffix argmin/argmax, scan-identical tie-breaks);
+// MinEnergy still scans — its two-constraint argmin has no single
+// ordering — but sits behind the decision memo like everything else.
 func (s *Scheduler) selectSubNetBatch(q Query, pol Policy, col, n int) (idx int, feasible bool) {
+	if s.opt.SlowPath {
+		return s.selectScan(q, pol, col, n)
+	}
+	switch pol {
+	case MinEnergy:
+		return s.selectScan(q, pol, col, n)
+	case StrictAccuracy:
+		// argmin latency s.t. accuracy >= A_t; fall back to the most
+		// accurate SubNet when the constraint is unsatisfiable.
+		return s.table.FastestFeasibleBatch(q.MinAccuracy, col, n)
+	default: // StrictLatency
+		// argmax accuracy s.t. latency <= L_t; fall back to the fastest
+		// SubNet when the constraint is unsatisfiable.
+		return s.table.MostAccurateWithinBatch(q.MaxLatency, col, n)
+	}
+}
+
+// selectScan is the original O(rows) row-scan implementation of every
+// policy — the fast path's correctness oracle (Options.SlowPath) and
+// the MinEnergy implementation. Tie-breaks: strict improvement, so the
+// lowest row index wins among equals.
+func (s *Scheduler) selectScan(q Query, pol Policy, col, n int) (idx int, feasible bool) {
 	switch pol {
 	case MinEnergy:
 		// argmin energy s.t. accuracy >= A_t and latency <= L_t; fall
@@ -421,17 +557,8 @@ func (s *Scheduler) selectSubNetBatch(q Query, pol Policy, col, n int) (idx int,
 		if best >= 0 {
 			return best, false
 		}
-		return s.argmaxAccuracy(), false
+		return s.scanArgmaxAccuracy(), false
 	case StrictAccuracy:
-		// argmin latency s.t. accuracy >= A_t; fall back to the most
-		// accurate SubNet when the constraint is unsatisfiable. The solo
-		// path answers from the table's precomputed feasibility index
-		// (binary search + suffix argmin) with scan-identical
-		// tie-breaks; only batched flushes (once per flush, not per
-		// query) still scan, because batch latency depends on n.
-		if n <= 1 {
-			return s.table.FastestFeasible(q.MinAccuracy, col)
-		}
 		best, bestLat := -1, 0.0
 		for i := 0; i < s.table.Rows(); i++ {
 			if s.table.SubNets[i].Accuracy < q.MinAccuracy {
@@ -444,14 +571,8 @@ func (s *Scheduler) selectSubNetBatch(q Query, pol Policy, col, n int) (idx int,
 		if best >= 0 {
 			return best, true
 		}
-		return s.argmaxAccuracy(), false
+		return s.scanArgmaxAccuracy(), false
 	default: // StrictLatency
-		// argmax accuracy s.t. latency <= L_t; fall back to the fastest
-		// SubNet when the constraint is unsatisfiable. Solo path: index
-		// lookup, see above.
-		if n <= 1 {
-			return s.table.MostAccurateWithin(q.MaxLatency, col)
-		}
 		best, bestAcc := -1, 0.0
 		for i := 0; i < s.table.Rows(); i++ {
 			if s.table.LookupBatch(i, col, n) > q.MaxLatency {
@@ -464,16 +585,21 @@ func (s *Scheduler) selectSubNetBatch(q Query, pol Policy, col, n int) (idx int,
 		if best >= 0 {
 			return best, true
 		}
-		return s.argminLatencyBatch(col, n), false
+		return s.scanArgminLatencyBatch(col, n), false
 	}
 }
 
-func (s *Scheduler) argmaxAccuracy() int { return s.table.MaxAccuracyRow() }
-
-func (s *Scheduler) argminLatencyBatch(col, n int) int {
-	if n <= 1 {
-		return s.table.MinLatencyRow(col)
+func (s *Scheduler) scanArgmaxAccuracy() int {
+	best := 0
+	for i := 1; i < s.table.Rows(); i++ {
+		if s.table.SubNets[i].Accuracy > s.table.SubNets[best].Accuracy {
+			best = i
+		}
 	}
+	return best
+}
+
+func (s *Scheduler) scanArgminLatencyBatch(col, n int) int {
 	best := 0
 	for i := 1; i < s.table.Rows(); i++ {
 		if s.table.LookupBatch(i, col, n) < s.table.LookupBatch(best, col, n) {
@@ -483,21 +609,78 @@ func (s *Scheduler) argminLatencyBatch(col, n int) int {
 	return best
 }
 
+// nearestCol makes the Q-periodic cache decision (Algorithm 1's
+// argmin_j Dist(G_j, AvgNet)), memoized by the packed window ring: two
+// rings holding the same rows in the same slots average to bit-identical
+// vectors, so the memoized column is exactly what the distance scan
+// would return. Misses — and schedulers whose ring doesn't fit the
+// packed key, or running the slow-path oracle — materialize the average
+// and scan.
+func (s *Scheduler) nearestCol() int {
+	if s.opt.SlowPath || !s.winKeyable {
+		s.refreshAvg()
+		return s.table.NearestGraphWithin(s.avg, s.cacheBudget)
+	}
+	if s.memoGen != s.gen {
+		clear(s.memo)
+		clear(s.winMemo)
+		s.memoGen = s.gen
+	}
+	k := winKey{w0: s.winPack[0], w1: s.winPack[1], budget: s.cacheBudget}
+	if col, ok := s.winMemo[k]; ok {
+		return col
+	}
+	s.refreshAvg()
+	col := s.table.NearestGraphWithin(s.avg, s.cacheBudget)
+	if s.winMemo == nil {
+		s.winMemo = make(map[winKey]int)
+	} else if len(s.winMemo) >= memoCap {
+		clear(s.winMemo)
+	}
+	s.winMemo[k] = col
+	return col
+}
+
 // observe folds the served SubNet's vector into the Q-window summary.
-// Averaging (rather than intersecting) preserves information about
-// kernels/channels that are frequent but not universal (Fig. 6); the
-// intersection variant exists for the ablation.
+// Only the ring advances here; the running average is materialized by
+// refreshAvg when something consumes it (the Q-periodic cache decision
+// on a window-memo miss, or AvgNet). The slow-path oracle keeps the
+// original eager recompute.
 func (s *Scheduler) observe(idx int) {
 	// The precomputed row vector is shared and read-only; window slots
-	// may alias it because the averaging below only reads.
-	v := s.table.RowVector(idx)
-	s.window[s.next] = v
+	// may alias it because the averaging only reads.
+	s.window[s.next] = s.table.RowVector(idx)
+	if s.winKeyable {
+		w := &s.winPack[s.next>>3]
+		sh := uint(s.next&7) * 8
+		*w = *w&^(0xff<<sh) | uint64(idx+1)<<sh
+	}
 	s.next = (s.next + 1) % s.opt.Q
 	if s.filled < s.opt.Q {
 		s.filled++
 	}
+	s.avgDirty = true
+	if s.opt.SlowPath {
+		s.refreshAvg()
+	}
+}
+
+// refreshAvg materializes AvgNet from the ring with the original
+// summation loops — slot order, skip-empty, divide by filled (or the
+// elementwise minimum for the intersection ablation) — so the lazy
+// average is bit-identical to the eager one.
+func (s *Scheduler) refreshAvg() {
+	if !s.avgDirty || s.filled == 0 {
+		return
+	}
+	s.avgDirty = false
 	if s.avg == nil {
-		s.avg = make([]float64, len(v))
+		for _, w := range s.window {
+			if w != nil {
+				s.avg = make([]float64, len(w))
+				break
+			}
+		}
 	}
 	if s.opt.UseIntersection {
 		// Elementwise minimum: exactly the intersection of nested-prefix

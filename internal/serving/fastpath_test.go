@@ -1,0 +1,116 @@
+package serving
+
+import (
+	"testing"
+
+	"sushi/internal/accel"
+	"sushi/internal/sched"
+	"sushi/internal/supernet"
+	"sushi/internal/workload"
+)
+
+// newFleet boots r replicas with or without the decision slow path,
+// over one shared table. All replicas start at the default column;
+// routed serving drifts their cache states apart as the run progresses.
+func newFleet(t *testing.T, r int, slow bool) []*Replica {
+	t.Helper()
+	s, fr := fixtures(t, supernet.MobileNetV3)
+	opt := Options{
+		Accel:      accel.ZCU104(),
+		Policy:     sched.StrictLatency,
+		Q:          4,
+		Mode:       Full,
+		Candidates: 12,
+		Seed:       1,
+		SlowPath:   slow,
+	}
+	table, _, err := BuildTable(s, fr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := make([]*Replica, r)
+	for i := range reps {
+		o := opt
+		o.Table = table
+		sys, err := New(s, fr, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = NewReplica(i, sys)
+	}
+	return reps
+}
+
+// TestRouterFastPathMatchesSlowPath is the router fast path's
+// differential oracle: the fastest and affinity routers score from a
+// cached per-replica snapshot on the fast path and recompute from
+// scratch on the slow path; over identical fleets and an identical
+// query stream — with every pick served virtually, so cache states
+// drift and snapshots republish — the pick sequences and served
+// outcomes must be bit-identical.
+func TestRouterFastPathMatchesSlowPath(t *testing.T) {
+	const replicas = 3
+	fast := newFleet(t, replicas, false)
+	slow := newFleet(t, replicas, true)
+	var sys *System
+	fast[0].Inspect(func(s *System) { sys = s })
+	qs, err := workload.Uniform(300, accRange(sys), latRange(sys), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers := []Router{NewFastest(), NewAffinity()}
+	slowRouters := []Router{NewFastest(), NewAffinity()}
+	for i, q := range qs {
+		q.ID = i
+		r := i % len(routers)
+		pf := routers[r].Pick(q, fast)
+		ps := slowRouters[r].Pick(q, slow)
+		if pf != ps {
+			t.Fatalf("query %d: pick diverged: fast %d vs slow %d", i, pf, ps)
+		}
+		of, err1 := fast[pf].ServeVirtual(q, q, false)
+		os, err2 := slow[ps].ServeVirtual(q, q, false)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("query %d: serve error divergence: %v vs %v", i, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if of != os {
+			t.Fatalf("query %d: served outcome diverged:\nfast %+v\nslow %+v", i, of, os)
+		}
+	}
+	// The fleets must also end in identical cache states.
+	for i := range fast {
+		var cf, cs int
+		fast[i].Inspect(func(s *System) { cf = s.Scheduler().CacheColumn() })
+		slow[i].Inspect(func(s *System) { cs = s.Scheduler().CacheColumn() })
+		if cf != cs {
+			t.Fatalf("replica %d: final cache column diverged: %d vs %d", i, cf, cs)
+		}
+	}
+}
+
+// TestAffinityScoreMatchesSlowPath pins the affinity router's cached
+// (model -> score) snapshot table against the direct overlap
+// computation on every replica and row.
+func TestAffinityScoreMatchesSlowPath(t *testing.T) {
+	fast := newFleet(t, 3, false)
+	slow := newFleet(t, 3, true)
+	var sys *System
+	fast[0].Inspect(func(s *System) { sys = s })
+	qs, err := workload.Uniform(50, accRange(sys), latRange(sys), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		q.ID = i
+		for r := range fast {
+			sf := fast[r].AffinityScore(q)
+			ss := slow[r].AffinityScore(q)
+			if sf != ss {
+				t.Fatalf("query %d replica %d: AffinityScore %v (fast) != %v (slow)", i, r, sf, ss)
+			}
+		}
+	}
+}

@@ -101,6 +101,13 @@ type Replica struct {
 type cacheSnapshot struct {
 	col   int
 	graph *supernet.SubGraph
+	// overlaps caches, per table row, Overlap(SubNets[row].Graph, graph)
+	// — the affinity router's (model SubNet → score) table, derived once
+	// per published snapshot instead of per pick. Materialized lazily on
+	// the first affinity score after publication; the values are a pure
+	// function of the snapshot, so concurrent initializers store
+	// identical arrays and the pointer swap stays lock-free.
+	overlaps atomic.Pointer[[]float64]
 }
 
 // NewReplica wraps a single-model system as cluster member id — the
@@ -208,7 +215,27 @@ func (r *Replica) AffinityScore(q sched.Query) float64 {
 	if err != nil {
 		return -1
 	}
-	return supernet.Overlap(t.sys.Table().SubNets[d.SubNet].Graph, snap.graph)
+	return overlapFor(t, snap, d.SubNet)
+}
+
+// overlapFor reads the snapshot's cached per-row overlap score,
+// materializing the whole (row → score) array on the first read after
+// publication. The slow-path oracle recomputes the overlap per call —
+// the original implementation the cached scores must match exactly.
+func overlapFor(t *tenant, snap *cacheSnapshot, row int) float64 {
+	if t.sys.opt.SlowPath {
+		return supernet.Overlap(t.sys.Table().SubNets[row].Graph, snap.graph)
+	}
+	if p := snap.overlaps.Load(); p != nil {
+		return (*p)[row]
+	}
+	tab := t.sys.Table()
+	ov := make([]float64, tab.Rows())
+	for i := range ov {
+		ov[i] = supernet.Overlap(tab.SubNets[i].Graph, snap.graph)
+	}
+	snap.overlaps.Store(&ov)
+	return ov[row]
 }
 
 // PredictedLatency is the service latency (seconds) the query's

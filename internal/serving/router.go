@@ -31,6 +31,34 @@ type ShardSafeRouter interface {
 	ShardSafe()
 }
 
+// builtinRouters constructs one instance of every router this package
+// ships, so capability listings (ShardSafeRouterNames) probe the actual
+// implementations instead of repeating their names in prose that rots
+// as routers are added.
+func builtinRouters() []Router {
+	return []Router{
+		NewRoundRobin(),
+		NewLeastLoaded(),
+		NewRandom(0),
+		NewFastest(),
+		NewAffinity(),
+	}
+}
+
+// ShardSafeRouterNames lists the names of the built-in routers that
+// implement ShardSafeRouter, in registration order. Validation errors
+// (the simq engine's sharded-mode check) quote this list so the set of
+// legal routers is derived, never hard-coded.
+func ShardSafeRouterNames() []string {
+	var names []string
+	for _, r := range builtinRouters() {
+		if _, ok := r.(ShardSafeRouter); ok {
+			names = append(names, r.Name())
+		}
+	}
+	return names
+}
+
 // NewRoundRobin cycles through replicas in order — the baseline
 // stateless dispatcher.
 func NewRoundRobin() Router { return &roundRobin{} }

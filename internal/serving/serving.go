@@ -91,6 +91,12 @@ type Options struct {
 	// sharing is safe; it must have been built for the same frontier and
 	// an accelerator config compatible with Accel/Mode.
 	Table *latencytable.Table
+	// SlowPath forces the original unmemoized scan implementation of
+	// every scheduling and routing decision (see sched.Options.SlowPath;
+	// it also disables the routers' cached snapshot scores). The
+	// package-level SetForceSlowPath switch ORs into this at New, so a
+	// single flag flips whole deployments onto the oracle path.
+	SlowPath bool
 }
 
 // Served records one query's outcome.
@@ -172,8 +178,18 @@ type System struct {
 // BuildTable derives the SushiAbs latency table for a mode/config pair.
 // The returned config is the effective accelerator configuration (NoPB
 // strips the Persistent Buffer). The table is read-only after build and
-// may be shared across systems via Options.Table.
+// may be shared across systems via Options.Table. Builds are memoized
+// process-wide by (supernet, frontier, mode, candidates, seed, accel):
+// the experiment harness deploys probe tables and fleet tables with
+// identical parameters many times per run, and Build is deterministic,
+// so a cache hit returns a value-identical (in fact the same, safely
+// shared) table.
 func BuildTable(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*latencytable.Table, accel.Config, error) {
+	return buildTableCached(super, frontier, opt, nil)
+}
+
+// buildTableUncached is the actual single-budget table derivation.
+func buildTableUncached(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*latencytable.Table, accel.Config, error) {
 	if opt.Candidates <= 0 {
 		opt.Candidates = 16
 	}
@@ -225,6 +241,11 @@ func BuildTenantTable(super *supernet.SuperNet, frontier []*supernet.SubNet, opt
 	if len(budgets) == 0 || opt.Mode == NoPB {
 		return BuildTable(super, frontier, opt)
 	}
+	return buildTableCached(super, frontier, opt, budgets)
+}
+
+// buildTenantTableUncached is the actual ladder table derivation.
+func buildTenantTableUncached(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options, budgets []int64) (*latencytable.Table, accel.Config, error) {
 	if opt.Candidates <= 0 {
 		opt.Candidates = 16
 	}
@@ -282,6 +303,7 @@ func New(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*S
 	if opt.Q <= 0 {
 		opt.Q = 4
 	}
+	opt.SlowPath = opt.SlowPath || ForceSlowPath()
 	table := opt.Table
 	cfg := opt.Accel
 	if table == nil {
@@ -315,6 +337,7 @@ func New(super *supernet.SuperNet, frontier []*supernet.SubNet, opt Options) (*S
 		InitialColumn:   initCol,
 		StateAware:      opt.Mode == Full,
 		UseIntersection: opt.UseIntersection,
+		SlowPath:        opt.SlowPath,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,44 @@
+package simq
+
+import (
+	"strings"
+	"testing"
+
+	"sushi/internal/serving"
+)
+
+// TestShardValidationNamesSafeRouters pins the shard-validation error's
+// guidance: it must enumerate the shard-safe router names from the
+// serving registry (not a hand-written list that can drift when routers
+// are added), so a new shard-safe router shows up in the message
+// without touching simq.
+func TestShardValidationNamesSafeRouters(t *testing.T) {
+	names := serving.ShardSafeRouterNames()
+	if len(names) < 2 {
+		t.Fatalf("ShardSafeRouterNames() = %v, want at least round-robin and random", names)
+	}
+	for _, want := range []string{"round-robin", "random"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ShardSafeRouterNames() = %v, missing %q", names, want)
+		}
+	}
+	reps := newReplicas(t, 2)
+	_, err := New(reps, Options{Shards: 2, Router: serving.NewLeastLoaded()})
+	if err == nil {
+		t.Fatal("least-loaded router accepted for a sharded run")
+	}
+	for _, n := range names {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("shard-validation error %q does not name shard-safe router %q", err, n)
+		}
+	}
+	if !strings.Contains(err.Error(), "least-loaded") {
+		t.Errorf("shard-validation error %q does not name the offending router", err)
+	}
+}

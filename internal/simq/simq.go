@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"sushi/internal/autoscale"
 	"sushi/internal/sched"
@@ -166,8 +167,9 @@ type Options struct {
 	// interaction latency), with the whole stream pre-routed through the
 	// real router in arrival order. Results are bit-identical to the
 	// sequential engine at ANY shard count. Requires a shard-safe router
-	// (round-robin or random — pick sequences independent of replica
-	// state) and no autoscaling; Shards <= 1 is the sequential engine.
+	// (serving.ShardSafeRouterNames lists them — pick sequences
+	// independent of replica state) and no autoscaling; Shards <= 1 is
+	// the sequential engine.
 	Shards int
 }
 
@@ -313,7 +315,8 @@ func New(reps []*serving.Replica, opt Options) (*Engine, error) {
 			return nil, fmt.Errorf("simq: sharded runs cannot autoscale (Shards %d with an elastic fleet)", opt.Shards)
 		}
 		if _, ok := router.(serving.ShardSafeRouter); !ok {
-			return nil, fmt.Errorf("simq: router %q is not shard-safe (its picks depend on replica state); use round-robin or random, or Shards <= 1", router.Name())
+			return nil, fmt.Errorf("simq: router %q is not shard-safe (its picks depend on replica state); use %s, or Shards <= 1",
+				router.Name(), strings.Join(serving.ShardSafeRouterNames(), " or "))
 		}
 	}
 	return &Engine{reps: reps, router: router, opt: opt}, nil

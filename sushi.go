@@ -478,7 +478,26 @@ var experimentRegistry = []experimentEntry{
 	// load), plus a degrade+batching arm recovering part of the gap
 	// (workload-insensitive: calibrated on the MobileNetV3 family).
 	{id: "cohortsweep", run: fixed(func() (*core.Result, error) { return core.CohortSweep(0) })},
+	// decisionhot is the decision-path microbenchmark: a tight loop of
+	// router+schedule decisions with no queueing or arrival process —
+	// its ns_per_op is the per-decision cost, the trajectory entry most
+	// sensitive to decision fast-path regressions.
+	{id: "decisionhot", workload: core.MobileNetV3,
+		run: func(w core.Workload) (*core.Result, error) { return core.DecisionHot(w, 0) }},
 }
+
+// SetParallelExperiments flips the parallel experiment harness: when on
+// (the default), independent grid points of the sweep experiments run
+// across GOMAXPROCS workers with results folded in deterministic grid
+// order, so a parallel run's output is byte-identical to a sequential
+// one (sushi-bench -parallel).
+var SetParallelExperiments = core.SetParallelExperiments
+
+// SetSlowPath flips the process-wide decision slow path: systems
+// deployed afterwards run the original unmemoized scan implementation
+// of every scheduling/routing decision — the fast path's correctness
+// oracle (sushi-bench -slowpath).
+var SetSlowPath = core.SetSlowPath
 
 // Experiments lists the available experiment ids, in registry order.
 func Experiments() []string {
