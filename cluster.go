@@ -6,10 +6,27 @@ import (
 	"time"
 
 	"sushi/internal/core"
+	"sushi/internal/latencytable"
 	"sushi/internal/serving"
 	"sushi/internal/simq"
 	"sushi/internal/workload"
 )
+
+// LatencyTable is the SushiAbs lookup table a deployment schedules
+// from: rows are the serving SubNets, columns the candidate cached
+// SubGraphs, cells predicted seconds. Tables are analytic by default
+// (derived from the simulated accelerator); LoadMeasuredTable loads
+// one calibrated on real executions instead.
+type LatencyTable = latencytable.Table
+
+// LoadMeasuredTable reads a calibration table file (written by
+// sushi-bench -calibrate -table-out) and returns the latency table it
+// embeds plus the workload it was measured for. Serve from it with
+// WithMeasuredTable; the deployment's Options.Workload must name the
+// same family.
+func LoadMeasuredTable(path string) (*LatencyTable, Workload, error) {
+	return core.LoadTableFile(path)
+}
 
 // RecachePolicy configures the replica cache-management layer enabled
 // by WithRecache: window size, minimum predicted-latency gain and
@@ -207,6 +224,24 @@ func WithAutoscale(a AutoscaleOptions) ClusterOption {
 // not host are rejected at deploy time with a typed error.
 func WithCohorts(cohorts ...Cohort) ClusterOption {
 	return func(o *core.ClusterOptions) { o.Cohorts = &workload.Population{Cohorts: cohorts} }
+}
+
+// WithMeasuredTable serves the whole fleet from the given prebuilt
+// latency table instead of deriving an analytic one — the runtime end
+// of the offline-calibration loop:
+//
+//	table, w, err := sushi.LoadMeasuredTable("zcu104.sushical")
+//	c, err := sushi.NewCluster(sushi.Options{Workload: w},
+//		sushi.WithReplicas(2), sushi.WithMeasuredTable(table))
+//
+// The table's rows must cover the deployment's frontier in order (a
+// full-frontier calibration sweep; partial tables are rejected with a
+// typed error). Because one table describes one (model, hardware)
+// pair, WithMeasuredTable cannot combine with WithHardware or
+// WithModels. Analytic tables round-tripped through the measured file
+// format serve bit-identically to never-exported ones.
+func WithMeasuredTable(t *LatencyTable) ClusterOption {
+	return func(o *core.ClusterOptions) { o.Table = t }
 }
 
 // WithRecache enables the window-driven cache-management layer on every

@@ -8,6 +8,7 @@
 //	sushi-bench list
 //	sushi-bench -record-trace f [-trace-queries n]
 //	sushi-bench -replay-trace f [-json]
+//	sushi-bench -calibrate [-w workload] [-table-out f] [-reps k] [-batches 1,2,4] [-calib-seed n] [-json]
 //
 // Experiments: fig2 fig3 fig9 fig10 fig11 fig12 fig13a fig13b fig14
 // fig15 fig15acc fig16 fig17 fig18 table1 table2 table3 table4 table5
@@ -30,6 +31,16 @@
 // bench trajectories (BENCH_*.json) can be recorded by machines
 // instead of scraped from prose.
 //
+// -calibrate sweeps a MEASURED latency table on this machine: every
+// (frontier SubNet × candidate SubGraph × batch) cell is timed through
+// the fast inference engine (median of -reps repetitions,
+// deterministically seeded by -calib-seed), the predicted-vs-measured
+// report is printed, and -table-out writes the versioned table file a
+// deployment loads back with sushi.LoadMeasuredTable or sushi-server
+// -table, plus a human-readable <file>.csv companion. -calib-rows/-calib-cols cap the grid for smoke runs. With
+// -json the run emits one NDJSON calibration record (wall time,
+// calib_ns, report error percentiles) joining the bench trajectory.
+//
 // -record-trace captures the cohortsweep experiment's skewed
 // 100-cohort population as a versioned trace v2 file (-trace-queries
 // sets the stream length, default 600); -replay-trace plays such a
@@ -50,6 +61,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"sushi"
@@ -103,6 +116,20 @@ func calibrate() int64 {
 	return time.Since(start).Nanoseconds()
 }
 
+// parseBatches parses the -batches list ("1,2,4").
+func parseBatches(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("batch %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
 	// The profile writers run as defers, so the exit code must leave
 	// through a return, not os.Exit.
@@ -118,11 +145,19 @@ func run() int {
 	recordTrace := flag.String("record-trace", "", "record the cohortsweep skewed population as a trace v2 file and exit")
 	traceQueries := flag.Int("trace-queries", 0, "stream length for -record-trace (0 = the experiment default)")
 	replayTrace := flag.String("replay-trace", "", "replay a trace v2 file through a fresh cohortsweep fleet and exit")
+	doCalibrate := flag.Bool("calibrate", false, "sweep a measured latency table on this machine and print the calibration report")
+	tableOut := flag.String("table-out", "", "write the measured table file here (with -calibrate)")
+	calibReps := flag.Int("reps", 3, "median-of-k repetitions per calibration cell (with -calibrate)")
+	calibBatches := flag.String("batches", "1,2,4", "comma-separated measured batch sizes, ascending from 1 (with -calibrate)")
+	calibSeed := flag.Int64("calib-seed", 1, "seed for calibration candidates, weights and inputs (with -calibrate)")
+	calibRows := flag.Int("calib-rows", 0, "cap measured frontier rows for smoke grids (0 = full frontier; capped tables cannot serve)")
+	calibCols := flag.Int("calib-cols", 0, "cap measured candidate columns for smoke grids (0 = all)")
 	parallel := flag.Bool("parallel", true, "run independent experiment grid points across GOMAXPROCS workers (results are folded in deterministic grid order, so output is identical either way)")
 	slowPath := flag.Bool("slowpath", false, "force the unmemoized decision slow path (the fast path's correctness oracle; identical output, slower)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sushi-bench [-w workload] [-json] [-csv dir] [-cpuprofile f] [-memprofile f] [experiment ...|all|list]\n")
 		fmt.Fprintf(os.Stderr, "       sushi-bench -record-trace f [-trace-queries n] | -replay-trace f [-json]\n")
+		fmt.Fprintf(os.Stderr, "       sushi-bench -calibrate [-w workload] [-table-out f] [-reps k] [-batches 1,2,4] [-calib-seed n] [-json]\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", sushi.Experiments())
 	}
@@ -220,6 +255,84 @@ func run() int {
 			return 0
 		}
 		fmt.Print(out)
+		return 0
+	}
+
+	if *doCalibrate {
+		batches, err := parseBatches(*calibBatches)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -batches: %v\n", err)
+			return 2
+		}
+		// One spin serves as both the record yardstick and the value
+		// embedded in the table file.
+		calibNs := calibrate()
+		start := time.Now()
+		f, rep, err := sushi.Calibrate(sushi.CalibrateOptions{
+			Workload: sushi.Workload(*w),
+			Reps:     *calibReps,
+			Batches:  batches,
+			Seed:     *calibSeed,
+			Rows:     *calibRows,
+			Cols:     *calibCols,
+			CalibNs:  calibNs,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sushi-bench: -calibrate: %v\n", err)
+			return 1
+		}
+		elapsed := time.Since(start)
+		if *tableOut != "" {
+			if err := sushi.WriteCalibrationFile(*tableOut, f); err != nil {
+				fmt.Fprintf(os.Stderr, "sushi-bench: -table-out: %v\n", err)
+				return 1
+			}
+			// Human-readable companion; the gob file stays authoritative.
+			cf, err := os.Create(*tableOut + ".csv")
+			if err == nil {
+				err = f.WriteCSV(cf)
+				if cerr := cf.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sushi-bench: -table-out csv: %v\n", err)
+				return 1
+			}
+		}
+		if *asJSON {
+			rec := benchRecord{
+				Name:     "calibrate",
+				Workload: *w,
+				NsPerOp:  elapsed.Nanoseconds(),
+				CalibNs:  calibNs,
+				WallMS:   float64(elapsed.Nanoseconds()) / 1e6,
+				Parallel: *parallel,
+				Metrics: map[string]float64{
+					"rows":              float64(len(f.SubNetNames)),
+					"cols":              float64(len(f.GraphNames)),
+					"batches":           float64(len(f.Batches)),
+					"reps":              float64(f.Reps),
+					"seed":              float64(f.Seed),
+					"fetch_ns_per_byte": f.FetchNsPerByte,
+					"report_scale":      rep.Scale,
+					"mean_abs_err_pct":  100 * rep.MeanErr,
+					"p95_abs_err_pct":   100 * rep.P95Err,
+					"max_abs_err_pct":   100 * rep.MaxErr,
+				},
+			}
+			if err := json.NewEncoder(os.Stdout).Encode(rec); err != nil {
+				fmt.Fprintf(os.Stderr, "sushi-bench: -calibrate: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		fmt.Printf("sushi-bench: calibrated %d x %d x %d cells (workload %s, seed %d, reps %d) in %.1fs\n",
+			len(f.SubNetNames), len(f.GraphNames), len(f.Batches), *w, f.Seed, f.Reps, elapsed.Seconds())
+		fmt.Print(rep.String())
+		if *tableOut != "" {
+			fmt.Printf("sushi-bench: wrote measured table to %s (+ %s.csv)\n", *tableOut, *tableOut)
+		}
 		return 0
 	}
 

@@ -19,7 +19,7 @@
 //	             [-models workload,workload,...] [-partition static|traffic]
 //	             [-autoscale min:max] [-autoscale-policy name]
 //	             [-autoscale-interval s] [-autoscale-cooldown s]
-//	             [-cohorts spec] [-pprof addr]
+//	             [-cohorts spec] [-table file] [-pprof addr]
 //
 // Router kinds: round-robin (default), least-loaded, affinity, fastest,
 // random. The -accels flag boots a heterogeneous fleet, one preset per
@@ -47,7 +47,14 @@
 // acc=pct|pct|...), e.g.
 // "n=5,rate=40,ia=gamma,shape=0.3,class=gold,budget=8|12;rate=100,class=batch".
 // Cohort queries carry SLO classes, so /v1/simulate and /v1/stats grow
-// per_class slices and a Jain fairness index. -pprof serves
+// per_class slices and a Jain fairness index. -table serves from a
+// MEASURED latency table written by sushi-bench -calibrate -table-out:
+// the scheduler's per-(SubNet, cached-SubGraph) latencies come from the
+// file instead of the analytic model, and the file's recorded workload
+// overrides -w (the table rows must match that workload's frontier).
+// -table composes with routers, -recache and -batch but not with
+// -accels or -models (a measured table is specific to one accelerator
+// and one model family). -pprof serves
 // net/http/pprof on a SEPARATE
 // listener (e.g. -pprof localhost:6060) for live CPU/heap profiling of
 // a running server; it is off by default and should stay on loopback.
@@ -101,6 +108,8 @@ func main() {
 			"minimum virtual seconds between enacted scale actions")
 		cohorts = flag.String("cohorts", "",
 			"client-cohort population spec for /v1/simulate's \"cohorts\" process (';'-separated cohorts of k=v pairs)")
+		table = flag.String("table", "",
+			"serve from a measured latency-table file (sushi-bench -calibrate -table-out); its workload overrides -w")
 		pprofAddr = flag.String("pprof", "",
 			"serve net/http/pprof on this extra address (e.g. localhost:6060); off when empty")
 	)
@@ -181,6 +190,14 @@ func main() {
 		}
 		copt.Cohorts = &pop
 	}
+	if *table != "" {
+		tab, w, err := core.LoadTableFile(*table)
+		if err != nil {
+			log.Fatalf("sushi-server: -table: %v", err)
+		}
+		opt.Workload = w
+		copt.Table = tab
+	}
 	dep, err := core.DeployCluster(opt, copt)
 	if err != nil {
 		log.Fatalf("sushi-server: %v", err)
@@ -189,7 +206,10 @@ func main() {
 	if pol := dep.Cluster.BatchPolicy(); pol.Enabled() {
 		batching = fmt.Sprintf("batch B=%d W=%v", pol.MaxBatch, pol.Window)
 	}
-	workloads := *wl
+	workloads := string(opt.Workload)
+	if copt.Table != nil {
+		workloads += " (measured table)"
+	}
 	if len(dep.Models) > 1 {
 		names := make([]string, len(dep.Models))
 		for i, md := range dep.Models {

@@ -1,0 +1,81 @@
+package calib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sushi/internal/latencytable"
+)
+
+// Report quantifies how well an analytic table predicts a measured
+// one, cell by cell. Measured wall time and simulated accelerator time
+// live on different absolute scales, so the comparison first fits one
+// global scale factor (the median measured/analytic latency ratio) and
+// then reports the per-cell relative error left after scaling — the
+// part of the gap a single calibration constant cannot explain.
+type Report struct {
+	// Rows and Cols are the compared grid dimensions.
+	Rows, Cols int
+	// Scale is the fitted global factor: measured ≈ Scale · analytic.
+	Scale float64
+	// MeanErr, P50Err, P95Err and MaxErr summarize the per-cell
+	// |measured/(Scale·analytic) − 1| distribution.
+	MeanErr, P50Err, P95Err, MaxErr float64
+	// WorstRow and WorstCol locate the MaxErr cell.
+	WorstRow, WorstCol int
+}
+
+// NewReport compares a measured table against its analytic prediction.
+// The tables must have identical dimensions (same rows/columns in the
+// same order) and strictly positive analytic latencies.
+func NewReport(measured, analytic *latencytable.Table) (*Report, error) {
+	if measured.Rows() != analytic.Rows() || measured.Cols() != analytic.Cols() {
+		return nil, fmt.Errorf("calib: report over %dx%d measured vs %dx%d analytic",
+			measured.Rows(), measured.Cols(), analytic.Rows(), analytic.Cols())
+	}
+	rows, cols := measured.Rows(), measured.Cols()
+	ratios := make([]float64, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if analytic.Lat[i][j] <= 0 {
+				return nil, fmt.Errorf("calib: analytic Lat[%d][%d] = %g is not positive", i, j, analytic.Lat[i][j])
+			}
+			ratios = append(ratios, measured.Lat[i][j]/analytic.Lat[i][j])
+		}
+	}
+	scale := median(append([]float64(nil), ratios...))
+	if scale <= 0 {
+		return nil, fmt.Errorf("calib: degenerate scale %g (measured table is all zeros?)", scale)
+	}
+	r := &Report{Rows: rows, Cols: cols, Scale: scale}
+	errs := make([]float64, 0, len(ratios))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			e := measured.Lat[i][j]/(scale*analytic.Lat[i][j]) - 1
+			if e < 0 {
+				e = -e
+			}
+			errs = append(errs, e)
+			r.MeanErr += e
+			if e > r.MaxErr {
+				r.MaxErr, r.WorstRow, r.WorstCol = e, i, j
+			}
+		}
+	}
+	r.MeanErr /= float64(len(errs))
+	sort.Float64s(errs)
+	r.P50Err = errs[(len(errs)-1)/2]
+	r.P95Err = errs[(len(errs)-1)*95/100]
+	return r, nil
+}
+
+// String renders the report as a short human-readable block.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "calibration report: %d subnets x %d columns\n", r.Rows, r.Cols)
+	fmt.Fprintf(&b, "  scale (measured/analytic, median): %.4g\n", r.Scale)
+	fmt.Fprintf(&b, "  per-cell |error| after scaling: mean %.1f%%  p50 %.1f%%  p95 %.1f%%  max %.1f%% (row %d, col %d)\n",
+		100*r.MeanErr, 100*r.P50Err, 100*r.P95Err, 100*r.MaxErr, r.WorstRow, r.WorstCol)
+	return b.String()
+}

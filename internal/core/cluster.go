@@ -78,6 +78,15 @@ type ClusterOptions struct {
 	// first-class events. Nil keeps the fleet fixed. When both Replicas
 	// and Autoscale are set, Replicas must equal Max.
 	Autoscale *AutoscaleOptions
+	// Table, when non-nil, serves the whole fleet from this prebuilt
+	// latency table instead of deriving an analytic one — the loading
+	// point for calibration-measured tables (calib.File.Table,
+	// LoadTableFile). The table's rows must cover the deployment's
+	// frontier in order; since one table describes one (model,
+	// hardware) pair it is rejected alongside Accels (heterogeneous
+	// fleets derive per-config tables) and Models (each tenant needs
+	// its own family).
+	Table *latencytable.Table
 	// Cohorts attaches a client-cohort population to the deployment:
 	// the default workload for Cluster.SimulateCohorts and POST
 	// /v1/simulate's "cohorts" process. Validated at deploy time
@@ -276,6 +285,16 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 				Reason: "cache partitioning needs at least two Models (a single tenant owns the whole PB)"}
 		}
 	}
+	if copt.Table != nil {
+		if len(copt.Accels) > 0 {
+			return nil, &OptionError{Field: "Table", Value: len(copt.Accels),
+				Reason: "a supplied latency table describes one hardware configuration; heterogeneous fleets (Accels) derive per-config tables"}
+		}
+		if len(copt.Models) > 0 {
+			return nil, &OptionError{Field: "Table", Value: len(copt.Models),
+				Reason: "a supplied latency table describes one model; multi-tenant fleets (Models) derive per-tenant tables"}
+		}
+	}
 	router, err := NewRouter(copt.Router, copt.RouterSeed)
 	if err != nil {
 		return nil, err
@@ -302,7 +321,15 @@ func DeployCluster(opt DeployOptions, copt ClusterOptions) (*ClusterDeployment, 
 		if err != nil {
 			return nil, err
 		}
-		systems, err := BootHeteroSystems(super, frontier, opt.servingOptions(opt.accelConfig()), cfgs)
+		var systems []*serving.System
+		if copt.Table != nil {
+			if err := tableCoversFrontier(copt.Table, frontier); err != nil {
+				return nil, err
+			}
+			systems, err = BootReplicaSystems(super, frontier, opt.servingOptions(opt.accelConfig()), copt.Table, copt.Replicas)
+		} else {
+			systems, err = BootHeteroSystems(super, frontier, opt.servingOptions(opt.accelConfig()), cfgs)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -495,6 +522,25 @@ func bootTenantReplicas(workloads []Workload, opt DeployOptions, cfgs []accel.Co
 		g.count++
 	}
 	return reps, models, nil
+}
+
+// tableCoversFrontier checks a supplied (e.g. measured) latency table
+// serves the deployment's frontier: same rows in the same order,
+// matched by name — the serving layer indexes frontier and table rows
+// interchangeably, so a partial or reordered table is a typed error
+// here rather than a silent mis-serve downstream.
+func tableCoversFrontier(t *latencytable.Table, frontier []*supernet.SubNet) error {
+	if t.Rows() != len(frontier) {
+		return &OptionError{Field: "Table", Value: t.Rows(),
+			Reason: fmt.Sprintf("table has %d rows, the deployment's frontier has %d SubNets (calibrate the full frontier)", t.Rows(), len(frontier))}
+	}
+	for i, sn := range frontier {
+		if t.SubNets[i].Name != sn.Name {
+			return &OptionError{Field: "Table", Value: t.SubNets[i].Name,
+				Reason: fmt.Sprintf("table row %d is %q, the frontier expects %q (row order must match)", i, t.SubNets[i].Name, sn.Name)}
+		}
+	}
+	return nil
 }
 
 // bootColumn is the single home of the boot-cache invariant shared by

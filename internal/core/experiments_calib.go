@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sushi/internal/accel"
+	"sushi/internal/latencytable"
+	"sushi/internal/sched"
+	"sushi/internal/serving"
+)
+
+// calibSweepSeed drives the noise draws; each noise level derives its
+// own independent stream from it.
+const calibSweepSeed = 47
+
+// calibSigmas are the relative noise levels injected into the table —
+// 0 is the exactness pin (a noiseless table must decide identically to
+// the truth), 0.4 is a badly miscalibrated sweep.
+var calibSigmas = []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4}
+
+// noisyTable perturbs every latency cell by an independent
+// multiplicative factor 1 + sigma·N(0,1), clamped positive — the model
+// of a calibration sweep whose per-cell measurements carry relative
+// error sigma. sigma 0 returns the truth itself, so the zero row of
+// the experiment is exact by construction.
+func noisyTable(truth *latencytable.Table, sigma float64, seed int64) (*latencytable.Table, error) {
+	if sigma == 0 {
+		return truth, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perturb := func(v float64) float64 {
+		f := 1 + sigma*rng.NormFloat64()
+		if f < 0.05 {
+			f = 0.05
+		}
+		return v * f
+	}
+	lat := make([][]float64, truth.Rows())
+	item := make([][]float64, truth.Rows())
+	for i := range lat {
+		lat[i] = make([]float64, truth.Cols())
+		item[i] = make([]float64, truth.Cols())
+		for j := range lat[i] {
+			lat[i][j] = perturb(truth.Lat[i][j])
+			item[i][j] = perturb(truth.Item[i][j])
+		}
+	}
+	return latencytable.FromMatrices(truth.SubNets, truth.Graphs, lat, item, truth.Energy)
+}
+
+// budgetLadder spans n budgets linearly from just above the grid's
+// minimum to just above its maximum — every column sees budgets from
+// barely-feasible to slack.
+func budgetLadder(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo*1.05 + (hi*1.10-lo*1.05)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// CalibSweep is the calibration-noise experiment: how does per-cell
+// relative error in a measured latency table propagate into SLO
+// attainment? The scheduler decides from the NOISY table (its belief)
+// while queries are judged against the TRUE table — the exact failure
+// mode of serving from a miscalibrated sweep. For each noise level the
+// STRICT_LATENCY decision (MostAccurateWithin, solo and batch-4) runs
+// over every (column × budget) cell of a seeded budget ladder; a
+// violation is a decided row whose true latency exceeds the budget.
+// sigma 0 is pinned at 100% attainment and zero decision flips.
+func CalibSweep(budgets int) (*Result, error) {
+	if budgets <= 0 {
+		budgets = 12
+	}
+	super, fr, err := frontierFor(MobileNetV3)
+	if err != nil {
+		return nil, err
+	}
+	truth, _, err := serving.BuildTable(super, fr, serving.Options{
+		Policy: sched.StrictLatency, Q: 4, Mode: serving.Full,
+		Candidates: 16, Seed: 1, Accel: accel.ZCU104(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	const batchN = 4
+	// Separate ladders for the solo and batched decisions: batched
+	// latencies are strictly larger, so they need their own range.
+	loSolo, hiSolo := truth.GlobalMinLatency(), 0.0
+	loBatch, hiBatch := -1.0, 0.0
+	for i := 0; i < truth.Rows(); i++ {
+		for j := 0; j < truth.Cols(); j++ {
+			if v := truth.Lookup(i, j); v > hiSolo {
+				hiSolo = v
+			}
+			b := truth.LookupBatch(i, j, batchN)
+			if b > hiBatch {
+				hiBatch = b
+			}
+			if loBatch < 0 || b < loBatch {
+				loBatch = b
+			}
+		}
+	}
+	soloBudgets := budgetLadder(loSolo, hiSolo, budgets)
+	batchBudgets := budgetLadder(loBatch, hiBatch, budgets)
+
+	res := &Result{
+		Name: "calibsweep",
+		Title: fmt.Sprintf("Table noise vs SLO attainment, %d budgets x %d columns, MobileNetV3",
+			budgets, truth.Cols()),
+		Header: []string{"sigma", "solo SLO%", "batch4 SLO%", "flips", "infeasible flips"},
+		Notes: []string{
+			"decisions use the noisy table (the scheduler's belief); violations are judged against the true table",
+			"sigma is the per-cell relative noise of a simulated calibration sweep (multiplicative, seeded)",
+			fmt.Sprintf("batch arm decides MostAccurateWithinBatch at n=%d over its own budget ladder", batchN),
+		},
+		Metrics: map[string]float64{},
+	}
+	for si, sigma := range calibSigmas {
+		noisy, err := noisyTable(truth, sigma, calibSweepSeed+int64(si))
+		if err != nil {
+			return nil, err
+		}
+		var soloViol, batchViol, flips, infeasFlips, total int
+		for j := 0; j < truth.Cols(); j++ {
+			for _, b := range soloBudgets {
+				total++
+				row, ok := noisy.MostAccurateWithin(b, j)
+				trow, tok := truth.MostAccurateWithin(b, j)
+				if row != trow {
+					flips++
+				}
+				if ok != tok {
+					infeasFlips++
+				}
+				if ok && truth.Lookup(row, j) > b {
+					soloViol++
+				}
+			}
+			for _, b := range batchBudgets {
+				row, ok := noisy.MostAccurateWithinBatch(b, j, batchN)
+				if ok && truth.LookupBatch(row, j, batchN) > b {
+					batchViol++
+				}
+			}
+		}
+		soloPct := 100 * (1 - float64(soloViol)/float64(total))
+		batchPct := 100 * (1 - float64(batchViol)/float64(total))
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%.2f", sigma),
+			fmt.Sprintf("%.1f", soloPct),
+			fmt.Sprintf("%.1f", batchPct),
+			fmt.Sprintf("%d", flips),
+			fmt.Sprintf("%d", infeasFlips),
+		})
+		key := fmt.Sprintf("slo_sigma%d_pct", int(sigma*100))
+		res.Metrics[key] = soloPct
+		if sigma == 0 {
+			res.Metrics["flips_sigma0"] = float64(flips)
+		}
+	}
+	last := calibSigmas[len(calibSigmas)-1]
+	res.Metrics["slo_drop_max_pct"] = 100 - res.Metrics[fmt.Sprintf("slo_sigma%d_pct", int(last*100))]
+	return res, nil
+}

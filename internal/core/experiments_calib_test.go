@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+// TestCalibSweepExactnessPin runs the calibsweep experiment and pins
+// its anchor rows: a noiseless table must reproduce the true decisions
+// exactly (100% attainment, zero flips), and the heaviest noise level
+// must cost attainment — otherwise the experiment is measuring
+// nothing.
+func TestCalibSweepExactnessPin(t *testing.T) {
+	res, err := CalibSweep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(calibSigmas) {
+		t.Fatalf("%d rows for %d sigmas", len(res.Rows), len(calibSigmas))
+	}
+	if got := res.Metrics["slo_sigma0_pct"]; got != 100 {
+		t.Errorf("sigma 0 attainment %.2f%%, want exactly 100", got)
+	}
+	if got := res.Metrics["flips_sigma0"]; got != 0 {
+		t.Errorf("sigma 0 decision flips %.0f, want 0", got)
+	}
+	if got := res.Metrics["slo_sigma40_pct"]; got >= 100 {
+		t.Errorf("sigma 0.40 attainment %.2f%%, want < 100 (noise must cost something)", got)
+	}
+	if got := res.Metrics["slo_drop_max_pct"]; got <= 0 {
+		t.Errorf("slo_drop_max_pct %.2f, want > 0", got)
+	}
+}

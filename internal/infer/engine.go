@@ -3,6 +3,7 @@ package infer
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 
 	"sushi/internal/nn"
@@ -14,15 +15,101 @@ import (
 // Requantization scales are static (derived from layer geometry), so the
 // whole pipeline is deterministic and data-independent — the property the
 // tests rely on.
+//
+// The engine owns an arena of reusable activation/accumulator/im2col
+// buffers (ping-pong x/y activations, a dedicated shortcut copy, an
+// in-place requantize + saturating residual add) and memoizes each
+// SubNet's materialized weights and per-channel weight sums, so the
+// steady state of ForwardBatchInto allocates nothing and runs through
+// the blocked kernels. Results are bit-identical to ForwardReference,
+// the original unblocked pipeline kept as the oracle.
+//
+// An Engine is NOT safe for concurrent use; give each goroutine its
+// own (they share nothing but the WeightStore, which is read-only).
 type Engine struct {
 	ws *WeightStore
 	// zp is the activation zero point used throughout.
 	zp int32
+	// workers bounds the kernel worker pool; pool is nil until a
+	// parallel forward needs it.
+	workers int
+	pool    *tensor.Pool
+	prep    map[*supernet.SubNet]*prepared
+	a       arena
 }
 
-// NewEngine builds an engine over a weight store.
+// prepared is the per-SubNet state the engine computes once: the
+// materialized weight tensors (flattened row-major [K][D] panels — KCRS
+// storage is already the GEMM layout), their per-output-channel sums for
+// the zero-point correction, and the arena's per-image high-water marks.
+type prepared struct {
+	weights map[int]*tensor.Int8
+	wsum    map[int][]int32
+	// Per-image (batch=1) element maxima over the layer walk; the arena
+	// is sized once per (SubNet, batch) from these.
+	actMax, accMax, colsMax int
+}
+
+// arena is the engine's reusable buffer set. act[0]/act[1] ping-pong as
+// layer input/output; shortcut holds a copy of the residual operand
+// (the ping-pong buffer underneath it is overwritten two layers later,
+// so the operand must own its bytes); down holds the downsampled
+// shortcut; acc is the int32 accumulator; sc carries the im2col panel.
+type arena struct {
+	act      [2]tensor.Int8
+	shortcut tensor.Int8
+	down     tensor.Int8
+	acc      tensor.Int32
+	sc       tensor.Scratch
+}
+
+func growInt8(t *tensor.Int8, n int) {
+	if cap(t.Data) < n {
+		t.Data = make([]int8, n)
+	}
+}
+
+// presize grows every arena buffer to the SubNet×batch high-water mark
+// in one step, honoring the "sized once per SubNet" arena rule.
+func (a *arena) presize(p *prepared, batch int) {
+	growInt8(&a.act[0], batch*p.actMax)
+	growInt8(&a.act[1], batch*p.actMax)
+	growInt8(&a.shortcut, batch*p.actMax)
+	growInt8(&a.down, batch*p.actMax)
+	if cap(a.acc.Data) < batch*p.accMax {
+		a.acc.Data = make([]int32, batch*p.accMax)
+	}
+	if cap(a.sc.Cols) < batch*p.colsMax {
+		a.sc.Cols = make([]int8, batch*p.colsMax)
+	}
+}
+
+// NewEngine builds an engine over a weight store. The kernel pool
+// defaults to GOMAXPROCS workers (SetWorkers overrides).
 func NewEngine(ws *WeightStore) *Engine {
-	return &Engine{ws: ws, zp: 0}
+	return &Engine{ws: ws, zp: 0, workers: runtime.GOMAXPROCS(0)}
+}
+
+// SetWorkers bounds the kernel worker pool (n <= 0 resets to
+// GOMAXPROCS). workers=1 runs every kernel inline — bit-identical to
+// any other width, the property the parity suite pins.
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+	e.workers = n
+}
+
+// Close releases the kernel worker pool (if one was ever spawned).
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
 }
 
 // staticScale derives a data-independent requantization scale for a
@@ -37,10 +124,202 @@ func (e *Engine) staticScale(reduction int) tensor.QuantParams {
 	return tensor.QuantParams{Scale: 1.0 / (math.Sqrt(float64(reduction)) * sigmaW), ZeroPoint: 0}
 }
 
+// prepare memoizes the SubNet's weights, weight sums and arena maxima.
+func (e *Engine) prepare(sn *supernet.SubNet) (*prepared, error) {
+	if p, ok := e.prep[sn]; ok {
+		return p, nil
+	}
+	weights, err := e.ws.SubNetWeights(sn)
+	if err != nil {
+		return nil, err
+	}
+	p := &prepared{weights: weights, wsum: make(map[int][]int32, len(weights))}
+	for i, w := range weights {
+		sums := make([]int32, w.Shape.N)
+		tensor.WeightSums(sums, w)
+		p.wsum[i] = sums
+	}
+	for i := range sn.Model.Layers {
+		l := &sn.Model.Layers[i]
+		outC := l.K
+		if l.Kind == nn.DepthwiseConv || l.Kind == nn.Pool {
+			outC = l.C
+		}
+		inElems := l.C * l.InH * l.InW
+		outElems := outC * l.OutH * l.OutW
+		p.actMax = maxInt(p.actMax, maxInt(inElems, outElems))
+		switch l.Kind {
+		case nn.Conv, nn.DepthwiseConv:
+			p.accMax = maxInt(p.accMax, outElems)
+			if l.Kind == nn.Conv {
+				p.colsMax = maxInt(p.colsMax, l.OutH*l.OutW*l.C*l.R*l.S)
+			}
+		case nn.Linear:
+			p.accMax = maxInt(p.accMax, l.K)
+		case nn.Pool:
+			p.accMax = maxInt(p.accMax, l.C)
+		}
+	}
+	if e.prep == nil {
+		e.prep = make(map[*supernet.SubNet]*prepared)
+	}
+	e.prep[sn] = p
+	return p, nil
+}
+
 // Forward runs input through the SubNet and returns the logits tensor
 // ([N, classes, 1, 1] int8). The input must match the model's first
-// layer geometry ([N, C, H, W]).
+// layer geometry ([N, C, H, W]). The returned tensor is freshly
+// allocated (never an arena alias).
 func (e *Engine) Forward(sn *supernet.SubNet, input *tensor.Int8) (*tensor.Int8, error) {
+	var out tensor.Int8
+	if err := e.ForwardBatchInto(sn, input, 0, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ForwardBatch runs a batch of n images. An input with N == n supplies
+// every image; an input with N == 1 is tiled across the batch (the
+// calibration sweep's shape). The logits are [n, classes, 1, 1],
+// freshly allocated.
+func (e *Engine) ForwardBatch(sn *supernet.SubNet, input *tensor.Int8, n int) (*tensor.Int8, error) {
+	var out tensor.Int8
+	if err := e.ForwardBatchInto(sn, input, n, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ForwardBatchInto is the zero-alloc entry: it writes the logits into
+// dst, reusing dst's backing array across calls. batch <= 0 means
+// input.Shape.N. A warm (SubNet, batch, dst) triple allocates nothing
+// on the sequential path (TestForwardAllocs pins this); a parallel pool
+// adds a bounded handful of closure allocations per layer.
+func (e *Engine) ForwardBatchInto(sn *supernet.SubNet, input *tensor.Int8, batch int, dst *tensor.Int8) error {
+	if sn == nil || sn.Model == nil || len(sn.Model.Layers) == 0 {
+		return fmt.Errorf("infer: nil or empty SubNet")
+	}
+	if batch <= 0 {
+		batch = input.Shape.N
+	}
+	first := &sn.Model.Layers[0]
+	if input.Shape.C != first.C || input.Shape.H != first.InH || input.Shape.W != first.InW {
+		return fmt.Errorf("infer: input %v does not match first layer (C=%d, %dx%d)",
+			input.Shape, first.C, first.InH, first.InW)
+	}
+	if input.Shape.N != batch && input.Shape.N != 1 {
+		return fmt.Errorf("infer: input batch %d incompatible with requested batch %d",
+			input.Shape.N, batch)
+	}
+	p, err := e.prepare(sn)
+	if err != nil {
+		return err
+	}
+	if e.workers > 1 && e.pool == nil {
+		e.pool = tensor.NewPool(e.workers)
+	}
+	a := &e.a
+	a.presize(p, batch)
+
+	// Stage the input into the ping-pong arena (tiling one image across
+	// the batch when needed); the caller's tensor is never aliased.
+	cur := 0
+	x := &a.act[cur]
+	tensor.EnsureInt8(x, tensor.Shape{N: batch, C: input.Shape.C, H: input.Shape.H, W: input.Shape.W})
+	if input.Shape.N == batch {
+		copy(x.Data, input.Data)
+	} else {
+		img := input.Shape.C * input.Shape.H * input.Shape.W
+		for b := 0; b < batch; b++ {
+			copy(x.Data[b*img:(b+1)*img], input.Data[:img])
+		}
+	}
+
+	// Residual bookkeeping: entering a block copies the shortcut input
+	// into its own buffer; ".downsample" transforms it; ".add" folds it
+	// back in, saturating in place.
+	var shortcut, down *tensor.Int8
+	for i := range sn.Model.Layers {
+		l := &sn.Model.Layers[i]
+		if strings.HasSuffix(l.Name, ".conv1") || strings.HasSuffix(l.Name, ".expand") {
+			tensor.EnsureInt8(&a.shortcut, x.Shape)
+			copy(a.shortcut.Data, x.Data)
+			shortcut, down = &a.shortcut, nil
+		}
+		switch l.Kind {
+		case nn.Conv, nn.DepthwiseConv:
+			src := x
+			isDownsample := strings.HasSuffix(l.Name, ".downsample")
+			if isDownsample {
+				if shortcut == nil {
+					return fmt.Errorf("infer: %s: no shortcut to downsample", l.Name)
+				}
+				src = shortcut
+			}
+			cp := tensor.ConvParams{
+				StrideH: l.Stride, StrideW: l.Stride,
+				PadH: l.Pad, PadW: l.Pad,
+			}
+			if l.Kind == nn.DepthwiseConv {
+				cp.Groups = l.C
+			}
+			if err := tensor.Conv2DBlockedInto(&a.acc, src, p.weights[i], e.zp, cp, p.wsum[i], &a.sc, e.pool); err != nil {
+				return fmt.Errorf("infer: %s: %w", l.Name, err)
+			}
+			q := e.staticScale(l.C / maxInt(1, cp.Groups) * l.R * l.S)
+			if isDownsample {
+				tensor.RequantizeInto(&a.down, &a.acc, q)
+				down = &a.down
+			} else {
+				y := &a.act[1-cur]
+				tensor.RequantizeInto(y, &a.acc, q)
+				x, cur = y, 1-cur
+			}
+		case nn.Linear:
+			if err := tensor.LinearBlockedInto(&a.acc, x, p.weights[i], e.zp, p.wsum[i], &a.sc, e.pool); err != nil {
+				return fmt.Errorf("infer: %s: %w", l.Name, err)
+			}
+			y := &a.act[1-cur]
+			tensor.RequantizeInto(y, &a.acc, e.staticScale(l.C))
+			x, cur = y, 1-cur
+		case nn.Pool:
+			y := &a.act[1-cur]
+			if l.OutH == 1 && l.OutW == 1 {
+				tensor.GlobalAvgPoolInto(&a.acc, x, e.zp)
+				tensor.RequantizeInto(y, &a.acc, tensor.QuantParams{
+					Scale: 1.0 / float64(l.InH*l.InW), ZeroPoint: 0,
+				})
+			} else {
+				tensor.MaxPoolInto(y, x, l.R, l.Stride, l.Pad)
+			}
+			x, cur = y, 1-cur
+		case nn.Add:
+			other := down
+			if other == nil {
+				other = shortcut
+			}
+			if other == nil {
+				return fmt.Errorf("infer: %s: no residual operand", l.Name)
+			}
+			if err := tensor.AddSatInt8(x, x, other); err != nil {
+				return fmt.Errorf("infer: %s: %w", l.Name, err)
+			}
+			shortcut, down = nil, nil
+		default:
+			return fmt.Errorf("infer: %s: unsupported kind %v", l.Name, l.Kind)
+		}
+	}
+	tensor.EnsureInt8(dst, x.Shape)
+	copy(dst.Data, x.Data)
+	return nil
+}
+
+// ForwardReference runs the original pre-blocking pipeline — naive
+// kernels, a fresh weight materialization and an allocation per layer.
+// It is kept verbatim as the oracle the parity tests (and the
+// calibration speedup yardstick) compare the fast path against.
+func (e *Engine) ForwardReference(sn *supernet.SubNet, input *tensor.Int8) (*tensor.Int8, error) {
 	if sn == nil || sn.Model == nil || len(sn.Model.Layers) == 0 {
 		return nil, fmt.Errorf("infer: nil or empty SubNet")
 	}
@@ -54,8 +333,6 @@ func (e *Engine) Forward(sn *supernet.SubNet, input *tensor.Int8) (*tensor.Int8,
 		return nil, err
 	}
 	x := input
-	// Residual bookkeeping: entering a block saves the shortcut input;
-	// ".downsample" transforms it; ".add" folds it back in.
 	var shortcut *tensor.Int8
 	var downsampled *tensor.Int8
 	for i := range sn.Model.Layers {
@@ -123,7 +400,7 @@ func (e *Engine) Forward(sn *supernet.SubNet, input *tensor.Int8) (*tensor.Int8,
 	return x, nil
 }
 
-// addInt8 adds two int8 tensors with saturation.
+// addInt8 adds two int8 tensors with saturation (reference path).
 func addInt8(a, b *tensor.Int8) (*tensor.Int8, error) {
 	if a.Shape != b.Shape {
 		return nil, fmt.Errorf("infer: residual shapes %v vs %v", a.Shape, b.Shape)

@@ -1,0 +1,191 @@
+package infer
+
+// Tests for the arena engine: bit-identity against the pre-blocking
+// reference pipeline, batch semantics, worker-count invariance, and
+// the zero-alloc steady state.
+
+import (
+	"testing"
+
+	"sushi/internal/supernet"
+	"sushi/internal/tensor"
+)
+
+func mobv3Fixture(t *testing.T) (*Engine, *supernet.SubNet) {
+	t.Helper()
+	s := supernet.NewOFAMobileNetV3()
+	fr, err := s.Frontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(NewWeightStore(s, 1))
+	t.Cleanup(e.Close)
+	return e, fr[0]
+}
+
+// TestForwardMatchesReference pins the arena/blocked pipeline
+// bit-identical to the original naive pipeline (kept as
+// ForwardReference), sequentially and under a multi-worker pool.
+func TestForwardMatchesReference(t *testing.T) {
+	e, sn := mobv3Fixture(t)
+	in := tensor.RandomInt8(tensor.Shape{N: 1, C: 3, H: 224, W: 224}, 17)
+	ref, err := e.ForwardReference(sn, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetWorkers(1)
+	fast, err := e.Forward(sn, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Shape != ref.Shape {
+		t.Fatalf("shape %v != reference %v", fast.Shape, ref.Shape)
+	}
+	for i := range ref.Data {
+		if fast.Data[i] != ref.Data[i] {
+			t.Fatalf("fast[%d]=%d != reference %d", i, fast.Data[i], ref.Data[i])
+		}
+	}
+	// workers=1 == workers=K at the full-forward level too.
+	e.SetWorkers(4)
+	par, err := e.Forward(sn, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Data {
+		if par.Data[i] != ref.Data[i] {
+			t.Fatalf("parallel[%d]=%d != reference %d", i, par.Data[i], ref.Data[i])
+		}
+	}
+}
+
+// TestForwardBatchSemantics pins ForwardBatch: a single image tiled
+// across the batch yields the single-image logits in every batch slot,
+// and a true N=n input yields each image's own logits.
+func TestForwardBatchSemantics(t *testing.T) {
+	e, sn := mobv3Fixture(t)
+	e.SetWorkers(1)
+	one := tensor.RandomInt8(tensor.Shape{N: 1, C: 3, H: 224, W: 224}, 23)
+	single, err := e.Forward(sn, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := single.Shape.C
+	batched, err := e.ForwardBatch(sn, one, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Shape != (tensor.Shape{N: 3, C: classes, H: 1, W: 1}) {
+		t.Fatalf("batched logits shape %v", batched.Shape)
+	}
+	for b := 0; b < 3; b++ {
+		for c := 0; c < classes; c++ {
+			if batched.Data[b*classes+c] != single.Data[c] {
+				t.Fatalf("batch slot %d class %d: %d != single %d",
+					b, c, batched.Data[b*classes+c], single.Data[c])
+			}
+		}
+	}
+
+	// Distinct images through one batch == their individual forwards.
+	two := tensor.NewInt8(tensor.Shape{N: 2, C: 3, H: 224, W: 224})
+	imgA := tensor.RandomInt8(tensor.Shape{N: 1, C: 3, H: 224, W: 224}, 31)
+	imgB := tensor.RandomInt8(tensor.Shape{N: 1, C: 3, H: 224, W: 224}, 32)
+	img := 3 * 224 * 224
+	copy(two.Data[:img], imgA.Data)
+	copy(two.Data[img:], imgB.Data)
+	both, err := e.ForwardBatch(sn, two, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA, err := e.Forward(sn, imgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := e.Forward(sn, imgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < classes; c++ {
+		if both.Data[c] != outA.Data[c] || both.Data[classes+c] != outB.Data[c] {
+			t.Fatalf("batched image logits diverge from individual forwards at class %d", c)
+		}
+	}
+
+	// Incompatible batch/input combinations are rejected.
+	if _, err := e.ForwardBatch(sn, two, 3); err == nil {
+		t.Fatal("N=2 input accepted for batch 3")
+	}
+}
+
+// TestForwardAllocs is the steady-state alloc gate (mirroring simq's
+// TestSteadyStateAllocs): once warm, a sequential ForwardBatchInto
+// must not allocate — the arena absorbs every layer's activations,
+// accumulators, im2col panels, shortcut copies and the output.
+func TestForwardAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	e, sn := mobv3Fixture(t)
+	e.SetWorkers(1)
+	in := tensor.RandomInt8(tensor.Shape{N: 1, C: 3, H: 224, W: 224}, 41)
+	var out tensor.Int8
+	// Warm the arena, the prepared-weights memo and the output buffer.
+	if err := e.ForwardBatchInto(sn, in, 2, &out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := e.ForwardBatchInto(sn, in, 2, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state ForwardBatchInto allocates %.0f times per run; want 0", allocs)
+	}
+}
+
+// BenchmarkForward measures the arena/blocked forward (single image,
+// sequential) — the number the ≥5× acceptance criterion compares
+// against BenchmarkForwardReference.
+func BenchmarkForward(b *testing.B) {
+	s := supernet.NewOFAMobileNetV3()
+	fr, err := s.Frontier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(NewWeightStore(s, 1))
+	defer e.Close()
+	e.SetWorkers(1)
+	in := tensor.RandomInt8(tensor.Shape{N: 1, C: 3, H: 224, W: 224}, 99)
+	var out tensor.Int8
+	if err := e.ForwardBatchInto(fr[0], in, 1, &out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.ForwardBatchInto(fr[0], in, 1, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardReference measures the pre-blocking pipeline the
+// fast path replaced.
+func BenchmarkForwardReference(b *testing.B) {
+	s := supernet.NewOFAMobileNetV3()
+	fr, err := s.Frontier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(NewWeightStore(s, 1))
+	defer e.Close()
+	in := tensor.RandomInt8(tensor.Shape{N: 1, C: 3, H: 224, W: 224}, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ForwardReference(fr[0], in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package infer
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; allocation-count tests skip under it.
+const raceEnabled = false

@@ -564,6 +564,65 @@ func (t *Table) Truncate(cols int) (*Table, error) {
 	return n, nil
 }
 
+// FromMatrices builds a table directly from externally produced
+// matrices — the constructor measured calibration uses: lat[i][j] is
+// seconds of serving latency for SubNet i under cached SubGraph j,
+// item (optional, nil allowed) its per-item share, energy (optional)
+// joules. The matrices are adopted, not copied. Dimensions and value
+// sanity are validated before the ordering index is built, so a table
+// returned here is interchangeable with one from Build or Decode.
+func FromMatrices(subnets []*supernet.SubNet, graphs []*supernet.SubGraph, lat, item, energy [][]float64) (*Table, error) {
+	if len(subnets) == 0 {
+		return nil, fmt.Errorf("latencytable: no subnets")
+	}
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("latencytable: no graphs")
+	}
+	t := &Table{SubNets: subnets, Graphs: graphs, Lat: lat, Item: item, Energy: energy}
+	if err := t.validateMatrices(); err != nil {
+		return nil, err
+	}
+	t.buildVectors()
+	return t, nil
+}
+
+// validateMatrices checks that Lat (required) and Item/Energy
+// (optional) are rows×cols with finite non-negative entries. Run by
+// every constructor that accepts matrices it did not compute itself.
+func (t *Table) validateMatrices() error {
+	rows, cols := len(t.SubNets), len(t.Graphs)
+	check := func(name string, m [][]float64) error {
+		if len(m) != rows {
+			return fmt.Errorf("latencytable: %s has %d rows for %d subnets", name, len(m), rows)
+		}
+		for i, row := range m {
+			if len(row) != cols {
+				return fmt.Errorf("latencytable: %s row %d has %d cols for %d graphs", name, i, len(row), cols)
+			}
+			for j, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					return fmt.Errorf("latencytable: %s[%d][%d] = %v is not a finite non-negative value", name, i, j, v)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("Lat", t.Lat); err != nil {
+		return err
+	}
+	if t.Item != nil {
+		if err := check("Item", t.Item); err != nil {
+			return err
+		}
+	}
+	if t.Energy != nil {
+		if err := check("Energy", t.Energy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // wireTable is the gob wire format: SubGraphs travel as cell-ID lists and
 // are re-bound to a SuperNet on decode.
 type wireTable struct {
@@ -625,6 +684,9 @@ func Decode(r io.Reader, super *supernet.SuperNet, subnets []*supernet.SubNet) (
 			g.Add(id)
 		}
 		t.Graphs = append(t.Graphs, g)
+	}
+	if err := t.validateMatrices(); err != nil {
+		return nil, err
 	}
 	t.buildVectors()
 	return t, nil

@@ -1,0 +1,392 @@
+package tensor
+
+import "fmt"
+
+// This file is the blocked int8 convolution data plane: every conv is
+// lowered through im2col into row-major packed panels and multiplied by
+// an int8→int32 inner kernel unrolled over the reduction dimension,
+// with the batch dimension fused into the P (output-position) rows.
+// Depthwise convolutions take a direct per-plane path (a full im2col
+// would waste O(C²) work on zeros) and general grouped convolutions run
+// one packed GEMM per group. Work is split into (output-channel block ×
+// row block) tiles executed by a Pool.
+//
+// Everything here is bit-identical to the reference Conv2D/MatMulCols
+// scans: int32 accumulation is modular, so any summation order matches,
+// and the zero-point correction uses the exact identity
+// Σ(a−zp)·w = Σ a·w − zp·Σw. The parity suite pins this.
+
+// Blocked tile sizes: one tile's cols footprint (rowBlock·D) and weight
+// footprint (kBlock·D) stay L1/L2-friendly across the model shapes
+// while leaving enough tiles to occupy every pool worker.
+const (
+	gemmRowBlock = 48
+	gemmKBlock   = 32
+	linKBlock    = 64
+)
+
+// Scratch holds the reusable buffers of the blocked path. The zero
+// value is ready to use; buffers grow to the high-water mark and are
+// then reused, so a warm Scratch makes the blocked kernels
+// allocation-free.
+type Scratch struct {
+	// Cols is the im2col panel: N·P rows of D int8 elements.
+	Cols []int8
+	// Wsum is the per-output-channel weight sum used by the zero-point
+	// correction when the caller did not precompute one.
+	Wsum []int32
+	// Persistent argument blocks: kernels assign them in place and the
+	// sequential path calls their methods directly, so no closure is
+	// materialized outside the parallel branch.
+	gemm gemmArgs
+	dw   dwArgs
+	lin  linArgs
+}
+
+func (s *Scratch) colsBuf(n int) []int8 {
+	if cap(s.Cols) < n {
+		s.Cols = make([]int8, n)
+	}
+	return s.Cols[:n]
+}
+
+func (s *Scratch) wsumBuf(n int) []int32 {
+	if cap(s.Wsum) < n {
+		s.Wsum = make([]int32, n)
+	}
+	return s.Wsum[:n]
+}
+
+// EnsureInt8 points t at shape s, reusing its backing array when the
+// capacity allows and allocating (only) when it must grow.
+func EnsureInt8(t *Int8, s Shape) {
+	n := s.Elems()
+	t.Shape = s
+	if cap(t.Data) >= n {
+		t.Data = t.Data[:n]
+	} else {
+		t.Data = make([]int8, n)
+	}
+}
+
+// EnsureInt32 is EnsureInt8 for int32 tensors.
+func EnsureInt32(t *Int32, s Shape) {
+	n := s.Elems()
+	t.Shape = s
+	if cap(t.Data) >= n {
+		t.Data = t.Data[:n]
+	} else {
+		t.Data = make([]int32, n)
+	}
+}
+
+// WeightSums fills dst[k] with Σ_d w[k,d] over flattened KCRS rows —
+// the zero-point correction term of the blocked kernels. dst must have
+// w.Shape.N elements.
+func WeightSums(dst []int32, w *Int8) {
+	ws := w.Shape
+	d := ws.C * ws.H * ws.W
+	for k := 0; k < ws.N; k++ {
+		row := w.Data[k*d : k*d+d]
+		var s int32
+		for _, v := range row {
+			s += int32(v)
+		}
+		dst[k] = s
+	}
+}
+
+// dotInt8 is the unrolled int8→int32 inner kernel: Σ a[i]·b[i] with
+// four parallel accumulators (int32 addition is associative mod 2^32,
+// so the split changes nothing).
+func dotInt8(a, b []int8) int32 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+3 < n; i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+// gemmArgs is one packed-panel matmul: out[(n·kTotal+kOff+k)·P+p] =
+// dot(cols row n·P+p, w row k) − zpIn·wsum[k] for k in [0, K).
+type gemmArgs struct {
+	out   []int32
+	cols  []int8
+	wRows []int8
+	wsum  []int32
+	n     int // images
+	p     int // rows per image
+	k     int // output channels in this gemm
+	d     int // reduction length
+	kTot  int // output channel stride context (total channels in out)
+	kOff  int // first output channel this gemm writes
+	zp    int32
+	nrb   int // row blocks per image
+	nkb   int // k blocks
+}
+
+func (g *gemmArgs) blocks() int { return g.n * g.nrb * g.nkb }
+
+func (g *gemmArgs) block(b int) {
+	perImage := g.nrb * g.nkb
+	n := b / perImage
+	rem := b % perImage
+	p0 := (rem / g.nkb) * gemmRowBlock
+	p1 := minInt(g.p, p0+gemmRowBlock)
+	k0 := (rem % g.nkb) * gemmKBlock
+	k1 := minInt(g.k, k0+gemmKBlock)
+	colsBase := n * g.p * g.d
+	outBase := (n*g.kTot + g.kOff) * g.p
+	for k := k0; k < k1; k++ {
+		wrow := g.wRows[k*g.d : k*g.d+g.d]
+		corr := g.zp * g.wsum[k]
+		oRow := outBase + k*g.p
+		for p := p0; p < p1; p++ {
+			off := colsBase + p*g.d
+			g.out[oRow+p] = dotInt8(g.cols[off:off+g.d], wrow) - corr
+		}
+	}
+}
+
+// runGemm executes the prepared gemmArgs, fanning out over the pool
+// only when it is actually parallel (the inline path builds no
+// closure).
+func runGemm(g *gemmArgs, pool *Pool) {
+	nb := g.blocks()
+	if pool.parallel() && nb > 1 {
+		pool.Run(nb, g.block)
+		return
+	}
+	for b := 0; b < nb; b++ {
+		g.block(b)
+	}
+}
+
+// dwArgs is the depthwise specialization: one block is one (image,
+// channel) plane convolved by its own kh×kw kernel.
+type dwArgs struct {
+	out            []int32
+	in, w          []int8
+	c, h, iw       int
+	oh, ow         int
+	kh, kw         int
+	sh, sw, ph, pw int
+	zp             int32
+}
+
+func (d *dwArgs) block(b int) {
+	n := b / d.c
+	c := b % d.c
+	plane := d.in[(n*d.c+c)*d.h*d.iw:]
+	plane = plane[:d.h*d.iw]
+	wk := d.w[c*d.kh*d.kw:]
+	wk = wk[:d.kh*d.kw]
+	outPlane := d.out[(n*d.c+c)*d.oh*d.ow:]
+	outPlane = outPlane[:d.oh*d.ow]
+	if d.ph == 0 && d.pw == 0 {
+		for y := 0; y < d.oh; y++ {
+			for x := 0; x < d.ow; x++ {
+				var acc int32
+				for r := 0; r < d.kh; r++ {
+					row := plane[(y*d.sh+r)*d.iw+x*d.sw:]
+					wr := wk[r*d.kw:]
+					for s := 0; s < d.kw; s++ {
+						acc += (int32(row[s]) - d.zp) * int32(wr[s])
+					}
+				}
+				outPlane[y*d.ow+x] = acc
+			}
+		}
+		return
+	}
+	for y := 0; y < d.oh; y++ {
+		for x := 0; x < d.ow; x++ {
+			var acc int32
+			for r := 0; r < d.kh; r++ {
+				ih := y*d.sh + r - d.ph
+				if ih < 0 || ih >= d.h {
+					continue
+				}
+				for s := 0; s < d.kw; s++ {
+					iw := x*d.sw + s - d.pw
+					if iw < 0 || iw >= d.iw {
+						continue
+					}
+					acc += (int32(plane[ih*d.iw+iw]) - d.zp) * int32(wk[r*d.kw+s])
+				}
+			}
+			outPlane[y*d.ow+x] = acc
+		}
+	}
+}
+
+func runDw(d *dwArgs, n int, pool *Pool) {
+	nb := n * d.c
+	if pool.parallel() && nb > 1 {
+		pool.Run(nb, d.block)
+		return
+	}
+	for b := 0; b < nb; b++ {
+		d.block(b)
+	}
+}
+
+// Conv2DBlocked is the blocked/parallel counterpart of Conv2D: same
+// contract, same (bit-identical) result, lowered through im2col+GEMM.
+// pool may be nil for a sequential run.
+func Conv2DBlocked(in, w *Int8, zpIn int32, p ConvParams, pool *Pool) (*Int32, error) {
+	var out Int32
+	var sc Scratch
+	if err := Conv2DBlockedInto(&out, in, w, zpIn, p, nil, &sc, pool); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Conv2DBlockedInto runs the blocked convolution into out, reusing
+// out's backing array and sc's panels when they are large enough — a
+// warm call allocates nothing (sequentially; the parallel fan-out
+// builds one closure). wsum may carry precomputed per-output-channel
+// weight sums (Σ_d w[k,d]); pass nil to have them computed into sc.
+func Conv2DBlockedInto(out *Int32, in, w *Int8, zpIn int32, p ConvParams, wsum []int32, sc *Scratch, pool *Pool) error {
+	if p.Groups == 0 {
+		p.Groups = 1
+	}
+	is, ws := in.Shape, w.Shape
+	if is.C%p.Groups != 0 || ws.N%p.Groups != 0 {
+		return fmt.Errorf("%w: channels %d / kernels %d not divisible by groups %d", ErrShapeMismatch, is.C, ws.N, p.Groups)
+	}
+	if ws.C != is.C/p.Groups {
+		return fmt.Errorf("%w: weight channels %d != input channels %d / groups %d", ErrShapeMismatch, ws.C, is.C, p.Groups)
+	}
+	oh := OutDim(is.H, ws.H, p.StrideH, p.PadH)
+	ow := OutDim(is.W, ws.W, p.StrideW, p.PadW)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("%w: non-positive output %dx%d", ErrShapeMismatch, oh, ow)
+	}
+	EnsureInt32(out, Shape{N: is.N, C: ws.N, H: oh, W: ow})
+
+	// Depthwise: direct per-plane scan; im2col would build a C·kh·kw
+	// row just to multiply one kernel's worth of it.
+	if p.Groups > 1 && p.Groups == is.C && ws.C == 1 && ws.N == is.C {
+		d := &sc.dw
+		*d = dwArgs{
+			out: out.Data, in: in.Data, w: w.Data,
+			c: is.C, h: is.H, iw: is.W, oh: oh, ow: ow,
+			kh: ws.H, kw: ws.W, sh: p.StrideH, sw: p.StrideW,
+			ph: p.PadH, pw: p.PadW, zp: zpIn,
+		}
+		runDw(d, is.N, pool)
+		return nil
+	}
+
+	if wsum == nil {
+		wsum = sc.wsumBuf(ws.N)
+		WeightSums(wsum, w)
+	}
+	kPerGroup := ws.N / p.Groups
+	cPerGroup := is.C / p.Groups
+	d := cPerGroup * ws.H * ws.W
+	pRows := oh * ow
+	cols := sc.colsBuf(is.N * pRows * d)
+	for grp := 0; grp < p.Groups; grp++ {
+		im2colInto(cols, in, grp*cPerGroup, (grp+1)*cPerGroup, ws.H, ws.W, int8(zpIn), p, oh, ow)
+		kOff := grp * kPerGroup
+		g := &sc.gemm
+		*g = gemmArgs{
+			out: out.Data, cols: cols,
+			wRows: w.Data[kOff*d:], wsum: wsum[kOff:],
+			n: is.N, p: pRows, k: kPerGroup, d: d,
+			kTot: ws.N, kOff: kOff, zp: zpIn,
+			nrb: (pRows + gemmRowBlock - 1) / gemmRowBlock,
+			nkb: (kPerGroup + gemmKBlock - 1) / gemmKBlock,
+		}
+		runGemm(g, pool)
+	}
+	return nil
+}
+
+// MatMulColsBlocked is the blocked counterpart of MatMulCols over an
+// already-lowered im2col matrix: same contract, bit-identical result.
+func MatMulColsBlocked(cols, w *Int8, zpIn int32, pool *Pool) (*Int32, error) {
+	cs, ws := cols.Shape, w.Shape
+	if cs.H != ws.C {
+		return nil, ErrShapeMismatch
+	}
+	out := NewInt32(Shape{N: cs.N, C: ws.N, H: cs.C, W: 1})
+	wsum := make([]int32, ws.N)
+	WeightSums(wsum, FlattenWeights(w))
+	g := &gemmArgs{
+		out: out.Data, cols: cols.Data, wRows: w.Data, wsum: wsum,
+		n: cs.N, p: cs.C, k: ws.N, d: cs.H,
+		kTot: ws.N, kOff: 0, zp: zpIn,
+		nrb: (cs.C + gemmRowBlock - 1) / gemmRowBlock,
+		nkb: (ws.N + gemmKBlock - 1) / gemmKBlock,
+	}
+	runGemm(g, pool)
+	return out, nil
+}
+
+// linArgs is the fully-connected kernel: out[n·K+k] = dot(in row n,
+// w row k) − zp·wsum[k], blocked over output channels.
+type linArgs struct {
+	out   []int32
+	in, w []int8
+	n, k  int
+	c     int
+	zp    int32
+	wsum  []int32
+}
+
+func (l *linArgs) block(b int) {
+	k0 := b * linKBlock
+	k1 := minInt(l.k, k0+linKBlock)
+	for n := 0; n < l.n; n++ {
+		row := l.in[n*l.c : n*l.c+l.c]
+		for k := k0; k < k1; k++ {
+			l.out[n*l.k+k] = dotInt8(row, l.w[k*l.c:k*l.c+l.c]) - l.zp*l.wsum[k]
+		}
+	}
+}
+
+// LinearBlockedInto is the blocked counterpart of Linear ([N,C,1,1] ×
+// [K,C,1,1] → [N,K,1,1]), bit-identical, writing into out.
+func LinearBlockedInto(out *Int32, in, w *Int8, zpIn int32, wsum []int32, sc *Scratch, pool *Pool) error {
+	is, ws := in.Shape, w.Shape
+	if is.C != ws.C {
+		return fmt.Errorf("%w: in C=%d w C=%d", ErrShapeMismatch, is.C, ws.C)
+	}
+	EnsureInt32(out, Shape{N: is.N, C: ws.N, H: 1, W: 1})
+	if wsum == nil {
+		wsum = sc.wsumBuf(ws.N)
+		WeightSums(wsum, w)
+	}
+	l := &sc.lin
+	*l = linArgs{out: out.Data, in: in.Data, w: w.Data, n: is.N, k: ws.N, c: is.C, zp: zpIn, wsum: wsum}
+	nb := (ws.N + linKBlock - 1) / linKBlock
+	if pool.parallel() && nb > 1 {
+		pool.Run(nb, l.block)
+		return nil
+	}
+	for b := 0; b < nb; b++ {
+		l.block(b)
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

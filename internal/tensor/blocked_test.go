@@ -1,0 +1,426 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// naiveIm2Col is the original per-element Im2Col kept as the oracle for
+// the run-copying fast paths.
+func naiveIm2Col(in *Int8, kh, kw int, zp int8, p ConvParams) *Int8 {
+	if p.Groups == 0 {
+		p.Groups = 1
+	}
+	is := in.Shape
+	oh := OutDim(is.H, kh, p.StrideH, p.PadH)
+	ow := OutDim(is.W, kw, p.StrideW, p.PadW)
+	cols := NewInt8(Shape{N: is.N, C: oh * ow, H: is.C * kh * kw, W: 1})
+	for n := 0; n < is.N; n++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				row := y*ow + x
+				idx := 0
+				for c := 0; c < is.C; c++ {
+					for r := 0; r < kh; r++ {
+						ih := y*p.StrideH + r - p.PadH
+						for s := 0; s < kw; s++ {
+							iw := x*p.StrideW + s - p.PadW
+							v := zp
+							if ih >= 0 && ih < is.H && iw >= 0 && iw < is.W {
+								v = in.At(n, c, ih, iw)
+							}
+							cols.Set(n, row, idx, 0, v)
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// parityCase is one randomized convolution configuration.
+type parityCase struct {
+	in Shape
+	w  Shape
+	zp int32
+	p  ConvParams
+}
+
+func (c parityCase) String() string {
+	return fmt.Sprintf("in=%v w=%v zp=%d p=%+v", c.in, c.w, c.zp, c.p)
+}
+
+// randomParityCases draws convolution configurations spanning stride,
+// padding, kernel size, batch, and groups (1, small, and depthwise).
+func randomParityCases(t *testing.T, count int) []parityCase {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1007))
+	kerns := []int{1, 3, 5, 7}
+	var cases []parityCase
+	for len(cases) < count {
+		k := kerns[rng.Intn(len(kerns))]
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(k) // 0..k-1, includes the pad-free fast path
+		n := 1 + rng.Intn(3)
+		groupsMode := rng.Intn(3)
+		var groups, cIn, kOut int
+		switch groupsMode {
+		case 0: // dense
+			groups = 1
+			cIn = 1 + rng.Intn(8)
+			kOut = 1 + rng.Intn(12)
+		case 1: // grouped
+			groups = 2
+			cIn = 2 * (1 + rng.Intn(4))
+			kOut = 2 * (1 + rng.Intn(6))
+		default: // depthwise
+			cIn = 1 + rng.Intn(8)
+			groups = cIn
+			kOut = cIn
+		}
+		h := k + rng.Intn(10)
+		w := k + rng.Intn(10)
+		c := parityCase{
+			in: Shape{N: n, C: cIn, H: h, W: w},
+			w:  Shape{N: kOut, C: cIn / groups, H: k, W: k},
+			zp: int32(rng.Intn(11) - 5),
+			p:  ConvParams{StrideH: stride, StrideW: stride, PadH: pad, PadW: pad, Groups: groups},
+		}
+		if OutDim(h, k, stride, pad) <= 0 || OutDim(w, k, stride, pad) <= 0 {
+			continue
+		}
+		cases = append(cases, c)
+	}
+	return cases
+}
+
+// TestConv2DBlockedParity pins the blocked path bit-identical to the
+// reference Conv2D scan across randomized shapes, and pins that the
+// worker count does not change a single bit (workers=1 == workers=K).
+func TestConv2DBlockedParity(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	for i, tc := range randomParityCases(t, 60) {
+		in := RandomInt8(tc.in, uint64(100+i))
+		w := RandomInt8(tc.w, uint64(200+i))
+		ref, err := Conv2D(in, w, tc.zp, tc.p)
+		if err != nil {
+			t.Fatalf("case %d (%v): reference: %v", i, tc, err)
+		}
+		seq, err := Conv2DBlocked(in, w, tc.zp, tc.p, nil)
+		if err != nil {
+			t.Fatalf("case %d (%v): blocked: %v", i, tc, err)
+		}
+		if seq.Shape != ref.Shape {
+			t.Fatalf("case %d (%v): shape %v != %v", i, tc, seq.Shape, ref.Shape)
+		}
+		for j := range ref.Data {
+			if seq.Data[j] != ref.Data[j] {
+				t.Fatalf("case %d (%v): blocked[%d]=%d != reference %d", i, tc, j, seq.Data[j], ref.Data[j])
+			}
+		}
+		par, err := Conv2DBlocked(in, w, tc.zp, tc.p, pool)
+		if err != nil {
+			t.Fatalf("case %d (%v): parallel: %v", i, tc, err)
+		}
+		for j := range ref.Data {
+			if par.Data[j] != ref.Data[j] {
+				t.Fatalf("case %d (%v): parallel[%d]=%d != reference %d", i, tc, j, par.Data[j], ref.Data[j])
+			}
+		}
+	}
+}
+
+// TestConv2DBlockedScratchReuse pins that a warm Scratch/output pair
+// reproduces the cold result exactly (the arena reuse the engine
+// relies on).
+func TestConv2DBlockedScratchReuse(t *testing.T) {
+	var sc Scratch
+	var out Int32
+	cases := randomParityCases(t, 12)
+	for i, tc := range cases {
+		in := RandomInt8(tc.in, uint64(300+i))
+		w := RandomInt8(tc.w, uint64(400+i))
+		ref, err := Conv2D(in, w, tc.zp, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Conv2DBlockedInto(&out, in, w, tc.zp, tc.p, nil, &sc, nil); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if out.Shape != ref.Shape {
+			t.Fatalf("case %d: shape %v != %v", i, out.Shape, ref.Shape)
+		}
+		for j := range ref.Data {
+			if out.Data[j] != ref.Data[j] {
+				t.Fatalf("case %d (%v): warm blocked[%d]=%d != reference %d", i, tc, j, out.Data[j], ref.Data[j])
+			}
+		}
+	}
+}
+
+// TestConv2DBlockedPrecomputedWsum pins the precomputed weight-sum
+// entry point (what the engine passes) against the self-computed one.
+func TestConv2DBlockedPrecomputedWsum(t *testing.T) {
+	tc := parityCase{
+		in: Shape{N: 2, C: 6, H: 9, W: 9},
+		w:  Shape{N: 8, C: 6, H: 3, W: 3},
+		zp: 3,
+		p:  ConvParams{StrideH: 2, StrideW: 2, PadH: 1, PadW: 1, Groups: 1},
+	}
+	in := RandomInt8(tc.in, 31)
+	w := RandomInt8(tc.w, 32)
+	ref, err := Conv2D(in, w, tc.zp, tc.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsum := make([]int32, tc.w.N)
+	WeightSums(wsum, FlattenWeights(w))
+	var out Int32
+	var sc Scratch
+	if err := Conv2DBlockedInto(&out, in, w, tc.zp, tc.p, wsum, &sc, nil); err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref.Data {
+		if out.Data[j] != ref.Data[j] {
+			t.Fatalf("wsum path[%d]=%d != reference %d", j, out.Data[j], ref.Data[j])
+		}
+	}
+}
+
+// TestConv2DBlockedRejectsBadShapes pins that the blocked path rejects
+// exactly what the reference rejects.
+func TestConv2DBlockedRejectsBadShapes(t *testing.T) {
+	in := RandomInt8(Shape{N: 1, C: 3, H: 8, W: 8}, 1)
+	w := RandomInt8(Shape{N: 4, C: 2, H: 3, W: 3}, 2)
+	if _, err := Conv2DBlocked(in, w, 0, ConvParams{StrideH: 1, StrideW: 1}, nil); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+	w2 := RandomInt8(Shape{N: 3, C: 3, H: 3, W: 3}, 2)
+	if _, err := Conv2DBlocked(in, w2, 0, ConvParams{StrideH: 1, StrideW: 1, Groups: 2}, nil); err == nil {
+		t.Fatal("expected groups divisibility error")
+	}
+}
+
+// TestIm2ColFastPathMatchesNaive pins the run-copying Im2Col against
+// the original per-element oracle, padded and pad-free.
+func TestIm2ColFastPathMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		k := []int{1, 3, 5}[rng.Intn(3)]
+		p := ConvParams{
+			StrideH: 1 + rng.Intn(2), StrideW: 1 + rng.Intn(2),
+			PadH: rng.Intn(k), PadW: rng.Intn(k), Groups: 1,
+		}
+		s := Shape{N: 1 + rng.Intn(2), C: 1 + rng.Intn(5), H: k + rng.Intn(8), W: k + rng.Intn(8)}
+		if OutDim(s.H, k, p.StrideH, p.PadH) <= 0 || OutDim(s.W, k, p.StrideW, p.PadW) <= 0 {
+			continue
+		}
+		in := RandomInt8(s, uint64(500+i))
+		zp := int8(rng.Intn(9) - 4)
+		fast := Im2Col(in, k, k, zp, p)
+		naive := naiveIm2Col(in, k, k, zp, p)
+		if fast.Shape != naive.Shape {
+			t.Fatalf("case %d: shape %v != %v", i, fast.Shape, naive.Shape)
+		}
+		for j := range naive.Data {
+			if fast.Data[j] != naive.Data[j] {
+				t.Fatalf("case %d (in=%v k=%d p=%+v): fast[%d]=%d != naive %d",
+					i, s, k, p, j, fast.Data[j], naive.Data[j])
+			}
+		}
+	}
+}
+
+// TestMatMulColsBlockedParity pins the packed GEMM against the
+// reference MatMulCols scan, sequential and parallel.
+func TestMatMulColsBlockedParity(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	for i := 0; i < 10; i++ {
+		rng := rand.New(rand.NewSource(int64(900 + i)))
+		n := 1 + rng.Intn(2)
+		p := 1 + rng.Intn(70)
+		d := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(50)
+		cols := RandomInt8(Shape{N: n, C: p, H: d, W: 1}, uint64(600+i))
+		w := RandomInt8(Shape{N: k, C: d, H: 1, W: 1}, uint64(700+i))
+		zp := int32(rng.Intn(7) - 3)
+		ref, err := MatMulCols(cols, w, zp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pl := range []*Pool{nil, pool} {
+			got, err := MatMulColsBlocked(cols, w, zp, pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Shape != ref.Shape {
+				t.Fatalf("case %d: shape %v != %v", i, got.Shape, ref.Shape)
+			}
+			for j := range ref.Data {
+				if got.Data[j] != ref.Data[j] {
+					t.Fatalf("case %d: blocked[%d]=%d != reference %d", i, j, got.Data[j], ref.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestLinearBlockedParity pins the blocked fully-connected kernel
+// against the reference Linear.
+func TestLinearBlockedParity(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	in := RandomInt8(Shape{N: 3, C: 37, H: 1, W: 1}, 41)
+	w := RandomInt8(Shape{N: 129, C: 37, H: 1, W: 1}, 42)
+	ref, err := Linear(in, w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc Scratch
+	for _, pl := range []*Pool{nil, pool} {
+		var out Int32
+		if err := LinearBlockedInto(&out, in, w, 2, nil, &sc, pl); err != nil {
+			t.Fatal(err)
+		}
+		if out.Shape != ref.Shape {
+			t.Fatalf("shape %v != %v", out.Shape, ref.Shape)
+		}
+		for j := range ref.Data {
+			if out.Data[j] != ref.Data[j] {
+				t.Fatalf("linear blocked[%d]=%d != reference %d", j, out.Data[j], ref.Data[j])
+			}
+		}
+	}
+}
+
+// TestInPlaceOpsMatchReference pins the arena's in-place ops against
+// their allocating reference counterparts.
+func TestInPlaceOpsMatchReference(t *testing.T) {
+	acc := NewInt32(Shape{N: 1, C: 4, H: 5, W: 5})
+	rng := rand.New(rand.NewSource(5))
+	for i := range acc.Data {
+		acc.Data[i] = int32(rng.Intn(20001) - 10000)
+	}
+	q := QuantParams{Scale: 0.01, ZeroPoint: 3}
+	ref := RequantizeTensor(acc, q)
+	var dst Int8
+	RequantizeInto(&dst, acc, q)
+	for j := range ref.Data {
+		if dst.Data[j] != ref.Data[j] {
+			t.Fatalf("RequantizeInto[%d]=%d != %d", j, dst.Data[j], ref.Data[j])
+		}
+	}
+
+	a := RandomInt8(Shape{N: 2, C: 3, H: 4, W: 4}, 9)
+	b := RandomInt8(Shape{N: 2, C: 3, H: 4, W: 4}, 10)
+	want := make([]int8, len(a.Data))
+	for i := range a.Data {
+		v := int32(a.Data[i]) + int32(b.Data[i])
+		if v > 127 {
+			v = 127
+		}
+		if v < -128 {
+			v = -128
+		}
+		want[i] = int8(v)
+	}
+	aliased := &Int8{Shape: a.Shape, Data: append([]int8(nil), a.Data...)}
+	if err := AddSatInt8(aliased, aliased, b); err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if aliased.Data[j] != want[j] {
+			t.Fatalf("AddSatInt8 aliased[%d]=%d != %d", j, aliased.Data[j], want[j])
+		}
+	}
+	if err := AddSatInt8(&Int8{}, a, RandomInt8(Shape{N: 1, C: 3, H: 4, W: 4}, 3)); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+
+	in := RandomInt8(Shape{N: 2, C: 3, H: 9, W: 9}, 11)
+	mpRef := MaxPool(in, 3, 2, 1)
+	var mp Int8
+	MaxPoolInto(&mp, in, 3, 2, 1)
+	if mp.Shape != mpRef.Shape {
+		t.Fatalf("MaxPoolInto shape %v != %v", mp.Shape, mpRef.Shape)
+	}
+	for j := range mpRef.Data {
+		if mp.Data[j] != mpRef.Data[j] {
+			t.Fatalf("MaxPoolInto[%d]=%d != %d", j, mp.Data[j], mpRef.Data[j])
+		}
+	}
+
+	gapRef := GlobalAvgPool(in, 2)
+	var gap Int32
+	GlobalAvgPoolInto(&gap, in, 2)
+	if gap.Shape != gapRef.Shape {
+		t.Fatalf("GlobalAvgPoolInto shape %v != %v", gap.Shape, gapRef.Shape)
+	}
+	for j := range gapRef.Data {
+		if gap.Data[j] != gapRef.Data[j] {
+			t.Fatalf("GlobalAvgPoolInto[%d]=%d != %d", j, gap.Data[j], gapRef.Data[j])
+		}
+	}
+}
+
+// TestPoolRunCoversAllBlocks pins the pool's work distribution: every
+// index runs exactly once regardless of width.
+func TestPoolRunCoversAllBlocks(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		pool := NewPool(workers)
+		counts := make([]int32, 97)
+		pool.Run(len(counts), func(i int) { counts[i]++ })
+		pool.Close()
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: block %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// benchConv is a mid-network ResNet-ish shape: 128 channels, 14x14
+// spatial, 3x3 kernel.
+var benchConvShapes = struct {
+	in, w Shape
+	p     ConvParams
+}{
+	in: Shape{N: 1, C: 128, H: 14, W: 14},
+	w:  Shape{N: 128, C: 128, H: 3, W: 3},
+	p:  ConvParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1},
+}
+
+// BenchmarkConv2DBlocked measures the blocked kernel (sequential; the
+// trajectory's speedup metric divides this into the reference below).
+func BenchmarkConv2DBlocked(b *testing.B) {
+	in := RandomInt8(benchConvShapes.in, 1)
+	w := RandomInt8(benchConvShapes.w, 2)
+	var out Int32
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Conv2DBlockedInto(&out, in, w, 0, benchConvShapes.p, nil, &sc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConv2DReference measures the naive quadruple-loop scan the
+// blocked kernel replaces.
+func BenchmarkConv2DReference(b *testing.B) {
+	in := RandomInt8(benchConvShapes.in, 1)
+	w := RandomInt8(benchConvShapes.w, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2D(in, w, 0, benchConvShapes.p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -68,6 +68,16 @@ func RequantizeTensor(acc *Int32, combined QuantParams) *Int8 {
 	return out
 }
 
+// RequantizeInto applies Requantize into dst, reusing dst's backing
+// array — the in-place variant the inference arena uses so steady-state
+// forwards allocate nothing.
+func RequantizeInto(dst *Int8, acc *Int32, combined QuantParams) {
+	EnsureInt8(dst, acc.Shape)
+	for i, v := range acc.Data {
+		dst.Data[i] = Requantize(v, combined)
+	}
+}
+
 // QuantizeSlice quantizes a float64 slice into a fresh int8 slice.
 func QuantizeSlice(vs []float64, q QuantParams) []int8 {
 	out := make([]int8, len(vs))

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sushi_test
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; the real-forward calibration sweep test skips under it (the
+// int8 kernels have dedicated race coverage on small shapes, and a
+// full-frontier sweep is minutes of instrumented compute).
+const raceEnabled = false

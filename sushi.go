@@ -65,6 +65,7 @@ import (
 	"strings"
 
 	"sushi/internal/accel"
+	"sushi/internal/calib"
 	"sushi/internal/core"
 	"sushi/internal/sched"
 	"sushi/internal/serving"
@@ -478,6 +479,19 @@ var experimentRegistry = []experimentEntry{
 	// load), plus a degrade+batching arm recovering part of the gap
 	// (workload-insensitive: calibrated on the MobileNetV3 family).
 	{id: "cohortsweep", run: fixed(func() (*core.Result, error) { return core.CohortSweep(0) })},
+	// calibsweep is the calibration-noise experiment: multiplicative
+	// seeded per-cell noise on the latency table (a simulated
+	// miscalibrated sweep) vs decision-level SLO attainment — the
+	// scheduler decides from its noisy belief, violations are judged
+	// against the true table. Sigma 0 is pinned at exactly 100%
+	// (workload-insensitive: calibrated on the MobileNetV3 family).
+	{id: "calibsweep", run: fixed(func() (*core.Result, error) { return core.CalibSweep(0) })},
+	// fwdbench is the real-execution data-plane microbenchmark: the
+	// blocked/arena Forward and the blocked convolution kernel timed
+	// against the reference scans single-threaded — its speedup metrics
+	// pin the fast-inference acceptance bar in the trajectory
+	// (workload-insensitive: always times the MobileNetV3 family).
+	{id: "fwdbench", run: fixed(core.FwdBench)},
 	// decisionhot is the decision-path microbenchmark: a tight loop of
 	// router+schedule decisions with no queueing or arrival process —
 	// its ns_per_op is the per-decision cost, the trajectory entry most
@@ -498,6 +512,34 @@ var SetParallelExperiments = core.SetParallelExperiments
 // of every scheduling/routing decision — the fast path's correctness
 // oracle (sushi-bench -slowpath).
 var SetSlowPath = core.SetSlowPath
+
+// Measured-table calibration (the offline end of WithMeasuredTable).
+type (
+	// CalibrateOptions configures Calibrate: workload, candidate count,
+	// repetitions, batch sizes, seed, and smoke-grid row/column caps.
+	CalibrateOptions = core.CalibrateOptions
+	// CalibrationFile is the versioned on-disk measured table: sweep
+	// provenance (seed, reps, calib_ns yardstick), raw per-cell wall-ns
+	// evidence, and the embedded latency table.
+	CalibrationFile = calib.File
+	// CalibrationReport is the per-cell predicted-vs-measured error
+	// distribution against the analytic table (global scale fit plus
+	// mean/p50/p95/max relative error).
+	CalibrationReport = calib.Report
+)
+
+// Calibrate executes the workload's frontier SubNets through the fast
+// inference engine and sweeps a measured (SubNet × cached SubGraph ×
+// batch) latency table on THIS machine, returning the file (write it
+// with WriteCalibrationFile, serve from it with LoadMeasuredTable +
+// WithMeasuredTable) and the report comparing it against the analytic
+// table a deployment would otherwise build.
+func Calibrate(opt CalibrateOptions) (*CalibrationFile, *CalibrationReport, error) {
+	return core.Calibrate(opt)
+}
+
+// WriteCalibrationFile writes a calibration table file to path.
+var WriteCalibrationFile = calib.WriteFile
 
 // Experiments lists the available experiment ids, in registry order.
 func Experiments() []string {
